@@ -1,0 +1,68 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not paper tables — these quantify the decisions the paper fixes by
+argument: thv = 3 look-ahead (Section III-C), the 7-bit Reg margin
+(Section IV-A), and the token-serialised greedy policy (Section III-A).
+"""
+
+from __future__ import annotations
+
+
+def test_ablation_thv_lookahead(benchmark, reporter):
+    from repro.experiments.ablations import sweep_thv
+
+    def run():
+        return sweep_thv(d=9, p=0.01, shots=150, thvs=(0, 1, 2, 3, 5))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [pt.format() for pt in points]
+    lines.append("expected: thv=0 pays for unpaired measurement errors;"
+                 " gains saturate by thv=3 (the paper's choice)")
+    reporter(benchmark, "Ablation: vertical look-ahead thv", lines)
+    by_thv = {pt.value: pt.failure_rate.rate for pt in points}
+    # thv=0 (no temporal matching) must be clearly worse than thv=3.
+    assert by_thv[0] > by_thv[3]
+
+
+def test_ablation_reg_capacity(benchmark, reporter):
+    from repro.experiments.ablations import sweep_reg_size
+
+    def run():
+        return sweep_reg_size(d=11, p=0.01, shots=120, sizes=(4, 5, 7, 10))
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [pt.format() for pt in points]
+    lines.append("expected: overflow pressure falls as capacity grows;"
+                 " 7 bits leaves margin at 500 MHz")
+    reporter(benchmark, "Ablation: Reg capacity vs overflow", lines)
+    overflow = {pt.value: pt.overflow_rate.rate for pt in points}
+    assert overflow[4] >= overflow[10]
+
+
+def test_ablation_matching_order(benchmark, reporter):
+    from repro.experiments.ablations import ordering_ablation
+
+    def run():
+        return ordering_ablation(d=9, p=0.01, shots=250)
+
+    rates = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"{name:<8} p_L = {est}" for name, est in rates.items()]
+    lines.append("expected: mwpm <= greedy ~ qecool — the hardware"
+                 " serialisation costs little beyond greediness itself")
+    reporter(benchmark, "Ablation: matching order", lines)
+    assert rates["mwpm"].rate <= rates["qecool"].rate + 0.05
+
+
+def test_ablation_measurement_noise(benchmark, reporter):
+    from repro.experiments.ablations import sweep_measurement_noise
+
+    def run():
+        return sweep_measurement_noise(d=9, p=0.005, shots=150)
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [pt.format() for pt in points]
+    lines.append("expected: failure rate grows with q/p; q=0 (perfect"
+                 " readout) is easiest")
+    reporter(benchmark, "Ablation: readout noise ratio q/p", lines)
+    by_ratio = {pt.value: pt.failure_rate.rate for pt in points}
+    assert by_ratio[0.0] <= by_ratio[4.0]

@@ -1,0 +1,65 @@
+"""Decoder micro-benchmarks: single-shot decode latency.
+
+Not a paper table, but the latency context for everything else: how
+long one batch decode of a d = 9 spacetime volume takes per decoder in
+this Python model.  pytest-benchmark's statistics apply here (multiple
+rounds), unlike the one-shot table/figure regenerations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import QecoolDecoder
+from repro.decoders.aqec import AqecDecoder
+from repro.decoders.greedy import GreedyMatchingDecoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.noise import sample_phenomenological
+from repro.surface_code.syndrome import SyndromeHistory
+
+DECODERS = {
+    "qecool": QecoolDecoder,
+    "mwpm": MwpmDecoder,
+    "union-find": UnionFindDecoder,
+    "greedy": GreedyMatchingDecoder,
+    "aqec": AqecDecoder,
+}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """A fixed realistic d=9, p=0.005 spacetime event stack."""
+    lattice = PlanarLattice(9)
+    data, meas = sample_phenomenological(lattice, 0.005, 9, 20210101)
+    history = SyndromeHistory.run(lattice, data, meas)
+    return lattice, history.events
+
+
+@pytest.mark.parametrize("name", sorted(DECODERS))
+def test_decode_latency_d9(benchmark, workload, name):
+    lattice, events = workload
+    decoder = DECODERS[name]()
+    benchmark.group = "decode-d9-p0.005"
+    result = benchmark(lambda: decoder.decode(lattice, events))
+    expected = np.bitwise_xor.reduce(events, axis=0)
+    assert np.array_equal(lattice.syndrome_of(result.correction), expected)
+
+
+def test_online_trial_latency_d9(benchmark):
+    """One full online trial (9 rounds + drain) at 2 GHz."""
+    from repro.core.online import OnlineConfig, run_online_trial
+
+    lattice = PlanarLattice(9)
+    benchmark.group = "online-trial"
+    counter = [0]
+
+    def run():
+        counter[0] += 1
+        return run_online_trial(
+            lattice, 0.005, 9, OnlineConfig(), rng=counter[0]
+        )
+
+    benchmark(run)

@@ -1,0 +1,30 @@
+"""Fig. 4(a): batch-QECOOL vs MWPM logical error-rate scaling.
+
+Regenerates the error-rate curves for d = 5..9 (reduced budget; the
+paper plots d up to 13 with far more shots) and reports the estimated
+thresholds.  Expected shape: MWPM's crossing near ~3%, batch-QECOOL's
+near ~1.5%, MWPM strictly better pointwise above ~1%.
+"""
+
+from __future__ import annotations
+
+
+def test_fig4a_curves_and_thresholds(benchmark, reporter):
+    from repro.experiments.fig4 import run_fig4a
+
+    def run():
+        return run_fig4a(
+            shots=120,
+            distances=(5, 7, 9),
+            ps=(0.006, 0.01, 0.015, 0.02, 0.03, 0.05),
+            seed=2021,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = result.rows()
+    for decoder in ("qecool", "mwpm"):
+        est = result.threshold(decoder)
+        shown = f"{100 * est.p_th:.2f}%" if est.found else "not in range"
+        paper = {"qecool": "~1.5%", "mwpm": "~3%"}[decoder]
+        lines.append(f"p_th({decoder}) = {shown}   (paper {paper})")
+    reporter(benchmark, "Fig. 4(a) batch-QECOOL vs MWPM", lines)

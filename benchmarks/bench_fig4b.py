@@ -1,0 +1,35 @@
+"""Fig. 4(b): proportion of matchings propagating >= 3 vertical planes.
+
+Expected shape: negligible (< 1e-3) below the threshold, rising toward
+~2e-3 at p ~ 0.1 — the justification for thv = 3 online look-ahead.
+"""
+
+from __future__ import annotations
+
+
+def test_fig4b_deep_vertical_fraction(benchmark, reporter):
+    from repro.experiments.fig4 import run_fig4b
+
+    def run():
+        return run_fig4b(
+            shots=150,
+            d=9,
+            ps=(0.003, 0.006, 0.01, 0.02, 0.03, 0.05, 0.08),
+            seed=42,
+        )
+
+    points = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["p        fraction(>=3 planes)   matches"]
+    for pt in points:
+        lines.append(
+            f"{pt.p:<8} {pt.deep_vertical_fraction:<20.5f}"
+            f" {pt.n_deep_vertical}/{pt.n_matches}"
+        )
+    lines.append("paper: ~0 below p_th, up to ~0.002 near p = 0.1")
+    reporter(benchmark, "Fig. 4(b) vertical propagation", lines)
+    below = [pt for pt in points if pt.p <= 0.01]
+    above = [pt for pt in points if pt.p >= 0.05]
+    assert all(pt.deep_vertical_fraction < 0.002 for pt in below)
+    assert max(pt.deep_vertical_fraction for pt in above) >= max(
+        pt.deep_vertical_fraction for pt in below
+    )

@@ -1,0 +1,32 @@
+"""Fig. 7: online QECOOL at 500 MHz / 1 GHz / 2 GHz.
+
+Expected shape: at 2 GHz the decoder always keeps up (overflow-free,
+p_th ~ 1%); at 500 MHz the largest distances start overflowing the
+7-bit Reg near and above threshold, lifting their failure curves.
+"""
+
+from __future__ import annotations
+
+
+def test_fig7_three_frequencies(benchmark, reporter):
+    from repro.experiments.fig7 import run_fig7
+
+    def run():
+        return run_fig7(
+            shots=120,
+            frequencies=(0.5e9, 1.0e9, 2.0e9),
+            distances=(5, 9, 13),
+            ps=(0.003, 0.006, 0.01, 0.02),
+            seed=777,
+        )
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = result.rows()
+    for freq in (0.5e9, 1.0e9, 2.0e9):
+        est = result.threshold(freq)
+        shown = f"{100 * est.p_th:.2f}%" if est.found else "not in range"
+        lines.append(f"p_th({freq / 1e9:.1f} GHz) = {shown}")
+    lines.append("paper: p_th ~ 1.0% at 2 GHz; buffer overflow degrades 500 MHz")
+    reporter(benchmark, "Fig. 7 online QEC vs decoder clock", lines)
+    # 2 GHz must never overflow in this regime (the paper's Fig. 7(c)).
+    assert all(v == 0.0 for v in result.overflow_fraction(2.0e9).values())

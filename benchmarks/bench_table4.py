@@ -1,0 +1,36 @@
+"""Table IV: decoder threshold comparison (2-D / 3-D).
+
+Expected shape: MWPM highest (paper: 10.3% / 2.9%), Union-Find close
+behind (9.9% / 2.6%), QECOOL clearly lower (6.0% / 1.0%), AQEC around
+5% with no 3-D mode.  Absolute crossings at this reduced budget carry
+Monte-Carlo error of a few tenths of a percent; the ordering is the
+reproduced result.
+"""
+
+from __future__ import annotations
+
+
+def test_table4_thresholds(benchmark, reporter):
+    from repro.experiments.table4 import run_table4
+
+    def run():
+        return run_table4(
+            shots=150,
+            ps_2d=(0.04, 0.06, 0.08, 0.10, 0.13),
+            ps_3d=(0.008, 0.012, 0.018, 0.027, 0.04),
+            distances_2d=(5, 7, 9),
+            distances_3d=(5, 7, 9),
+            seed=4444,
+        )
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    reporter(benchmark, "Table IV thresholds", [r.format() for r in rows])
+    by_name = {r.decoder: r for r in rows}
+    # AQEC has no 3-D mode by construction.
+    assert by_name["aqec"].p_th_3d is None
+    # The qualitative ordering the paper reports: MWPM/UF above QECOOL.
+    mwpm, qecool = by_name["mwpm"], by_name["qecool"]
+    if mwpm.p_th_2d and qecool.p_th_2d:
+        assert mwpm.p_th_2d > qecool.p_th_2d
+    if mwpm.p_th_3d and qecool.p_th_3d:
+        assert mwpm.p_th_3d > qecool.p_th_3d

@@ -1,0 +1,55 @@
+"""Tables I & II and the Section IV-B / V-C headline numbers.
+
+Expected: exact reproduction of the Unit roll-up (3177 JJs, 336 mA,
+1.274 mm^2, 840 uW RSFQ, 2.78 uW ERSFQ at 2 GHz, ~5 GHz max clock).
+The benchmark times the full roll-up plus a pulse-level functional
+sweep of the Unit's composite circuits (our JSIM substitute).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def test_tables_1_2_and_unit_functional_sweep(benchmark, reporter):
+    from repro.experiments.tables12 import format_table1, format_table2, headline_numbers
+    from repro.sfq.circuits import RacePrioritizer, ShiftRegister, SpikeSteering
+    from repro.sfq.netlist import Netlist
+
+    def run():
+        numbers = headline_numbers()
+        # Functional sweep: Reg shift, steering truth table, race arbiter.
+        net = Netlist()
+        reg = ShiftRegister(net, "reg", 7)
+        reg.load_state([1, 0, 1, 1, 0, 0, 1])
+        sim = net.simulator()
+        comp, port = reg.clock_root()
+        for k in range(7):
+            sim.inject(comp, port, 100.0 * (k + 1))
+        sim.run()
+        assert reg.state() == [0] * 7
+        for row_match, flag in ((True, True), (True, False), (False, True), (False, False)):
+            net2 = Netlist()
+            steer = SpikeSteering(net2, "steer")
+            sim2 = net2.simulator()
+            steer.configure(sim2, row_match, flag, at=0.0)
+            steer.send_spike(sim2, at=20.0)
+            sim2.run()
+            assert steer.fired_direction() is not None
+        net3 = Netlist()
+        prio = RacePrioritizer(net3, "prio")
+        sim3 = net3.simulator()
+        for p in ("W", "S", "E", "N"):
+            prio.inject_spike(sim3, p, 0.0)
+        sim3.run()
+        assert prio.winning_port() == "N"
+        return numbers
+
+    numbers = benchmark.pedantic(run, rounds=3, iterations=1)
+    lines = format_table1() + [""] + format_table2() + [""]
+    lines += [f"{key:<22} {value:.4g}" for key, value in numbers.items()]
+    reporter(benchmark, "Tables I & II + headline numbers", lines)
+    assert numbers["total_jjs"] == 3177
+    assert numbers["rsfq_power_uw"] == pytest.approx(840, abs=1)
+    assert numbers["ersfq_power_uw"] == pytest.approx(2.78, abs=0.01)
+    assert numbers["max_frequency_ghz"] > 2.0

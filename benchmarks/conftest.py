@@ -1,0 +1,25 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one table or figure of the paper at a
+reduced Monte-Carlo budget (the experiment generators take ``shots``;
+``examples/threshold_study.py`` shows the full-budget runs) and records
+the regenerated rows in ``benchmark.extra_info`` as well as printing
+them (visible with ``pytest benchmarks/ --benchmark-only -s``).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def report(benchmark, title: str, lines) -> None:
+    """Attach regenerated rows to the benchmark record and print them."""
+    text = "\n".join(lines)
+    benchmark.extra_info["report"] = text
+    print(f"\n== {title} ==")
+    print(text)
+
+
+@pytest.fixture()
+def reporter():
+    return report

@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Online vs batch QEC: the paper's central trade-off (Fig. 3 / Fig. 7).
+
+Batch-QEC waits for a full window of measurements before decoding;
+online-QEC (QECOOL) decodes each layer as it streams in, bounded by the
+decoder clock, and fails outright if the 7-bit Reg overflows.  This
+script measures, at one (d, p):
+
+- batch-QECOOL and MWPM failure rates (the Fig. 4(a) operating point),
+- online QECOOL at several decoder clocks, splitting failures into
+  matching failures and Reg overflows (the Fig. 7 mechanism).
+
+Run:  python examples/online_vs_batch.py [--d 9] [--p 0.01] [--shots 300]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import MwpmDecoder, PlanarLattice, QecoolDecoder
+from repro.core.online import OnlineConfig
+from repro.experiments.montecarlo import run_batch_point, run_online_point
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--d", type=int, default=9, help="code distance")
+    parser.add_argument("--p", type=float, default=0.01, help="physical error rate")
+    parser.add_argument("--shots", type=int, default=300, help="trials per point")
+    args = parser.parse_args()
+
+    print(f"d = {args.d}, p = {args.p}, {args.shots} shots per point\n")
+
+    print("batch decoding (decode after d rounds + perfect round):")
+    for decoder in (QecoolDecoder(), MwpmDecoder()):
+        point = run_batch_point(decoder, args.d, args.p, args.shots, rng=1)
+        print(f"  {decoder.name:<8} p_L = {point.logical_rate}")
+
+    print("\nonline decoding (1 us measurement interval, thv=3, 7-bit Reg):")
+    for freq in (0.25e9, 0.5e9, 1.0e9, 2.0e9, None):
+        config = OnlineConfig(frequency_hz=freq)
+        point = run_online_point(args.d, args.p, args.shots, config, rng=2)
+        label = "unbounded" if freq is None else f"{freq / 1e9:.2f} GHz"
+        print(
+            f"  {label:<10} p_fail = {point.logical_rate.rate:.3e}"
+            f"  (overflow fraction {point.overflow_rate.rate:.3e})"
+        )
+    print(
+        "\nThe paper's Fig. 7 mechanism: below ~1 GHz the decoder falls"
+        "\nbehind the measurement cadence at large d, layers pile up in"
+        "\nthe 7-bit Reg, and overflow failures dominate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the `wheel` package.
+
+`pip install -e . --no-build-isolation` on this offline image needs the
+legacy `setup.py develop` path (PEP 660 editable installs require
+`wheel`, which is not installed).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""QECOOL reproduction (DAC 2021, arXiv:2103.14209).
+
+A production-quality Python reproduction of "QECOOL: On-Line Quantum
+Error Correction with a Superconducting Decoder for Surface Code":
+
+- :mod:`repro.surface_code` — planar surface-code substrate with
+  code-capacity and phenomenological noise,
+- :mod:`repro.core` — the QECOOL decoder: cycle-level spike-based
+  matching engine, batch facade, and the online (streaming) simulator,
+- :mod:`repro.decoders` — baselines: MWPM, Union-Find, greedy matching
+  and the AQEC (NISQ+) behavioural model,
+- :mod:`repro.sfq` — SFQ hardware model: cell library, pulse-level
+  netlist simulator, Unit microarchitecture roll-up, RSFQ/ERSFQ power,
+- :mod:`repro.experiments` — Monte-Carlo harness, threshold estimation,
+  and one generator per table/figure of the paper.
+
+Quickstart::
+
+    from repro import PlanarLattice, QecoolDecoder, SyndromeHistory
+    from repro.surface_code import sample_phenomenological
+    from repro.surface_code.logical import logical_failure
+
+    lattice = PlanarLattice(d=5)
+    data, meas = sample_phenomenological(lattice, p=0.005, n_rounds=5, rng=7)
+    history = SyndromeHistory.run(lattice, data, meas)
+    result = QecoolDecoder().decode(lattice, history.events)
+    print(logical_failure(lattice, history.final_error, result.correction))
+"""
+
+from repro.core import (
+    OnlineConfig,
+    OnlineOutcome,
+    QecoolDecoder,
+    QecoolEngine,
+    SlidingWindowDecoder,
+    run_online_trial,
+)
+from repro.decoders import (
+    AqecDecoder,
+    DecodeResult,
+    Decoder,
+    GreedyMatchingDecoder,
+    Match,
+    MaximumLikelihoodDecoder,
+    MwpmDecoder,
+    UnionFindDecoder,
+)
+from repro.surface_code import (
+    PlanarLattice,
+    SyndromeHistory,
+    logical_failure,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AqecDecoder",
+    "DecodeResult",
+    "Decoder",
+    "GreedyMatchingDecoder",
+    "Match",
+    "MwpmDecoder",
+    "OnlineConfig",
+    "OnlineOutcome",
+    "PlanarLattice",
+    "QecoolDecoder",
+    "MaximumLikelihoodDecoder",
+    "QecoolEngine",
+    "SlidingWindowDecoder",
+    "SyndromeHistory",
+    "UnionFindDecoder",
+    "__version__",
+    "logical_failure",
+    "run_online_trial",
+]

@@ -1,0 +1,11 @@
+"""``python -m repro`` — regenerate the paper's tables and figures.
+
+Thin alias for :mod:`repro.experiments.runner`; see its ``--help``.
+"""
+
+import sys
+
+from repro.experiments.runner import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""QECOOL: the paper's primary contribution.
+
+- :mod:`repro.core.spike` — spike routing, arrival times and race-logic
+  priority (Algorithm 1's ``SPIKE`` procedure and the Prioritization
+  module),
+- :mod:`repro.core.engine` — the cycle-level behavioural machine: Units
+  with ``Reg`` queues, Row Masters, Boundary Units and the Controller's
+  growing-timeout token scan,
+- :mod:`repro.core.decoder` — :class:`QecoolDecoder`, the batch/2-D
+  decoder facade implementing the common :class:`repro.decoders.base.Decoder`
+  interface ("batch-QECOOL" in the paper),
+- :mod:`repro.core.online` — the online-QEC simulator: 1 us measurement
+  cadence against a finite decoder clock, 7-bit ``Reg`` overflow
+  semantics (Fig. 7),
+- :mod:`repro.core.reference` — an independent, deliberately naive
+  re-implementation of the same greedy policy used to cross-validate the
+  optimised engine.
+"""
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.engine import IDLE, QecoolEngine
+from repro.core.online import OnlineConfig, OnlineOutcome, run_online_trial
+from repro.core.reference import reference_greedy_matching
+from repro.core.window import SlidingWindowDecoder
+from repro.core.spike import (
+    PRIORITY_INTERNAL,
+    SpikeCandidate,
+    boundary_candidate,
+    incoming_port,
+    pair_candidate,
+    vertical_candidate,
+)
+
+__all__ = [
+    "IDLE",
+    "OnlineConfig",
+    "OnlineOutcome",
+    "PRIORITY_INTERNAL",
+    "QecoolDecoder",
+    "QecoolEngine",
+    "SlidingWindowDecoder",
+    "SpikeCandidate",
+    "boundary_candidate",
+    "incoming_port",
+    "pair_candidate",
+    "reference_greedy_matching",
+    "run_online_trial",
+    "vertical_candidate",
+]

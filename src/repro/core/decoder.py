@@ -1,0 +1,58 @@
+"""Batch/2-D decoder facade over the QECOOL engine.
+
+``QecoolDecoder`` implements the package-wide
+:class:`repro.decoders.base.Decoder` interface so it can be swapped
+against the MWPM / Union-Find / greedy baselines in every experiment:
+
+- ``thv=-1`` with an event stack of ``d + 1`` layers is the paper's
+  **batch-QECOOL** (Fig. 4),
+- a single-layer stack is the **2-D** decoder used for Table IV's 2-D
+  threshold column.
+
+The online decoder, which interleaves decoding with measurement arrivals
+under a finite clock, lives in :mod:`repro.core.online`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.engine import QecoolEngine
+from repro.decoders.base import DecodeResult, Decoder, correction_from_matches
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["QecoolDecoder"]
+
+
+class QecoolDecoder(Decoder):
+    """Spike-based greedy matching decoder (batch mode).
+
+    Parameters
+    ----------
+    thv:
+        Vertical look-ahead threshold handed to the engine; ``-1``
+        (default) is the paper's batch configuration.
+    nlimit:
+        Optional cap on the Controller's growing hop budget.
+    """
+
+    name = "qecool"
+
+    def __init__(self, thv: int = -1, nlimit: int | None = None):
+        self.thv = thv
+        self.nlimit = nlimit
+
+    def decode(self, lattice: PlanarLattice, events: np.ndarray) -> DecodeResult:
+        events = np.asarray(events, dtype=np.uint8)
+        if events.ndim == 1:
+            events = events[None, :]
+        engine = QecoolEngine(lattice, thv=self.thv, nlimit=self.nlimit)
+        for row in events:
+            engine.push_layer(row)
+        engine.decode_loaded()
+        return DecodeResult(
+            matches=engine.matches,
+            correction=correction_from_matches(lattice, engine.matches),
+            cycles=engine.cycles,
+            layer_cycles=list(engine.layer_cycles),
+        )

@@ -1,0 +1,157 @@
+"""Online-QEC simulation: streaming decode under a finite decoder clock.
+
+This drives the experiment of Section V-B / Fig. 7.  Every measurement
+interval (1 us in the paper) a new syndrome layer arrives; the decoder,
+clocked at ``frequency_hz``, gets ``frequency_hz * interval`` execution
+cycles between arrivals.  Detection events are pushed into the Units'
+7-bit ``Reg`` queues; if a layer arrives while the queue is full the
+trial is an **overflow failure** ("If Reg overflows because of the slow
+QEC performance, the trial is considered as a failure").
+
+Corrections are applied *physically* to the data qubits between rounds —
+that is the point of online-QEC — and the decoder compensates its own
+corrections out of the next round's detection events (the ``sendSyndrome``
+feedback path of Algorithm 1): the event layer pushed for round ``t`` is
+
+    raw_syndrome(t) XOR raw_syndrome(t-1) XOR H . corrections(t-1 -> t)
+
+After the last noisy round a final perfectly-measured round is appended
+and the engine drains (``thv`` wait lifted); the trial is a logical
+failure if the residual error crosses the west-east cut.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.engine import IDLE, QecoolEngine
+from repro.decoders.base import Match, correction_from_matches
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import PhenomenologicalNoise
+from repro.util.rng import make_rng
+
+__all__ = ["OnlineConfig", "OnlineOutcome", "run_online_trial"]
+
+
+@dataclass(frozen=True)
+class OnlineConfig:
+    """Operating point of the online decoder.
+
+    ``frequency_hz=None`` models an unconstrained clock (used for
+    Table III, which measures cycles per layer rather than real-time
+    feasibility).
+    """
+
+    frequency_hz: float | None = 2.0e9
+    measurement_interval_s: float = 1.0e-6
+    thv: int = 3
+    reg_size: int = 7
+
+    @property
+    def cycles_per_interval(self) -> float:
+        """Decoder cycles available between measurement arrivals."""
+        if self.frequency_hz is None:
+            return math.inf
+        return self.frequency_hz * self.measurement_interval_s
+
+
+@dataclass
+class OnlineOutcome:
+    """Result of one online trial."""
+
+    failed: bool
+    overflow: bool
+    layer_cycles: list[int] = field(default_factory=list)
+    matches: list[Match] = field(default_factory=list)
+    n_rounds: int = 0
+
+    @property
+    def logical_failed(self) -> bool:
+        """Failure excluding overflow (pure matching-quality failures)."""
+        return self.failed and not self.overflow
+
+
+def run_online_trial(
+    lattice: PlanarLattice,
+    p: float,
+    n_rounds: int,
+    config: OnlineConfig = OnlineConfig(),
+    rng: np.random.Generator | int | None = None,
+    q: float | None = None,
+) -> OnlineOutcome:
+    """Run one online-QEC trial of ``n_rounds`` noisy measurement rounds.
+
+    Returns an :class:`OnlineOutcome`; ``failed`` is True on Reg overflow
+    or on a residual logical error after the final drain.
+    """
+    if n_rounds < 1:
+        raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+    rng = make_rng(rng)
+    noise = PhenomenologicalNoise(p, q)
+    engine = QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
+    gen = engine.run(drain=False)
+    budget = config.cycles_per_interval
+
+    error = np.zeros(lattice.n_data, dtype=np.uint8)
+    prev_raw = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+    compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+    wall = 0.0  # decoder-cycle wall clock
+    consumed_matches = 0
+
+    for k in range(n_rounds + 1):
+        final_round = k == n_rounds
+        if final_round:
+            raw = lattice.syndrome_of(error)
+        else:
+            data_flips, meas_flips = noise.sample_round(lattice, rng)
+            error ^= data_flips
+            raw = lattice.syndrome_of(error) ^ meas_flips
+        events_row = raw ^ prev_raw ^ compensation
+        prev_raw = raw
+        compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+
+        if not engine.push_layer(events_row):
+            return OnlineOutcome(
+                failed=True,
+                overflow=True,
+                layer_cycles=list(engine.layer_cycles),
+                matches=list(engine.matches),
+                n_rounds=k,
+            )
+
+        if math.isinf(budget):
+            arrival, deadline = 0.0, math.inf
+        else:
+            arrival, deadline = k * budget, (k + 1) * budget
+        wall = max(wall, arrival)
+        if final_round:
+            engine.begin_drain()
+            deadline = math.inf
+        for chunk in gen:
+            if chunk == IDLE:
+                break
+            wall += chunk
+            if wall >= deadline:
+                break
+        # Apply the window's corrections physically before the next round.
+        new_matches = engine.matches[consumed_matches:]
+        consumed_matches = len(engine.matches)
+        if new_matches:
+            window_correction = correction_from_matches(lattice, new_matches)
+            error ^= window_correction
+            compensation = lattice.syndrome_of(window_correction)
+
+    failed = logical_failure(
+        lattice, error, np.zeros(lattice.n_data, dtype=np.uint8)
+    )
+    return OnlineOutcome(
+        failed=failed,
+        overflow=False,
+        layer_cycles=list(engine.layer_cycles),
+        matches=list(engine.matches),
+        n_rounds=n_rounds,
+    )

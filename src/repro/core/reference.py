@@ -1,0 +1,138 @@
+"""Independent reference implementation of the QECOOL matching policy.
+
+This module re-implements Algorithm 1's matching semantics in the most
+literal, unoptimised way possible — explicit per-Unit event lists, full
+Controller sweeps with no analytic shortcuts, winners recomputed from
+scratch — so the property-based tests can assert that the optimised
+engine (:mod:`repro.core.engine`, bitmasks + sweep skipping) makes
+*exactly* the same matching decisions on arbitrary inputs.
+
+It intentionally shares only the spike arithmetic helpers
+(:mod:`repro.core.spike`); control flow and state are kept separate so a
+bug in the engine's optimisations cannot hide here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.spike import (
+    SpikeCandidate,
+    boundary_candidate,
+    pair_candidate,
+    vertical_candidate,
+)
+from repro.decoders.base import BOUNDARY_EAST, BOUNDARY_WEST, Match
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["reference_greedy_matching"]
+
+
+def reference_greedy_matching(
+    lattice: PlanarLattice,
+    events: np.ndarray,
+    thv: int = -1,
+    nlimit: int | None = None,
+) -> list[Match]:
+    """Decode an event stack with the naive QECOOL policy; return matches.
+
+    Mirrors the engine's drain-mode behaviour: pops (with Controller
+    restart) when the oldest layer clears, growing hop budget, row-major
+    token order, race-key winner selection.
+    """
+    events = np.asarray(events, dtype=np.uint8)
+    if events.ndim == 1:
+        events = events[None, :]
+    n_layers = events.shape[0]
+    if events.shape[1] != lattice.n_ancillas:
+        raise ValueError("events have the wrong width")
+    if nlimit is None:
+        nlimit = lattice.rows + lattice.cols + n_layers + 2
+
+    # reg[(r, c)] = sorted list of relative depths holding events.
+    reg: dict[tuple[int, int], list[int]] = {
+        (r, c): [] for r in range(lattice.rows) for c in range(lattice.cols)
+    }
+    for t in range(n_layers):
+        for a in np.flatnonzero(events[t]):
+            r, c = lattice.ancilla_coords(int(a))
+            reg[(r, c)].append(t)
+    m = n_layers
+    popped = 0
+    matches: list[Match] = []
+
+    def first_at_or_above(unit: tuple[int, int], b: int) -> int | None:
+        for t in reg[unit]:
+            if t >= b:
+                return t
+        return None
+
+    def winner_for(sink: tuple[int, int], b: int) -> SpikeCandidate:
+        best = boundary_candidate(lattice, sink)
+        own_higher = [t for t in reg[sink] if t > b]
+        if own_higher:
+            cand = vertical_candidate(own_higher[0] - b)
+            if cand.key < best.key:
+                best = cand
+        for unit, depths in reg.items():
+            if unit == sink or not depths:
+                continue
+            t = first_at_or_above(unit, b)
+            if t is None:
+                continue
+            cand = pair_candidate(lattice, sink, unit, t - b)
+            if cand.key < best.key:
+                best = cand
+        return best
+
+    while True:
+        # Pop cleared oldest layers (Controller restarts after a shift).
+        while m > 0 and not any(depths and depths[0] == 0 for depths in reg.values()):
+            for depths in reg.values():
+                depths[:] = [t - 1 for t in depths]
+            m -= 1
+            popped += 1
+        if m == 0:
+            return matches
+        made_progress = False
+        for budget in range(1, nlimit + 1):
+            restart = False
+            for b in range(m):
+                for r in range(lattice.rows):
+                    for c in range(lattice.cols):
+                        sink = (r, c)
+                        if b not in reg[sink]:
+                            continue
+                        win = winner_for(sink, b)
+                        if win.hops > budget:
+                            continue
+                        made_progress = True
+                        reg[sink].remove(b)
+                        t_abs = popped + b
+                        if win.kind == "boundary":
+                            side = BOUNDARY_WEST if win.side == "west" else BOUNDARY_EAST
+                            matches.append(Match("boundary", (r, c, t_abs), side=side))
+                        elif win.kind == "vertical":
+                            t2 = b + win.t_rel
+                            reg[sink].remove(t2)
+                            matches.append(
+                                Match("pair", (r, c, t_abs), (r, c, popped + t2))
+                            )
+                        else:
+                            r2, c2 = win.source
+                            t2 = b + win.t_rel
+                            reg[(r2, c2)].remove(t2)
+                            matches.append(
+                                Match("pair", (r, c, t_abs), (r2, c2, popped + t2))
+                            )
+                # Shift check after each base-depth sub-sweep.
+                if m > 0 and not any(
+                    depths and depths[0] == 0 for depths in reg.values()
+                ):
+                    restart = True
+                    break
+            if restart:
+                break
+        else:
+            if not made_progress:
+                raise RuntimeError("reference matcher stalled — policy bug")

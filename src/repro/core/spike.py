@@ -1,0 +1,148 @@
+"""Spike routing, arrival times and race-logic priority.
+
+Algorithm 1's ``SPIKE`` procedure routes a spike vertically to the sink's
+row (``currentRow``) and then horizontally toward the sink, steering off
+each intermediate Unit's ``FlagToken`` (whether the token already passed
+it this scan).  Because the token scan is row-major, the flags of all
+Units jointly point at the token holder, so every spike converges on the
+sink and its arrival time equals the 2-D Manhattan distance in unit hops.
+
+In the sink's depth scan (``t = b .. Ndepth``), a source whose event sits
+``dt`` layers above the base adds ``dt`` wait windows, so the race metric
+is the full 3-D Manhattan distance — see DESIGN.md section 4.
+
+The Prioritization module breaks simultaneous arrivals with race logic;
+we fix the priority order deterministically as
+
+    internal (vertical self-match)  >  North  >  East  >  South  >  West
+
+and the Boundary Units answer with a half-cycle extra delay so that
+normal Units win exact ties (the paper's footnote 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = [
+    "BOUNDARY_DELAY",
+    "PRIORITY_EAST",
+    "PRIORITY_INTERNAL",
+    "PRIORITY_NORTH",
+    "PRIORITY_SOUTH",
+    "PRIORITY_WEST",
+    "SpikeCandidate",
+    "boundary_candidate",
+    "incoming_port",
+    "pair_candidate",
+    "vertical_candidate",
+]
+
+PRIORITY_INTERNAL = 0
+PRIORITY_NORTH = 1
+PRIORITY_EAST = 2
+PRIORITY_SOUTH = 3
+PRIORITY_WEST = 4
+
+BOUNDARY_DELAY = 0.5
+"""Extra (sub-cycle) delay of Boundary Unit spikes, for tie-breaking only."""
+
+
+def incoming_port(sink: tuple[int, int], source: tuple[int, int]) -> int:
+    """Priority rank of the port a spike from ``source`` arrives on.
+
+    Routing is vertical-first, horizontal-last, so a source in a
+    different column arrives horizontally (east/west port) and a source
+    in the same column arrives vertically (north/south port).
+    """
+    (r, c), (r2, c2) = sink, source
+    if (r, c) == (r2, c2):
+        return PRIORITY_INTERNAL
+    if c2 > c:
+        return PRIORITY_EAST
+    if c2 < c:
+        return PRIORITY_WEST
+    return PRIORITY_NORTH if r2 < r else PRIORITY_SOUTH
+
+
+@dataclass(frozen=True)
+class SpikeCandidate:
+    """One spike the sink may receive, with its race key.
+
+    ``arrival`` is the (possibly fractional, for boundary delay) race
+    time; ``hops`` is the integer hop budget the Controller's timeout
+    must allow for the match to complete.  ``key`` orders candidates the
+    way the race logic does: earliest arrival first, then port priority,
+    then shallower source depth, then row-major source order.
+    """
+
+    kind: str  # "pair" | "vertical" | "boundary"
+    arrival: float
+    hops: int
+    port: int
+    t_rel: int
+    source: tuple[int, int] | None = None
+    side: str | None = None
+
+    @property
+    def key(self) -> tuple[float, int, int, tuple[int, int]]:
+        """Deterministic race-resolution sort key."""
+        return (self.arrival, self.port, self.t_rel, self.source or (-1, -1))
+
+
+def pair_candidate(
+    lattice: PlanarLattice,
+    sink: tuple[int, int],
+    source: tuple[int, int],
+    t_rel: int,
+) -> SpikeCandidate:
+    """Spike from another Unit whose first event at/above the base sits
+    ``t_rel`` layers above it."""
+    dist = lattice.manhattan(sink, source)
+    arrival = t_rel + dist
+    return SpikeCandidate(
+        kind="pair",
+        arrival=float(arrival),
+        hops=arrival,
+        port=incoming_port(sink, source),
+        t_rel=t_rel,
+        source=source,
+    )
+
+
+def vertical_candidate(t_rel: int) -> SpikeCandidate:
+    """The sink's own later event ``t_rel`` layers above the base — a
+    measurement-error self-match, detected in the depth scan with no
+    spatial travel."""
+    if t_rel <= 0:
+        raise ValueError(f"vertical candidate needs t_rel >= 1, got {t_rel}")
+    return SpikeCandidate(
+        kind="vertical",
+        arrival=float(t_rel),
+        hops=t_rel,
+        port=PRIORITY_INTERNAL,
+        t_rel=t_rel,
+        source=None,
+    )
+
+
+def boundary_candidate(lattice: PlanarLattice, sink: tuple[int, int]) -> SpikeCandidate:
+    """Spike from the nearest Boundary Unit (ties go west, fixed)."""
+    r, c = sink
+    west = lattice.west_distance(c)
+    east = lattice.east_distance(c)
+    if west <= east:
+        side, dist, port = "west", west, PRIORITY_WEST
+    else:
+        side, dist, port = "east", east, PRIORITY_EAST
+    return SpikeCandidate(
+        kind="boundary",
+        arrival=dist + BOUNDARY_DELAY,
+        hops=dist,
+        port=port,
+        t_rel=0,
+        source=None,
+        side=side,
+    )

@@ -1,0 +1,50 @@
+"""Decoder framework and baseline decoders.
+
+- :mod:`repro.decoders.base` — shared types (:class:`Match`,
+  :class:`DecodeResult`, the :class:`Decoder` interface) and the
+  match-to-correction projection used by every decoder,
+- :mod:`repro.decoders.mwpm` — minimum-weight perfect matching baseline,
+- :mod:`repro.decoders.union_find` — Union-Find decoder
+  (Delfosse–Nickerson) baseline,
+- :mod:`repro.decoders.greedy` — Drake–Hougardy greedy matching, the
+  approximation QECOOL's spike policy is inspired by,
+- :mod:`repro.decoders.aqec` — behavioural model of the AQEC (NISQ+)
+  agreement decoder used in Tables IV and V,
+- :mod:`repro.decoders.exact` — brute-force optimal matching for tests.
+"""
+
+from repro.decoders.aqec import AqecDecoder
+from repro.decoders.base import (
+    BOUNDARY_EAST,
+    BOUNDARY_WEST,
+    DecodeResult,
+    Decoder,
+    Match,
+    correction_from_matches,
+    defects_of,
+    match_weight,
+    total_weight,
+)
+from repro.decoders.exact import brute_force_matching
+from repro.decoders.greedy import GreedyMatchingDecoder
+from repro.decoders.ml import MaximumLikelihoodDecoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.decoders.union_find import UnionFindDecoder
+
+__all__ = [
+    "AqecDecoder",
+    "BOUNDARY_EAST",
+    "BOUNDARY_WEST",
+    "DecodeResult",
+    "Decoder",
+    "GreedyMatchingDecoder",
+    "Match",
+    "MaximumLikelihoodDecoder",
+    "MwpmDecoder",
+    "UnionFindDecoder",
+    "brute_force_matching",
+    "correction_from_matches",
+    "defects_of",
+    "match_weight",
+    "total_weight",
+]

@@ -1,0 +1,188 @@
+"""Shared decoder types and the match-to-correction projection.
+
+All decoders in this package — QECOOL and the baselines — consume a stack
+of detection events over the 3-D (row, column, time) lattice and produce a
+set of :class:`Match` objects.  Matches project onto data-qubit
+corrections in the standard way:
+
+- a **pair** match between defects at ``(r1, c1, t1)`` and ``(r2, c2, t2)``
+  flips the data qubits on an L-shaped spatial path between the two
+  ancillas (the temporal component is a measurement error and needs no
+  data correction),
+- a **boundary** match flips the data qubits from the ancilla to the named
+  (west/east) boundary.
+
+The 3-D weight of a match is its Manhattan length: spatial hops plus
+temporal hops, each costing 1 — the metric of the paper's spike race.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = [
+    "BOUNDARY_EAST",
+    "BOUNDARY_WEST",
+    "Coord",
+    "DecodeResult",
+    "Decoder",
+    "Match",
+    "correction_from_matches",
+    "defects_of",
+    "match_weight",
+    "total_weight",
+]
+
+Coord = tuple[int, int, int]
+"""Defect coordinate ``(row, column, time-layer)``."""
+
+BOUNDARY_WEST = "west"
+BOUNDARY_EAST = "east"
+
+
+@dataclass(frozen=True)
+class Match:
+    """One matching decision.
+
+    ``kind`` is ``"pair"`` (two defects) or ``"boundary"`` (one defect
+    matched to the west or east boundary).  For boundary matches ``b`` is
+    ``None`` and ``side`` names the boundary.
+    """
+
+    kind: str
+    a: Coord
+    b: Coord | None = None
+    side: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind == "pair":
+            if self.b is None or self.side is not None:
+                raise ValueError("pair match needs b and no side")
+        elif self.kind == "boundary":
+            if self.b is not None or self.side not in (BOUNDARY_WEST, BOUNDARY_EAST):
+                raise ValueError("boundary match needs side and no b")
+        else:
+            raise ValueError(f"unknown match kind {self.kind!r}")
+
+    @property
+    def vertical_extent(self) -> int:
+        """Temporal span of the match (0 for boundary matches).
+
+        Fig. 4(b) reports the proportion of matches whose vertical extent
+        is >= 3 planes.
+        """
+        if self.kind != "pair":
+            return 0
+        return abs(self.a[2] - self.b[2])
+
+    def endpoints(self) -> list[Coord]:
+        """The defect coordinates this match consumes."""
+        return [self.a] if self.b is None else [self.a, self.b]
+
+
+def match_weight(lattice: PlanarLattice, match: Match) -> int:
+    """3-D Manhattan weight of a match."""
+    r1, c1, t1 = match.a
+    if match.kind == "boundary":
+        if match.side == BOUNDARY_WEST:
+            return lattice.west_distance(c1)
+        return lattice.east_distance(c1)
+    r2, c2, t2 = match.b
+    return abs(r1 - r2) + abs(c1 - c2) + abs(t1 - t2)
+
+
+def total_weight(lattice: PlanarLattice, matches: list[Match]) -> int:
+    """Total 3-D Manhattan weight of a matching."""
+    return sum(match_weight(lattice, m) for m in matches)
+
+
+def correction_from_matches(lattice: PlanarLattice, matches: list[Match]) -> np.ndarray:
+    """Project matches onto a data-qubit correction vector.
+
+    The temporal component of pair matches is dropped (measurement errors
+    need no data correction); the spatial component follows the same
+    L-shaped routing the spike/syndrome signals take in hardware.
+    """
+    correction = np.zeros(lattice.n_data, dtype=np.uint8)
+    for match in matches:
+        r1, c1, _ = match.a
+        if match.kind == "boundary":
+            path = lattice.boundary_path(r1, c1, match.side)
+        else:
+            r2, c2, _ = match.b
+            path = lattice.pair_path((r1, c1), (r2, c2))
+        for q in path:
+            correction[q] ^= 1
+    return correction
+
+
+def defects_of(events: np.ndarray, lattice: PlanarLattice) -> list[Coord]:
+    """Defect coordinates of an event stack, in time-major scan order."""
+    events = np.asarray(events, dtype=np.uint8)
+    if events.ndim == 1:
+        events = events[None, :]
+    if events.shape[1] != lattice.n_ancillas:
+        raise ValueError(
+            f"events last dim must be {lattice.n_ancillas}, got {events.shape[1]}"
+        )
+    out: list[Coord] = []
+    for t in range(events.shape[0]):
+        for a in np.flatnonzero(events[t]):
+            r, c = lattice.ancilla_coords(int(a))
+            out.append((r, c, t))
+    return out
+
+
+@dataclass
+class DecodeResult:
+    """Output of one decode call.
+
+    Attributes
+    ----------
+    matches:
+        The matching decisions.
+    correction:
+        Data-qubit correction vector (length ``n_data``).
+    cycles:
+        Total decoder execution cycles, when the decoder models them
+        (QECOOL engine); 0 otherwise.
+    layer_cycles:
+        Per-layer execution cycle counts (Table III's population), when
+        modelled.
+    """
+
+    matches: list[Match]
+    correction: np.ndarray
+    cycles: int = 0
+    layer_cycles: list[int] = field(default_factory=list)
+
+    @property
+    def n_matches(self) -> int:
+        """Number of matching decisions made."""
+        return len(self.matches)
+
+
+class Decoder(ABC):
+    """Interface every decoder implements.
+
+    ``decode(lattice, events)`` takes a ``(n_layers, n_ancillas)`` stack
+    of detection events (a single layer may be passed as a 1-D vector for
+    the 2-D / code-capacity setting) and returns a :class:`DecodeResult`
+    whose correction's syndrome, XORed over layers, equals the total
+    event parity per ancilla — i.e. a *valid* correction.
+    """
+
+    name = "decoder"
+
+    @abstractmethod
+    def decode(self, lattice: PlanarLattice, events: np.ndarray) -> DecodeResult:
+        """Decode an event stack into matches and a correction."""
+
+    def decode_code_capacity(self, lattice: PlanarLattice, syndrome: np.ndarray) -> DecodeResult:
+        """Decode a single perfectly-measured syndrome (2-D setting)."""
+        return self.decode(lattice, np.asarray(syndrome, dtype=np.uint8)[None, :])

@@ -1,0 +1,78 @@
+"""Brute-force optimal matching, for validating MWPM on small instances.
+
+Enumerates every way to partition a defect set into pairs and boundary
+matches and returns a minimum-total-weight solution.  Exponential — only
+use with at most ~10 defects (tests and cross-checks).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.decoders.base import (
+    BOUNDARY_EAST,
+    BOUNDARY_WEST,
+    Coord,
+    Match,
+)
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["brute_force_matching"]
+
+_MAX_DEFECTS = 14
+
+
+def brute_force_matching(
+    lattice: PlanarLattice, defects: list[Coord]
+) -> tuple[float, list[Match]]:
+    """Optimal (minimum total 3-D Manhattan weight) matching of ``defects``.
+
+    Every defect is matched either to another defect or to its nearer
+    (west/east) boundary.  Returns ``(total_weight, matches)``.
+    """
+    if len(defects) > _MAX_DEFECTS:
+        raise ValueError(
+            f"brute force limited to {_MAX_DEFECTS} defects, got {len(defects)}"
+        )
+    defects = list(defects)
+
+    def pair_weight(i: int, j: int) -> int:
+        (r1, c1, t1), (r2, c2, t2) = defects[i], defects[j]
+        return abs(r1 - r2) + abs(c1 - c2) + abs(t1 - t2)
+
+    def boundary_choice(i: int) -> tuple[int, str]:
+        _, c, _ = defects[i]
+        west = lattice.west_distance(c)
+        east = lattice.east_distance(c)
+        if west <= east:
+            return west, BOUNDARY_WEST
+        return east, BOUNDARY_EAST
+
+    @lru_cache(maxsize=None)
+    def solve(remaining: frozenset[int]) -> tuple[float, tuple[tuple[str, int, int | None], ...]]:
+        if not remaining:
+            return 0.0, ()
+        rest = sorted(remaining)
+        first = rest[0]
+        # Option: boundary.
+        b_weight, _ = boundary_choice(first)
+        best_w, best_plan = solve(remaining - {first})
+        best = (b_weight + best_w, (("boundary", first, None),) + best_plan)
+        # Option: pair with any other remaining defect.
+        for j in rest[1:]:
+            sub_w, sub_plan = solve(remaining - {first, j})
+            cand = (pair_weight(first, j) + sub_w, (("pair", first, j),) + sub_plan)
+            if cand[0] < best[0]:
+                best = cand
+        return best
+
+    weight, plan = solve(frozenset(range(len(defects))))
+    solve.cache_clear()
+    matches: list[Match] = []
+    for kind, i, j in plan:
+        if kind == "pair":
+            matches.append(Match("pair", defects[i], defects[j]))
+        else:
+            _, side = boundary_choice(i)
+            matches.append(Match("boundary", defects[i], side=side))
+    return weight, matches

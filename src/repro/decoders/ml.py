@@ -1,0 +1,120 @@
+"""Exact maximum-likelihood decoder for tiny codes (test oracle).
+
+For a single perfectly-measured round, the optimal decoder picks the
+logical class (trivial vs logical) whose total probability over all
+consistent error patterns is larger.  That sum is tractable only for
+tiny lattices — we enumerate all ``2^n_data`` patterns once per
+distance, bucket them by (syndrome, logical-cut parity), and cache the
+class weights as polynomial coefficients in the error count, so any
+``p`` evaluates instantly.
+
+Use: an upper bound on every matching decoder's 2-D accuracy in tests
+(nothing may beat maximum likelihood), and a measure of how far QECOOL's
+greedy matching sits from the information-theoretic optimum at d = 3.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.decoders.base import DecodeResult, Decoder
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["MaximumLikelihoodDecoder"]
+
+_MAX_DATA_QUBITS = 16  # 2^16 patterns; d=3 has 13 data qubits
+
+
+@lru_cache(maxsize=4)
+def _class_tables(d: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-syndrome class data for distance ``d``.
+
+    Returns ``(weights0, weights1, representative)`` where
+    ``weights{k}[s, w]`` counts error patterns of Hamming weight ``w``
+    with syndrome ``s`` and cut parity ``k``, and ``representative[s]``
+    is the lowest-weight pattern index for syndrome ``s`` with parity 0
+    (or parity 1 if no parity-0 pattern is lighter — the actual choice
+    is made per ``p`` at decode time).
+    """
+    lattice = PlanarLattice(d)
+    n = lattice.n_data
+    if n > _MAX_DATA_QUBITS:
+        raise ValueError(
+            f"maximum-likelihood enumeration infeasible for d={d}"
+            f" ({n} data qubits > {_MAX_DATA_QUBITS})"
+        )
+    n_syndromes = 1 << lattice.n_ancillas
+    weights = np.zeros((2, n_syndromes, n + 1), dtype=np.float64)
+    best = np.full((2, n_syndromes), -1, dtype=np.int64)
+    best_weight = np.full((2, n_syndromes), n + 1, dtype=np.int64)
+
+    h = lattice.parity_matrix
+    syndrome_bits = np.array(
+        [int("".join(map(str, h[:, q][::-1])), 2) for q in range(n)],
+        dtype=np.int64,
+    )
+    cut_bits = lattice.logical_cut.astype(np.int64)
+
+    # Gray-code enumeration: each step flips one qubit.
+    pattern = 0
+    syndrome = 0
+    parity = 0
+    weight = 0
+    weights[0, 0, 0] += 1
+    best[0, 0] = 0
+    best_weight[0, 0] = 0
+    for i in range(1, 1 << n):
+        q = (i & -i).bit_length() - 1
+        pattern ^= 1 << q
+        syndrome ^= int(syndrome_bits[q])
+        parity ^= int(cut_bits[q])
+        weight += 1 if (pattern >> q) & 1 else -1
+        weights[parity, syndrome, weight] += 1
+        if weight < best_weight[parity, syndrome]:
+            best_weight[parity, syndrome] = weight
+            best[parity, syndrome] = pattern
+    return weights, best, best_weight
+
+
+class MaximumLikelihoodDecoder(Decoder):
+    """Exact ML decoder for single-round (code-capacity) decoding, d <= 3.
+
+    ``decode`` accepts only a single layer; the 3-D setting is out of
+    enumeration reach and raises.
+    """
+
+    name = "maximum-likelihood"
+
+    def __init__(self, p: float = 0.05):
+        if not 0.0 < p < 0.5:
+            raise ValueError(f"p must be in (0, 0.5), got {p}")
+        self.p = p
+
+    def decode(self, lattice: PlanarLattice, events: np.ndarray) -> DecodeResult:
+        events = np.asarray(events, dtype=np.uint8)
+        if events.ndim == 2:
+            if events.shape[0] != 1:
+                raise ValueError("ML decoder handles a single layer only")
+            events = events[0]
+        weights, best, best_weight = _class_tables(lattice.d)
+        syndrome = 0
+        for a in np.flatnonzero(events):
+            syndrome |= 1 << int(a)
+        n = lattice.n_data
+        powers = np.array(
+            [self.p ** w * (1 - self.p) ** (n - w) for w in range(n + 1)]
+        )
+        likelihood = weights[:, syndrome, :] @ powers
+        parity = int(np.argmax(likelihood))
+        if best[parity, syndrome] < 0:
+            # No pattern of this parity matches the syndrome (cannot
+            # happen for valid syndromes of a connected code, but guard).
+            parity ^= 1
+        pattern = int(best[parity, syndrome])
+        correction = np.zeros(n, dtype=np.uint8)
+        for q in range(n):
+            if (pattern >> q) & 1:
+                correction[q] = 1
+        return DecodeResult(matches=[], correction=correction)

@@ -1,0 +1,40 @@
+"""Experiment harness: one generator per table and figure of the paper.
+
+- :mod:`repro.experiments.montecarlo` — shot runners for batch and
+  online decoding with Wilson-interval bookkeeping,
+- :mod:`repro.experiments.threshold` — accuracy-threshold (p_th)
+  estimation from logical-error-rate curves,
+- :mod:`repro.experiments.fig4` — Fig. 4(a) error-rate scaling of
+  batch-QECOOL vs MWPM and Fig. 4(b) vertical match propagation,
+- :mod:`repro.experiments.fig7` — Fig. 7 online-QEC at 500 MHz / 1 GHz /
+  2 GHz,
+- :mod:`repro.experiments.table3` — Table III per-layer execution cycles,
+- :mod:`repro.experiments.table4` — Table IV decoder threshold comparison,
+- :mod:`repro.experiments.table5` — Table V AQEC vs QECOOL system
+  comparison,
+- :mod:`repro.experiments.tables12` — Tables I and II (cell library and
+  Unit composition) plus the Section IV-B/V-C headline numbers,
+- :mod:`repro.experiments.runner` — command-line entry point
+  (``python -m repro.experiments.runner``).
+
+Every generator takes a ``shots`` budget so benchmarks can run reduced
+versions while ``examples/`` scripts reproduce the full sweeps.
+"""
+
+from repro.experiments.montecarlo import (
+    BatchPoint,
+    OnlinePoint,
+    run_batch_point,
+    run_code_capacity_point,
+    run_online_point,
+)
+from repro.experiments.threshold import estimate_threshold
+
+__all__ = [
+    "BatchPoint",
+    "OnlinePoint",
+    "estimate_threshold",
+    "run_batch_point",
+    "run_code_capacity_point",
+    "run_online_point",
+]

@@ -1,0 +1,125 @@
+"""Fig. 4: batch-QECOOL error-rate scaling and vertical match depth.
+
+Fig. 4(a) plots logical X error rate against physical error rate for
+batch-QECOOL (solid) and MWPM (dashed), d = 5..13, under the
+phenomenological noise model.  The paper reads off p_th ~ 1.5% for
+batch-QECOOL and ~3% for MWPM.
+
+Fig. 4(b) plots the proportion of matchings that propagate three or more
+planes in the vertical (temporal) direction — the evidence that
+``thv = 3`` look-ahead suffices for online decoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.decoder import QecoolDecoder
+from repro.decoders.base import Decoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.experiments.montecarlo import BatchPoint, run_batch_point
+from repro.experiments.threshold import ThresholdEstimate, estimate_threshold
+from repro.util.rng import spawn_rngs
+
+__all__ = [
+    "DEFAULT_DISTANCES",
+    "DEFAULT_PS",
+    "Fig4aResult",
+    "run_fig4a",
+    "run_fig4b",
+]
+
+DEFAULT_DISTANCES = (5, 7, 9, 11, 13)
+DEFAULT_PS = (0.003, 0.006, 0.01, 0.015, 0.02, 0.03, 0.05, 0.08)
+
+
+@dataclass
+class Fig4aResult:
+    """All series of Fig. 4(a): points and thresholds per decoder."""
+
+    points: dict[str, list[BatchPoint]] = field(default_factory=dict)
+
+    def curves(self, decoder: str) -> dict[int, list[tuple[float, float]]]:
+        """``{d: [(p, logical_rate), ...]}`` for one decoder's series."""
+        out: dict[int, list[tuple[float, float]]] = {}
+        for point in self.points.get(decoder, []):
+            out.setdefault(point.d, []).append((point.p, point.logical_rate.rate))
+        return out
+
+    def threshold(self, decoder: str) -> ThresholdEstimate:
+        """p_th estimate for one decoder's series."""
+        return estimate_threshold(self.curves(decoder))
+
+    def rows(self) -> list[str]:
+        """Human-readable table, one line per point."""
+        lines = ["decoder      d      p       p_L        (95% CI)          shots"]
+        for decoder, pts in self.points.items():
+            for pt in pts:
+                est = pt.logical_rate
+                low, high = est.interval
+                lines.append(
+                    f"{decoder:<11} {pt.d:>2}  {pt.p:<7.4f} {est.rate:<9.3e}"
+                    f" [{low:.2e}, {high:.2e}]  {pt.shots}"
+                )
+        return lines
+
+
+def _shots_for(p: float, base_shots: int) -> int:
+    """Scale shots down at high p where failures are plentiful."""
+    if p >= 0.05:
+        return max(20, base_shots // 4)
+    if p >= 0.02:
+        return max(40, base_shots // 2)
+    return base_shots
+
+
+def run_fig4a(
+    shots: int = 400,
+    distances: tuple[int, ...] = DEFAULT_DISTANCES,
+    ps: tuple[float, ...] = DEFAULT_PS,
+    decoders: tuple[Decoder, ...] | None = None,
+    seed: int = 2021,
+) -> Fig4aResult:
+    """Generate Fig. 4(a)'s series.
+
+    ``shots`` is the per-point budget at low p (scaled down where the
+    rate is high); the paper's smooth curves used far more — increase
+    for publication-quality thresholds (see
+    ``examples/threshold_study.py``).
+    """
+    if decoders is None:
+        decoders = (QecoolDecoder(), MwpmDecoder())
+    result = Fig4aResult()
+    jobs = [
+        (dec, d, p)
+        for dec in decoders
+        for d in distances
+        for p in ps
+    ]
+    rngs = spawn_rngs(seed, len(jobs))
+    for (dec, d, p), rng in zip(jobs, rngs):
+        point = run_batch_point(dec, d, p, _shots_for(p, shots), rng)
+        result.points.setdefault(dec.name, []).append(point)
+    return result
+
+
+def run_fig4b(
+    shots: int = 200,
+    d: int = 9,
+    ps: tuple[float, ...] = DEFAULT_PS,
+    seed: int = 42,
+    deep_threshold: int = 3,
+) -> list[BatchPoint]:
+    """Fig. 4(b): deep-vertical match proportion vs physical error rate.
+
+    Measured on batch-QECOOL (the paper's Section III-C setup) at one
+    distance; the proportion is essentially distance-independent.
+    """
+    rngs = spawn_rngs(seed, len(ps))
+    return [
+        run_batch_point(
+            QecoolDecoder(), d, p, _shots_for(p, shots), rng,
+            deep_threshold=deep_threshold,
+        )
+        for p, rng in zip(ps, rngs)
+    ]

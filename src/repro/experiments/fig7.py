@@ -1,0 +1,90 @@
+"""Fig. 7: online-QEC accuracy at 500 MHz, 1 GHz and 2 GHz.
+
+The online decoder (7-bit ``Reg``, ``thv = 3``, measurements every 1 us)
+is swept over code distances and physical error rates at three decoder
+clock frequencies.  Slow clocks starve the decoder: layers back up in
+the ``Reg`` queue until it overflows, which the paper counts as a trial
+failure — visible as the error-rate curves lifting off at large ``d``
+in Fig. 7(a)/(b).  At 2 GHz the paper reads off p_th ~ 1.0%.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.online import OnlineConfig
+from repro.experiments.montecarlo import OnlinePoint, run_online_point
+from repro.experiments.threshold import ThresholdEstimate, estimate_threshold
+from repro.util.rng import spawn_rngs
+
+__all__ = [
+    "DEFAULT_FREQUENCIES",
+    "Fig7Result",
+    "run_fig7",
+]
+
+DEFAULT_FREQUENCIES = (0.5e9, 1.0e9, 2.0e9)
+DEFAULT_DISTANCES = (5, 7, 9, 11, 13)
+DEFAULT_PS = (0.002, 0.005, 0.01, 0.02, 0.04)
+
+
+@dataclass
+class Fig7Result:
+    """All series of Fig. 7, keyed by decoder clock frequency."""
+
+    points: dict[float, list[OnlinePoint]] = field(default_factory=dict)
+
+    def curves(self, frequency_hz: float) -> dict[int, list[tuple[float, float]]]:
+        """``{d: [(p, failure_rate), ...]}`` at one frequency."""
+        out: dict[int, list[tuple[float, float]]] = {}
+        for point in self.points.get(frequency_hz, []):
+            out.setdefault(point.d, []).append((point.p, point.logical_rate.rate))
+        return out
+
+    def threshold(self, frequency_hz: float) -> ThresholdEstimate:
+        """p_th estimate of the online decoder at one frequency."""
+        return estimate_threshold(self.curves(frequency_hz))
+
+    def overflow_fraction(self, frequency_hz: float) -> dict[tuple[int, float], float]:
+        """``{(d, p): overflow_rate}`` at one frequency."""
+        return {
+            (pt.d, pt.p): pt.overflow_rate.rate
+            for pt in self.points.get(frequency_hz, [])
+        }
+
+    def rows(self) -> list[str]:
+        """Human-readable table, one line per point."""
+        lines = ["freq     d      p       p_fail     overflow   shots"]
+        for freq, pts in self.points.items():
+            label = "inf" if freq is None else f"{freq / 1e9:.1f}GHz"
+            for pt in pts:
+                lines.append(
+                    f"{label:<8} {pt.d:>2}  {pt.p:<7.4f}"
+                    f" {pt.logical_rate.rate:<9.3e}"
+                    f" {pt.overflow_rate.rate:<9.3e}  {pt.shots}"
+                )
+        return lines
+
+
+def _shots_for(p: float, base_shots: int) -> int:
+    if p >= 0.02:
+        return max(30, base_shots // 2)
+    return base_shots
+
+
+def run_fig7(
+    shots: int = 300,
+    frequencies: tuple[float, ...] = DEFAULT_FREQUENCIES,
+    distances: tuple[int, ...] = DEFAULT_DISTANCES,
+    ps: tuple[float, ...] = DEFAULT_PS,
+    seed: int = 777,
+) -> Fig7Result:
+    """Generate Fig. 7's three panels."""
+    result = Fig7Result()
+    jobs = [(f, d, p) for f in frequencies for d in distances for p in ps]
+    rngs = spawn_rngs(seed, len(jobs))
+    for (freq, d, p), rng in zip(jobs, rngs):
+        config = OnlineConfig(frequency_hz=freq)
+        point = run_online_point(d, p, _shots_for(p, shots), config, rng)
+        result.points.setdefault(freq, []).append(point)
+    return result

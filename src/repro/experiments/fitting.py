@@ -1,0 +1,83 @@
+"""Scaling-ansatz threshold fitting (complement to curve crossings).
+
+Below threshold the logical error rate of a distance-``d`` surface code
+follows the standard ansatz
+
+    p_L(p, d)  ~  A * (p / p_th) ** ceil(d / 2)
+
+(``ceil(d/2)`` = ``(d + 1) // 2`` is the minimum number of physical
+faults that can cause a logical error).  Taking logs makes the model
+linear in ``(log A, log p_th)``:
+
+    log p_L = log A + k_d * log p - k_d * log p_th,   k_d = (d+1)//2
+
+so a least-squares fit over all (d, p) points yields both parameters at
+once, using *all* sub-threshold data instead of only the crossing
+region.  :func:`fit_threshold_ansatz` is the second, independent
+threshold estimator used to sanity-check
+:func:`repro.experiments.threshold.estimate_threshold`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["AnsatzFit", "fit_threshold_ansatz"]
+
+
+@dataclass(frozen=True)
+class AnsatzFit:
+    """Fitted scaling-ansatz parameters."""
+
+    p_th: float
+    amplitude: float
+    rms_residual: float
+    n_points: int
+
+    def predict(self, d: int, p: float) -> float:
+        """Model prediction of the logical rate at (d, p)."""
+        k = (d + 1) // 2
+        return self.amplitude * (p / self.p_th) ** k
+
+
+def fit_threshold_ansatz(
+    curves: dict[int, list[tuple[float, float]]],
+    rate_window: tuple[float, float] = (1e-5, 0.4),
+) -> AnsatzFit:
+    """Fit the scaling ansatz to ``{d: [(p, p_L), ...]}``.
+
+    Points outside ``rate_window`` are dropped: zero-failure points carry
+    no log-space information and saturated points (p_L -> 0.5) violate
+    the ansatz.  Raises :class:`ValueError` with fewer than three usable
+    points or fewer than two distinct distances.
+    """
+    rows = []
+    targets = []
+    distances = set()
+    for d, points in curves.items():
+        k = (d + 1) // 2
+        for p, rate in points:
+            if p <= 0 or not rate_window[0] <= rate <= rate_window[1]:
+                continue
+            # log p_L - k log p = log A - k log p_th
+            rows.append((1.0, -float(k)))
+            targets.append(math.log(rate) - k * math.log(p))
+            distances.add(d)
+    if len(rows) < 3 or len(distances) < 2:
+        raise ValueError(
+            f"not enough usable points for the ansatz fit:"
+            f" {len(rows)} points over {len(distances)} distances"
+        )
+    design = np.array(rows)
+    y = np.array(targets)
+    (log_a, log_pth), *_ = np.linalg.lstsq(design, y, rcond=None)
+    residuals = design @ np.array([log_a, log_pth]) - y
+    return AnsatzFit(
+        p_th=math.exp(log_pth),
+        amplitude=math.exp(log_a),
+        rms_residual=float(np.sqrt(np.mean(residuals**2))),
+        n_points=len(rows),
+    )

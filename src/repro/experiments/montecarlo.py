@@ -1,0 +1,160 @@
+"""Monte-Carlo shot runners shared by every experiment.
+
+Three kinds of points:
+
+- **code-capacity** (2-D): single perfectly-measured round; drives the
+  2-D threshold column of Table IV,
+- **batch** (3-D): ``d`` noisy rounds plus a perfect terminal round,
+  decoded at once; drives Fig. 4 and the 3-D thresholds,
+- **online**: streaming rounds against a finite decoder clock; drives
+  Fig. 7 and Table III.
+
+Every runner accepts an integer seed or generator and spawns per-shot
+substreams, so results are reproducible independent of shot count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.online import OnlineConfig, run_online_trial
+from repro.decoders.base import Decoder
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import sample_code_capacity, sample_phenomenological
+from repro.surface_code.syndrome import SyndromeHistory
+from repro.util.rng import make_rng
+from repro.util.stats import RateEstimate
+
+__all__ = [
+    "BatchPoint",
+    "OnlinePoint",
+    "run_batch_point",
+    "run_code_capacity_point",
+    "run_online_point",
+]
+
+
+@dataclass
+class BatchPoint:
+    """One (decoder, d, p) Monte-Carlo estimate for batch decoding."""
+
+    decoder: str
+    d: int
+    p: float
+    shots: int
+    failures: int
+    n_matches: int = 0
+    n_deep_vertical: int = 0  # pair matches spanning >= `deep` planes
+    deep_threshold: int = 3
+
+    @property
+    def logical_rate(self) -> RateEstimate:
+        """Logical error rate with its Wilson interval."""
+        return RateEstimate(self.failures, self.shots)
+
+    @property
+    def deep_vertical_fraction(self) -> float:
+        """Fig. 4(b): fraction of matches spanning >= 3 vertical planes."""
+        return self.n_deep_vertical / self.n_matches if self.n_matches else 0.0
+
+
+@dataclass
+class OnlinePoint:
+    """One (d, p, frequency) Monte-Carlo estimate for online decoding."""
+
+    d: int
+    p: float
+    frequency_hz: float | None
+    shots: int
+    failures: int
+    overflows: int
+    layer_cycles: list[int] = field(default_factory=list)
+
+    @property
+    def logical_rate(self) -> RateEstimate:
+        """Total failure rate (matching failures plus overflows)."""
+        return RateEstimate(self.failures, self.shots)
+
+    @property
+    def overflow_rate(self) -> RateEstimate:
+        """Reg-overflow failure rate alone."""
+        return RateEstimate(self.overflows, self.shots)
+
+
+def run_code_capacity_point(
+    decoder: Decoder,
+    d: int,
+    p: float,
+    shots: int,
+    rng: np.random.Generator | int | None = None,
+) -> BatchPoint:
+    """2-D setting: one perfect syndrome per shot."""
+    lattice = PlanarLattice(d)
+    rng = make_rng(rng)
+    failures = 0
+    for _ in range(shots):
+        error = sample_code_capacity(lattice, p, rng)
+        syndrome = lattice.syndrome_of(error)
+        result = decoder.decode_code_capacity(lattice, syndrome)
+        failures += logical_failure(lattice, error, result.correction)
+    return BatchPoint(decoder.name, d, p, shots, failures)
+
+
+def run_batch_point(
+    decoder: Decoder,
+    d: int,
+    p: float,
+    shots: int,
+    rng: np.random.Generator | int | None = None,
+    n_rounds: int | None = None,
+    deep_threshold: int = 3,
+) -> BatchPoint:
+    """3-D batch setting: ``n_rounds`` (default ``d``) noisy rounds plus a
+    perfect terminal round, decoded in one call."""
+    lattice = PlanarLattice(d)
+    rng = make_rng(rng)
+    rounds = d if n_rounds is None else n_rounds
+    failures = n_matches = n_deep = 0
+    for _ in range(shots):
+        data, meas = sample_phenomenological(lattice, p, rounds, rng)
+        history = SyndromeHistory.run(lattice, data, meas)
+        result = decoder.decode(lattice, history.events)
+        failures += logical_failure(lattice, history.final_error, result.correction)
+        n_matches += len(result.matches)
+        n_deep += sum(
+            1 for m in result.matches if m.vertical_extent >= deep_threshold
+        )
+    return BatchPoint(
+        decoder.name, d, p, shots, failures,
+        n_matches=n_matches, n_deep_vertical=n_deep, deep_threshold=deep_threshold,
+    )
+
+
+def run_online_point(
+    d: int,
+    p: float,
+    shots: int,
+    config: OnlineConfig = OnlineConfig(),
+    rng: np.random.Generator | int | None = None,
+    n_rounds: int | None = None,
+    keep_layer_cycles: bool = False,
+) -> OnlinePoint:
+    """Online setting: streaming QECOOL under ``config``'s clock."""
+    rng = make_rng(rng)
+    lattice = PlanarLattice(d)
+    rounds = d if n_rounds is None else n_rounds
+    failures = overflows = 0
+    cycles: list[int] = []
+    for _ in range(shots):
+        outcome = run_online_trial(lattice, p, rounds, config, rng)
+        failures += outcome.failed
+        overflows += outcome.overflow
+        if keep_layer_cycles:
+            cycles.extend(outcome.layer_cycles)
+    return OnlinePoint(
+        d=d, p=p, frequency_hz=config.frequency_hz, shots=shots,
+        failures=failures, overflows=overflows, layer_cycles=cycles,
+    )

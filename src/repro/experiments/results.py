@@ -1,0 +1,62 @@
+"""JSON persistence for experiment outputs.
+
+Long sweeps (Fig. 4(a) at publication shots runs for hours) should be
+decoupled from report formatting; these helpers serialise the point
+dataclasses losslessly so EXPERIMENTS.md numbers can be regenerated
+from stored runs::
+
+    result = run_fig4a(shots=3000)
+    save_points("fig4a.json", [p for pts in result.points.values() for p in pts])
+    points = load_batch_points("fig4a.json")
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+
+from repro.experiments.montecarlo import BatchPoint, OnlinePoint
+
+__all__ = ["load_batch_points", "load_online_points", "save_points"]
+
+_SCHEMA_VERSION = 1
+
+
+def save_points(path: str | Path, points: list[BatchPoint] | list[OnlinePoint]) -> None:
+    """Write a homogeneous list of experiment points to JSON."""
+    if not points:
+        payload_kind = "empty"
+    elif isinstance(points[0], BatchPoint):
+        payload_kind = "batch"
+    elif isinstance(points[0], OnlinePoint):
+        payload_kind = "online"
+    else:
+        raise TypeError(f"unsupported point type {type(points[0]).__name__}")
+    payload = {
+        "schema": _SCHEMA_VERSION,
+        "kind": payload_kind,
+        "points": [dataclasses.asdict(p) for p in points],
+    }
+    Path(path).write_text(json.dumps(payload, indent=2))
+
+
+def _load(path: str | Path, expected_kind: str) -> list[dict]:
+    payload = json.loads(Path(path).read_text())
+    if payload.get("schema") != _SCHEMA_VERSION:
+        raise ValueError(f"unsupported schema {payload.get('schema')!r}")
+    if payload["kind"] not in (expected_kind, "empty"):
+        raise ValueError(
+            f"expected {expected_kind!r} points, file holds {payload['kind']!r}"
+        )
+    return payload["points"]
+
+
+def load_batch_points(path: str | Path) -> list[BatchPoint]:
+    """Load :class:`BatchPoint` records written by :func:`save_points`."""
+    return [BatchPoint(**record) for record in _load(path, "batch")]
+
+
+def load_online_points(path: str | Path) -> list[OnlinePoint]:
+    """Load :class:`OnlinePoint` records written by :func:`save_points`."""
+    return [OnlinePoint(**record) for record in _load(path, "online")]

@@ -1,0 +1,100 @@
+"""Accuracy-threshold estimation from logical-error-rate curves.
+
+The threshold ``p_th`` of a decoder is the physical error rate at which
+the logical error rate stops improving with code distance — below it,
+larger ``d`` helps; above it, larger ``d`` hurts (Section III-C).  On a
+log-log plot the per-distance curves cross at ``p_th``.
+
+We estimate it the way one reads it off Fig. 4(a): interpolate each
+distance's curve linearly in (log p, log p_L), find the crossing point
+of every pair of distinct-distance curves, and take the median crossing.
+The median is robust to the smallest-distance curves bending away from
+the common crossing (finite-size effects) and to Monte-Carlo noise on
+sub-threshold points.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["ThresholdEstimate", "estimate_threshold", "pairwise_crossings"]
+
+
+@dataclass(frozen=True)
+class ThresholdEstimate:
+    """Threshold estimate with the crossings that produced it."""
+
+    p_th: float | None
+    crossings: tuple[float, ...]
+
+    @property
+    def found(self) -> bool:
+        """True when at least one curve crossing existed."""
+        return self.p_th is not None
+
+
+def _log_interp(curve: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """(log p, log p_L) points, dropping zero-failure entries."""
+    out = []
+    for p, rate in sorted(curve):
+        if p > 0 and rate > 0:
+            out.append((math.log(p), math.log(rate)))
+    return out
+
+
+def _segment_crossing(
+    a1: tuple[float, float], a2: tuple[float, float],
+    b1: tuple[float, float], b2: tuple[float, float],
+) -> float | None:
+    """x-coordinate where segments a and b cross, if inside both spans."""
+    (x1, y1), (x2, y2) = a1, a2
+    (u1, v1), (u2, v2) = b1, b2
+    lo = max(min(x1, x2), min(u1, u2))
+    hi = min(max(x1, x2), max(u1, u2))
+    if lo >= hi:
+        return None
+    sa = (y2 - y1) / (x2 - x1)
+    sb = (v2 - v1) / (u2 - u1)
+    if sa == sb:
+        return None
+    # y1 + sa (x - x1) = v1 + sb (x - u1)
+    x = (v1 - y1 + sa * x1 - sb * u1) / (sa - sb)
+    if lo <= x <= hi:
+        return x
+    return None
+
+
+def pairwise_crossings(curves: dict[int, list[tuple[float, float]]]) -> list[float]:
+    """Crossing points (in p) of every pair of distance curves."""
+    logs = {d: _log_interp(curve) for d, curve in curves.items()}
+    distances = sorted(logs)
+    crossings: list[float] = []
+    for i, d1 in enumerate(distances):
+        for d2 in distances[i + 1:]:
+            c1, c2 = logs[d1], logs[d2]
+            for k in range(len(c1) - 1):
+                for l in range(len(c2) - 1):
+                    x = _segment_crossing(c1[k], c1[k + 1], c2[l], c2[l + 1])
+                    if x is not None:
+                        crossings.append(math.exp(x))
+    return crossings
+
+
+def estimate_threshold(
+    curves: dict[int, list[tuple[float, float]]],
+) -> ThresholdEstimate:
+    """Median pairwise-crossing threshold of ``{d: [(p, p_L), ...]}``.
+
+    Returns ``ThresholdEstimate(p_th=None, ...)`` when no pair of curves
+    crosses inside the sampled range (e.g. every point sub-threshold).
+    """
+    crossings = sorted(pairwise_crossings(curves))
+    if not crossings:
+        return ThresholdEstimate(None, ())
+    mid = len(crossings) // 2
+    if len(crossings) % 2:
+        p_th = crossings[mid]
+    else:
+        p_th = math.sqrt(crossings[mid - 1] * crossings[mid])  # geometric mean
+    return ThresholdEstimate(p_th, tuple(crossings))

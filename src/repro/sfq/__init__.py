@@ -1,0 +1,77 @@
+"""SFQ hardware model of the QECOOL decoder.
+
+- :mod:`repro.sfq.cells` — the RSFQ cell library of Table I (JJ counts,
+  bias currents, areas, latencies),
+- :mod:`repro.sfq.netlist` — event-driven pulse-level netlist simulator
+  (our substitute for JSIM SPICE runs; see DESIGN.md section 5),
+- :mod:`repro.sfq.components` — behavioural models of each cell
+  (splitter, merger, 1:2 switch, DRO, NDRO, RD, D2, JTL wire),
+- :mod:`repro.sfq.circuits` — composite circuits used inside a Unit:
+  the 7-bit ``Reg`` shift register, the race-logic prioritizer, the
+  spike-direction steering logic,
+- :mod:`repro.sfq.unit_design` — Table II: module-by-module composition
+  of one Unit, with published reference values and our bottom-up roll-up,
+- :mod:`repro.sfq.power` — RSFQ static and ERSFQ dynamic power models,
+  the 4-K power budget planner behind Table V.
+"""
+
+from repro.sfq.cells import CELL_LIBRARY, SfqCell, WIRE_BIAS_MA_PER_JJ
+from repro.sfq.components import (
+    D2Cell,
+    DroCell,
+    JtlWire,
+    MergerCell,
+    NdroCell,
+    Probe,
+    RdCell,
+    SplitterCell,
+    Switch1to2,
+)
+from repro.sfq.netlist import Netlist, PulseSimulator
+from repro.sfq.power import (
+    PHI0_WB,
+    ersfq_unit_power_w,
+    protectable_logical_qubits,
+    rsfq_static_power_w,
+    units_per_logical_qubit,
+)
+from repro.sfq.system import (
+    LogicalQubitDecoder,
+    system_protectable_logical_qubits,
+)
+from repro.sfq.unit_design import (
+    MODULE_CELL_COUNTS,
+    PUBLISHED_MODULES,
+    ModuleDesign,
+    UnitDesign,
+    build_unit_design,
+)
+
+__all__ = [
+    "CELL_LIBRARY",
+    "D2Cell",
+    "DroCell",
+    "JtlWire",
+    "LogicalQubitDecoder",
+    "MODULE_CELL_COUNTS",
+    "MergerCell",
+    "ModuleDesign",
+    "NdroCell",
+    "Netlist",
+    "PHI0_WB",
+    "Probe",
+    "PUBLISHED_MODULES",
+    "PulseSimulator",
+    "RdCell",
+    "SfqCell",
+    "SplitterCell",
+    "Switch1to2",
+    "UnitDesign",
+    "WIRE_BIAS_MA_PER_JJ",
+    "build_unit_design",
+    "ersfq_unit_power_w",
+    "protectable_logical_qubits",
+    "rsfq_static_power_w",
+    "system_protectable_logical_qubits",
+    "units_per_logical_qubit",
+]

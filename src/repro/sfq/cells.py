@@ -1,0 +1,92 @@
+"""The RSFQ cell library of Table I.
+
+The paper designs the Unit against an RSFQ cell library [22] for the
+AIST 10-kA/cm^2 Nb nine-layer ADP process [9], [15].  Table I publishes,
+for each logic element, the Josephson-junction count, the bias current
+needed for operation, the layout area and the latency; everything
+downstream (Table II roll-ups, RSFQ/ERSFQ power, maximum clock
+frequency) is arithmetic over these numbers, which is what this module
+encodes.
+
+Wires (Josephson transmission lines, JTLs) are tracked as bare JJ counts
+in Table II.  The paper does not publish a per-JTL-junction bias figure,
+but it is uniquely determined by the published totals: the seven cell
+types account for 174.268 mA of the Unit's 336 mA, leaving 161.7 mA over
+1472 wire JJs — 0.10987 mA per wire junction, which we round to the
+0.11 mA/JJ encoded below (and the same back-derivation gives the wire
+area share).  See ``tests/test_sfq_cells.py`` for the consistency
+checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "CELL_LIBRARY",
+    "SUPPLY_VOLTAGE_MV",
+    "SfqCell",
+    "WIRE_AREA_UM2_PER_JJ",
+    "WIRE_BIAS_MA_PER_JJ",
+]
+
+SUPPLY_VOLTAGE_MV = 2.5
+"""Designed RSFQ supply voltage at 4 K (Section IV-C)."""
+
+WIRE_BIAS_MA_PER_JJ = 0.1098723
+"""Bias current per JTL (wire) junction.
+
+Back-derived from Table II: the cell instances account for 174.268 mA of
+the Unit's published 336 mA total, leaving 161.732 mA across 1472 wire
+junctions = 0.1098723 mA/JJ.  Kept at full precision so the Unit total
+(and everything downstream, e.g. Table V's 2498 protectable qubits)
+reproduces the paper digit-for-digit.
+"""
+
+WIRE_AREA_UM2_PER_JJ = 659.1033
+"""Layout area per JTL junction.
+
+Back-derived the same way: (1,274,400 - 304,200 cell um^2) / 1472.
+"""
+
+
+@dataclass(frozen=True)
+class SfqCell:
+    """One Table I row: an SFQ logic element's physical characteristics."""
+
+    name: str
+    jj_count: int
+    bias_current_ma: float
+    area_um2: float
+    latency_ps: float
+
+    def __post_init__(self) -> None:
+        if self.jj_count <= 0:
+            raise ValueError(f"{self.name}: jj_count must be positive")
+        if self.bias_current_ma <= 0 or self.area_um2 <= 0 or self.latency_ps <= 0:
+            raise ValueError(f"{self.name}: physical characteristics must be positive")
+
+    @property
+    def static_power_uw(self) -> float:
+        """RSFQ static power of one instance (bias current x supply)."""
+        return self.bias_current_ma * SUPPLY_VOLTAGE_MV
+
+
+CELL_LIBRARY: dict[str, SfqCell] = {
+    cell.name: cell
+    for cell in (
+        SfqCell("splitter", jj_count=3, bias_current_ma=0.300, area_um2=900, latency_ps=4.3),
+        SfqCell("merger", jj_count=7, bias_current_ma=0.880, area_um2=900, latency_ps=8.2),
+        SfqCell("switch_1to2", jj_count=33, bias_current_ma=3.464, area_um2=8100, latency_ps=10.5),
+        SfqCell("dro", jj_count=6, bias_current_ma=0.720, area_um2=900, latency_ps=5.1),
+        SfqCell("ndro", jj_count=11, bias_current_ma=1.112, area_um2=1800, latency_ps=6.4),
+        SfqCell("rd", jj_count=11, bias_current_ma=0.900, area_um2=1800, latency_ps=6.0),
+        SfqCell("d2", jj_count=12, bias_current_ma=0.944, area_um2=1800, latency_ps=6.8),
+    )
+}
+"""Table I, keyed by cell name.
+
+``dro`` is the destructive readout register, ``ndro`` the
+non-destructive variant, ``rd`` the resettable DRO and ``d2`` the
+dual-output DRO used by the Unit's state machine.
+"""

@@ -1,0 +1,447 @@
+"""Composite SFQ circuits: the Unit's building blocks.
+
+Three of the five Unit modules of Section IV-B have interesting internal
+behaviour; we build them out of the Table I cells (respecting SFQ's
+fanout-1 rule — every branch costs an explicit splitter, every join a
+merger, which is exactly why Table II is dominated by those cells):
+
+- :class:`ShiftRegister` — the ``Reg`` datapath: a DRO chain with a
+  splitter tree distributing the Pop/shift clock (the BasePointer module
+  of the paper selects which tap is read; :class:`TapSelector` models
+  that with 1:2 switches),
+- :class:`RacePrioritizer` — the Prioritization module: per-port JTL
+  delays encode the priority order, a merger tree produces the
+  first-arrival pulse, and a switch-based lockout diverts later spikes
+  so only the winner's direction NDRO is latched,
+- :class:`SpikeSteering` — the Spike-out module: two levels of 1:2
+  switches implement Algorithm 1's ``SPIKE`` procedure (row match
+  selects the horizontal/vertical level, ``FlagToken`` the direction).
+
+All three are validated functionally in ``tests/test_sfq_circuits.py``,
+including a cross-check of the prioritizer against the race-key
+semantics the decoder engine uses (:mod:`repro.core.spike`).
+"""
+
+from __future__ import annotations
+
+from repro.sfq.components import (
+    DroCell,
+    JtlWire,
+    MergerCell,
+    NdroCell,
+    Probe,
+    SplitterCell,
+    Switch1to2,
+)
+from repro.sfq.netlist import Netlist
+
+__all__ = [
+    "RacePrioritizer",
+    "ShiftRegister",
+    "SpikeSteering",
+    "SyndromeReturn",
+    "TapSelector",
+    "UnitSinkDatapath",
+]
+
+
+class ShiftRegister:
+    """An ``n``-bit DRO shift register with a splitter clock tree.
+
+    ``shift()`` moves every stored bit one stage toward the output
+    (stage ``n-1`` spills out of ``serial_out``); ``load(bit0)`` sets the
+    entry stage.  This is the Pop path of the Unit's 7-bit ``Reg``.
+    """
+
+    def __init__(self, net: Netlist, name: str, n_bits: int):
+        if n_bits < 1:
+            raise ValueError("need at least one bit")
+        self.net = net
+        self.name = name
+        self.n_bits = n_bits
+        self.stages = [net.add(DroCell(f"{name}.bit{i}")) for i in range(n_bits)]
+        self.serial_out = net.add(Probe(f"{name}.serial_out"))
+        for i in range(n_bits - 1):
+            net.connect(self.stages[i], "out", self.stages[i + 1], "data")
+        net.connect(self.stages[-1], "out", self.serial_out, "in")
+        # Clock distribution: a chain of splitters, one per extra stage.
+        self.clock_splitters = [
+            net.add(SplitterCell(f"{name}.clk_split{i}")) for i in range(n_bits - 1)
+        ]
+        for i, splitter in enumerate(self.clock_splitters):
+            net.connect(splitter, "out0", self.stages[i], "clock")
+            if i + 1 < len(self.clock_splitters):
+                net.connect(splitter, "out1", self.clock_splitters[i + 1], "in")
+            else:
+                net.connect(splitter, "out1", self.stages[-1], "clock")
+
+    @property
+    def splitter_count(self) -> int:
+        """Splitters spent on clock distribution (Table II budget)."""
+        return len(self.clock_splitters)
+
+    def clock_root(self):
+        """(component, port) to inject the shift clock into."""
+        if self.clock_splitters:
+            return self.clock_splitters[0], "in"
+        return self.stages[0], "clock"
+
+    def state(self) -> list[int]:
+        """Stored bits, stage 0 (entry) first."""
+        return [int(stage.stored) for stage in self.stages]
+
+    def load_state(self, bits: list[int]) -> None:
+        """Force the storage loops (test setup helper)."""
+        if len(bits) != self.n_bits:
+            raise ValueError("wrong width")
+        for stage, bit in zip(self.stages, bits):
+            stage.stored = bool(bit)
+
+
+class TapSelector:
+    """BasePointer readout: a switch chain selecting one Reg tap.
+
+    A pulse injected at ``probe_in`` is steered through ``depth`` 1:2
+    switches; the select state (set via :meth:`select`) determines which
+    of the ``depth + 1`` tap outputs fires — the paper's BasePointer
+    reads ``Reg[base]`` the same way.
+    """
+
+    def __init__(self, net: Netlist, name: str, depth: int):
+        if depth < 1:
+            raise ValueError("need at least one switch")
+        self.net = net
+        self.depth = depth
+        self.switches = [net.add(Switch1to2(f"{name}.sw{i}")) for i in range(depth)]
+        self.taps = [net.add(Probe(f"{name}.tap{i}")) for i in range(depth + 1)]
+        for i, switch in enumerate(self.switches):
+            net.connect(switch, "out0", self.taps[i], "in")
+            if i + 1 < depth:
+                net.connect(switch, "out1", self.switches[i + 1], "in")
+            else:
+                net.connect(switch, "out1", self.taps[depth], "in")
+
+    def select(self, sim, tap: int, at: float = 0.0) -> None:
+        """Program the switch chain so the next probe hits ``tap``."""
+        if not 0 <= tap <= self.depth:
+            raise ValueError(f"tap {tap} out of range")
+        for i, switch in enumerate(self.switches):
+            port = "select0" if tap == i else "select1"
+            sim.inject(switch, port, at)
+
+    def probe(self, sim, at: float) -> None:
+        """Send the readout pulse."""
+        sim.inject(self.switches[0], "in", at)
+
+
+class RacePrioritizer:
+    """The Prioritization module: first spike wins, priority by delay.
+
+    Ports are named in priority order (first = highest).  Each port's
+    JTL delay grows with its rank so simultaneous spikes resolve in
+    priority order; the first pulse through the merger tree locks the
+    arbiter (switch-based inhibit) and latches its direction NDRO.
+    """
+
+    #: Extra delay per priority rank.  Must exceed the lockout loop —
+    #: winner's gate (10.5) + splitter (4.3) + two merger levels (16.4)
+    #: + output splitter (4.3) + up-to-three-deep lockout splitter chain
+    #: (12.9) ~ 48.4 ps — so that equal-time spikes resolve strictly in
+    #: priority order.  Spikes whose *external* arrival times differ by
+    #: less than this window race exactly like the real arbiter would;
+    #: tests exercise the simultaneous and well-separated regimes.
+    RANK_DELAY_PS = 60.0
+    BASE_DELAY_PS = 2.0
+
+    def __init__(self, net: Netlist, name: str, ports: tuple[str, ...] = ("N", "E", "S", "W")):
+        if len(ports) < 2:
+            raise ValueError("need at least two ports")
+        self.net = net
+        self.ports = ports
+        self.delays: dict[str, float] = {}
+        self.gates: dict[str, Switch1to2] = {}
+        self.direction: dict[str, NdroCell] = {}
+        self._inputs: dict[str, JtlWire] = {}
+        self.dump = net.add(Probe(f"{name}.dump"))
+        dump_merge: list = []
+        branch_outputs = []
+        for rank, port in enumerate(ports):
+            delay = self.BASE_DELAY_PS + rank * self.RANK_DELAY_PS
+            self.delays[port] = delay
+            wire = net.add(JtlWire(f"{name}.delay_{port}", delay_ps=delay))
+            gate = net.add(Switch1to2(f"{name}.gate_{port}", initial=0))
+            self.gates[port] = gate
+            net.connect(wire, "out", gate, "in")
+            split = net.add(SplitterCell(f"{name}.split_{port}"))
+            net.connect(gate, "out0", split, "in")
+            ndro = net.add(NdroCell(f"{name}.dir_{port}"))
+            self.direction[port] = ndro
+            net.connect(split, "out0", ndro, "set")
+            branch_outputs.append(split)
+            dump_merge.append(gate)
+            self._inputs[port] = wire
+        # Merger tree over the pass branches.
+        frontier = [(split, "out1") for split in branch_outputs]
+        idx = 0
+        while len(frontier) > 1:
+            merged = []
+            for i in range(0, len(frontier) - 1, 2):
+                merger = net.add(MergerCell(f"{name}.merge{idx}"))
+                idx += 1
+                net.connect(frontier[i][0], frontier[i][1], merger, "in0")
+                net.connect(frontier[i + 1][0], frontier[i + 1][1], merger, "in1")
+                merged.append((merger, "out"))
+            if len(frontier) % 2:
+                merged.append(frontier[-1])
+            frontier = merged
+        tree_out, tree_port = frontier[0]
+        # Winner fanout: external output + lockout feedback.
+        out_split = net.add(SplitterCell(f"{name}.out_split"))
+        net.connect(tree_out, tree_port, out_split, "in")
+        self.winner_out = net.add(Probe(f"{name}.winner"))
+        net.connect(out_split, "out0", self.winner_out, "in")
+        # Lockout chain: divert every gate to the dump.
+        lock_sources: list[tuple] = [(out_split, "out1")]
+        lock_splits = [
+            net.add(SplitterCell(f"{name}.lock_split{i}"))
+            for i in range(len(ports) - 1)
+        ]
+        for i, splitter in enumerate(lock_splits):
+            net.connect(lock_sources[-1][0], lock_sources[-1][1], splitter, "in")
+            lock_sources.append((splitter, "out1"))
+        lock_taps = [(s, "out0") for s in lock_splits] + [lock_sources[-1]]
+        for (src, port_name), gate_port in zip(lock_taps, ports):
+            net.connect(src, port_name, self.gates[gate_port], "select1")
+        # Dump path for locked-out pulses.
+        dump_frontier = [(gate, "out1") for gate in dump_merge]
+        while len(dump_frontier) > 1:
+            merged = []
+            for i in range(0, len(dump_frontier) - 1, 2):
+                merger = net.add(MergerCell(f"{name}.dump_merge{idx}"))
+                idx += 1
+                net.connect(dump_frontier[i][0], dump_frontier[i][1], merger, "in0")
+                net.connect(dump_frontier[i + 1][0], dump_frontier[i + 1][1], merger, "in1")
+                merged.append((merger, "out"))
+            if len(dump_frontier) % 2:
+                merged.append(dump_frontier[-1])
+            dump_frontier = merged
+        net.connect(dump_frontier[0][0], dump_frontier[0][1], self.dump, "in")
+
+    def inject_spike(self, sim, port: str, at: float) -> None:
+        """A spike arrives on ``port`` at time ``at``."""
+        sim.inject(self._inputs[port], "in", at)
+
+    def winning_port(self) -> str | None:
+        """The latched direction after the race (None if no spike came)."""
+        winners = [port for port, ndro in self.direction.items() if ndro.stored]
+        if not winners:
+            return None
+        if len(winners) > 1:
+            raise RuntimeError(f"arbiter latched multiple ports: {winners}")
+        return winners[0]
+
+
+class SpikeSteering:
+    """The Spike-out module: route a spike by row match and FlagToken.
+
+    Implements Algorithm 1's ``SPIKE`` procedure with two switch levels:
+
+    - level 1 selects the same-row (horizontal) or different-row
+      (vertical) pair of directions based on ``row_match``;
+    - level 2 selects east vs west (``flag`` set / clear) or south vs
+      north.
+    """
+
+    def __init__(self, net: Netlist, name: str):
+        self.net = net
+        self.level1 = net.add(Switch1to2(f"{name}.row_sel"))
+        self.same_row = net.add(Switch1to2(f"{name}.same_row"))
+        self.diff_row = net.add(Switch1to2(f"{name}.diff_row"))
+        net.connect(self.level1, "out0", self.diff_row, "in")
+        net.connect(self.level1, "out1", self.same_row, "in")
+        self.outputs = {
+            "N": net.add(Probe(f"{name}.N")),
+            "E": net.add(Probe(f"{name}.E")),
+            "S": net.add(Probe(f"{name}.S")),
+            "W": net.add(Probe(f"{name}.W")),
+        }
+        net.connect(self.same_row, "out1", self.outputs["E"], "in")
+        net.connect(self.same_row, "out0", self.outputs["W"], "in")
+        net.connect(self.diff_row, "out1", self.outputs["S"], "in")
+        net.connect(self.diff_row, "out0", self.outputs["N"], "in")
+
+    def configure(self, sim, row_match: bool, flag: bool, at: float = 0.0) -> None:
+        """Program the steering from ``CurrentRow`` and ``FlagToken``."""
+        sim.inject(self.level1, "select1" if row_match else "select0", at)
+        sim.inject(self.same_row, "select1" if flag else "select0", at)
+        sim.inject(self.diff_row, "select1" if flag else "select0", at)
+
+    def send_spike(self, sim, at: float) -> None:
+        """Fire the outgoing spike through the steering network."""
+        sim.inject(self.level1, "in", at)
+
+    def fired_direction(self) -> str | None:
+        """Which output the spike left on (None if not yet fired)."""
+        fired = [d for d, probe in self.outputs.items() if probe.times]
+        if not fired:
+            return None
+        if len(fired) > 1:
+            raise RuntimeError(f"spike left on multiple ports: {fired}")
+        return fired[0]
+
+
+class SyndromeReturn:
+    """The Syndrome-out module: reply out the port the spike came in on.
+
+    Algorithm 1 step 4: the sink stores the incoming spike's direction
+    (``Dir``, here the prioritizer's NDRO latches) and sends the
+    Syndrome signal back along it, so it retraces the spike's path to
+    the initiator.  The pulse-level mechanics:
+
+    1. a ``respond()`` pulse clocks all four direction NDROs (splitter
+       tree); only the latched one fires,
+    2. the latched direction's output programs a two-level switch demux
+       (via per-select mergers, since several directions share a select
+       line),
+    3. a delayed copy of the respond pulse then traverses the demux and
+       exits on the *stored* port.
+
+    (The match's correction path runs *toward the spike initiator*, i.e.
+    back out the same port the spike arrived on; the per-hop direction
+    reversal of Algorithm 1 step 3 happens at each forwarding Unit.)
+    """
+
+    #: respond-pulse delay before entering the demux; must exceed the
+    #: NDRO-readout -> merger -> switch-select programming path.
+    DEMUX_DELAY_PS = 60.0
+
+    def __init__(self, net: Netlist, name: str, direction: dict[str, NdroCell]):
+        self.net = net
+        self.direction = direction
+        # Clock tree for the four direction latches.
+        self.respond_root = net.add(SplitterCell(f"{name}.clk0"))
+        clk1 = net.add(SplitterCell(f"{name}.clk1"))
+        clk2 = net.add(SplitterCell(f"{name}.clk2"))
+        clk3 = net.add(SplitterCell(f"{name}.clk3"))
+        net.connect(self.respond_root, "out0", clk1, "in")
+        net.connect(self.respond_root, "out1", clk2, "in")
+        net.connect(clk1, "out0", direction["N"], "clock")
+        net.connect(clk1, "out1", direction["E"], "clock")
+        net.connect(clk2, "out0", direction["S"], "clock")
+        net.connect(clk2, "out1", clk3, "in")
+        net.connect(clk3, "out0", direction["W"], "clock")
+        # Delayed respond pulse into the demux, gated by an "armed"
+        # DRO that only a firing direction latch can set: without a
+        # stored direction the respond pulse dies in the empty DRO
+        # instead of leaking out of a default port.
+        self.delay = net.add(JtlWire(f"{name}.delay", delay_ps=self.DEMUX_DELAY_PS))
+        net.connect(clk3, "out1", self.delay, "in")
+        self.armed = net.add(DroCell(f"{name}.armed"))
+        net.connect(self.delay, "out", self.armed, "clock")
+        # Two-level demux: level1 horizontal (0) / vertical (1); level2
+        # picks the port within the pair.
+        self.level1 = net.add(Switch1to2(f"{name}.lvl1"))
+        self.horizontal = net.add(Switch1to2(f"{name}.h"))
+        self.vertical = net.add(Switch1to2(f"{name}.v"))
+        net.connect(self.armed, "out", self.level1, "in")
+        net.connect(self.level1, "out0", self.horizontal, "in")
+        net.connect(self.level1, "out1", self.vertical, "in")
+        self.outputs = {
+            "E": net.add(Probe(f"{name}.E")),
+            "W": net.add(Probe(f"{name}.W")),
+            "N": net.add(Probe(f"{name}.N")),
+            "S": net.add(Probe(f"{name}.S")),
+        }
+        net.connect(self.horizontal, "out0", self.outputs["E"], "in")
+        net.connect(self.horizontal, "out1", self.outputs["W"], "in")
+        net.connect(self.vertical, "out0", self.outputs["N"], "in")
+        net.connect(self.vertical, "out1", self.outputs["S"], "in")
+        # Select programming: each latched direction steers the demux to
+        # its own port (the reply retraces the incoming spike's path).
+        #   N -> level1 select1 (vertical),  vertical select0 (N)
+        #   S -> level1 select1,             vertical select1 (S)
+        #   E -> level1 select0,             horizontal select0 (E)
+        #   W -> level1 select0,             horizontal select1 (W)
+        self._wire_select("N", self.level1, "select1", self.vertical, "select0", net, f"{name}.selN")
+        self._wire_select("S", self.level1, "select1", self.vertical, "select1", net, f"{name}.selS")
+        self._wire_select("E", self.level1, "select0", self.horizontal, "select0", net, f"{name}.selE")
+        self._wire_select("W", self.level1, "select0", self.horizontal, "select1", net, f"{name}.selW")
+        # Level-1 selects are shared by two directions each: mergers.
+        # (Installed by _wire_select on first/second use.)
+
+    def _wire_select(self, port, lvl1, lvl1_port, lvl2, lvl2_port, net, prefix):
+        split = net.add(SplitterCell(f"{prefix}.split"))
+        net.connect(self.direction[port], "out", split, "in")
+        inner = net.add(SplitterCell(f"{prefix}.split2"))
+        net.connect(split, "out0", inner, "in")
+        if not hasattr(self, "_lvl1_mergers"):
+            self._lvl1_mergers: dict[str, MergerCell] = {}
+            self._arm_branches: list[tuple] = []
+        if lvl1_port not in self._lvl1_mergers:
+            merger = net.add(MergerCell(f"{prefix}.lvl1merge"))
+            net.connect(merger, "out", lvl1, lvl1_port)
+            self._lvl1_mergers[lvl1_port] = merger
+            net.connect(inner, "out0", merger, "in0")
+        else:
+            net.connect(inner, "out0", self._lvl1_mergers[lvl1_port], "in1")
+        # Arm branch: any firing latch sets the demux gate.  The merger
+        # tree over the four branches is built once all are collected.
+        self._arm_branches.append((inner, "out1"))
+        if len(self._arm_branches) == 4:
+            low0 = net.add(MergerCell(f"{prefix}.armmerge0"))
+            low1 = net.add(MergerCell(f"{prefix}.armmerge1"))
+            top = net.add(MergerCell(f"{prefix}.armtop"))
+            for (src_c, src_p), (tgt, tgt_p) in zip(
+                self._arm_branches,
+                ((low0, "in0"), (low0, "in1"), (low1, "in0"), (low1, "in1")),
+            ):
+                net.connect(src_c, src_p, tgt, tgt_p)
+            net.connect(low0, "out", top, "in0")
+            net.connect(low1, "out", top, "in1")
+            net.connect(top, "out", self.armed, "data")
+        net.connect(split, "out1", lvl2, lvl2_port)
+
+    def respond(self, sim, at: float) -> None:
+        """Fire the syndrome reply (clocks the Dir latches, then demux)."""
+        sim.inject(self.respond_root, "in", at)
+
+    def replied_port(self) -> str | None:
+        """Port the syndrome pulse left on (None if nothing latched)."""
+        fired = [p for p, probe in self.outputs.items() if probe.times]
+        if not fired:
+            return None
+        if len(fired) > 1:
+            raise RuntimeError(f"syndrome left on multiple ports: {fired}")
+        return fired[0]
+
+
+class UnitSinkDatapath:
+    """End-to-end sink scenario: race arbitration + syndrome reply.
+
+    Wires a :class:`RacePrioritizer` and a :class:`SyndromeReturn`
+    around the *same* direction latches, reproducing the Unit's sink
+    behaviour of Algorithm 1 steps 1 and 4 in one pulse-level netlist:
+    spikes race in, the winner's direction is latched, and the syndrome
+    reply leaves on the stored port.
+    """
+
+    def __init__(self, net: Netlist, name: str):
+        self.net = net
+        self.prioritizer = RacePrioritizer(net, f"{name}.prio")
+        self.syndrome = SyndromeReturn(net, f"{name}.syn", self.prioritizer.direction)
+
+    def spike(self, sim, port: str, at: float) -> None:
+        """An incoming spike on ``port``."""
+        self.prioritizer.inject_spike(sim, port, at)
+
+    def respond(self, sim, at: float) -> None:
+        """Send the syndrome reply after the race settles."""
+        self.syndrome.respond(sim, at)
+
+    def winner(self) -> str | None:
+        """The latched spike direction."""
+        return self.prioritizer.winning_port()
+
+    def reply(self) -> str | None:
+        """The port the syndrome reply used."""
+        return self.syndrome.replied_port()

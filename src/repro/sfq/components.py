@@ -1,0 +1,228 @@
+"""Behavioural models of the Table I cells.
+
+Each component reproduces the logical behaviour of its RSFQ cell with
+the latency published in Table I:
+
+- **splitter** — one input pulse becomes two output pulses,
+- **merger** (confluence buffer) — a pulse on either input propagates,
+- **1:2 switch** — a routing element: control pulses steer subsequent
+  data pulses to output 0 or 1,
+- **DRO** (destructive readout) — `data` sets a storage loop; `clock`
+  reads it out destructively (pulse on `out` iff the loop was set),
+- **NDRO** — like DRO but readout is non-destructive; `reset` clears,
+- **RD** (resettable DRO) — DRO with an asynchronous `reset`,
+- **D2** (dual-output DRO) — clocked readout with complementary
+  outputs: `out1` if the loop was set, `out0` otherwise,
+- **JTL wire** — a pure delay (also the unit of Table II's "Wire" row),
+- **Probe** — test instrumentation recording pulse arrival times.
+
+These are the building blocks the paper's Unit modules are specified in
+(Table II); :mod:`repro.sfq.circuits` composes them.
+"""
+
+from __future__ import annotations
+
+from repro.sfq.cells import CELL_LIBRARY
+from repro.sfq.netlist import Component, PulseSimulator
+
+__all__ = [
+    "D2Cell",
+    "DroCell",
+    "JtlWire",
+    "MergerCell",
+    "NdroCell",
+    "Probe",
+    "RdCell",
+    "SplitterCell",
+    "Switch1to2",
+]
+
+
+class SplitterCell(Component):
+    """Fanout element: one pulse in, one pulse on each of two outputs."""
+
+    input_ports = ("in",)
+    output_ports = ("out0", "out1")
+    latency_ps = CELL_LIBRARY["splitter"].latency_ps
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        self.emit(sim, "out0", time_ps + self.latency_ps)
+        self.emit(sim, "out1", time_ps + self.latency_ps)
+
+
+class MergerCell(Component):
+    """Confluence buffer: a pulse on either input propagates to `out`."""
+
+    input_ports = ("in0", "in1")
+    output_ports = ("out",)
+    latency_ps = CELL_LIBRARY["merger"].latency_ps
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        self.emit(sim, "out", time_ps + self.latency_ps)
+
+
+class Switch1to2(Component):
+    """1:2 routing switch.
+
+    A pulse on `select0` / `select1` steers subsequent `in` pulses to
+    `out0` / `out1`.  Powers the spike-direction steering driven by
+    ``CurrentRow`` and ``FlagToken``.
+    """
+
+    input_ports = ("in", "select0", "select1")
+    output_ports = ("out0", "out1")
+    latency_ps = CELL_LIBRARY["switch_1to2"].latency_ps
+
+    def __init__(self, name: str, initial: int = 0):
+        super().__init__(name)
+        if initial not in (0, 1):
+            raise ValueError("initial route must be 0 or 1")
+        self._initial = initial
+        self._route = initial
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        if port == "select0":
+            self._route = 0
+        elif port == "select1":
+            self._route = 1
+        else:
+            self.emit(sim, f"out{self._route}", time_ps + self.latency_ps)
+
+    def reset_state(self) -> None:
+        self._route = self._initial
+
+
+class DroCell(Component):
+    """Destructive readout: `data` sets the loop, `clock` empties it."""
+
+    input_ports = ("data", "clock")
+    output_ports = ("out",)
+    latency_ps = CELL_LIBRARY["dro"].latency_ps
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.stored = False
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        if port == "data":
+            self.stored = True
+        elif self.stored:
+            self.stored = False
+            self.emit(sim, "out", time_ps + self.latency_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+
+
+class NdroCell(Component):
+    """Non-destructive readout with explicit reset."""
+
+    input_ports = ("set", "reset", "clock")
+    output_ports = ("out",)
+    latency_ps = CELL_LIBRARY["ndro"].latency_ps
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.stored = False
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        if port == "set":
+            self.stored = True
+        elif port == "reset":
+            self.stored = False
+        elif self.stored:
+            self.emit(sim, "out", time_ps + self.latency_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+
+
+class RdCell(Component):
+    """Resettable DRO: destructive `clock` readout plus async `reset`."""
+
+    input_ports = ("data", "reset", "clock")
+    output_ports = ("out",)
+    latency_ps = CELL_LIBRARY["rd"].latency_ps
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.stored = False
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        if port == "data":
+            self.stored = True
+        elif port == "reset":
+            self.stored = False
+        elif self.stored:
+            self.stored = False
+            self.emit(sim, "out", time_ps + self.latency_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+
+
+class D2Cell(Component):
+    """Dual-output DRO: complementary clocked readout.
+
+    `clock` emits on `out1` when the loop was set (destructively) and on
+    `out0` when it was empty — the state machine uses this to branch on
+    stored flags in a single clock.
+    """
+
+    input_ports = ("data", "clock")
+    output_ports = ("out0", "out1")
+    latency_ps = CELL_LIBRARY["d2"].latency_ps
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.stored = False
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        if port == "data":
+            self.stored = True
+        elif self.stored:
+            self.stored = False
+            self.emit(sim, "out1", time_ps + self.latency_ps)
+        else:
+            self.emit(sim, "out0", time_ps + self.latency_ps)
+
+    def reset_state(self) -> None:
+        self.stored = False
+
+
+class JtlWire(Component):
+    """Josephson transmission line: a pure pulse delay.
+
+    Table II's "Wire" row counts these junction by junction; the race
+    prioritizer also uses them to encode port priorities as arrival
+    offsets.
+    """
+
+    input_ports = ("in",)
+    output_ports = ("out",)
+
+    def __init__(self, name: str, delay_ps: float = 2.0):
+        super().__init__(name)
+        if delay_ps < 0:
+            raise ValueError("delay must be non-negative")
+        self.delay_ps = delay_ps
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        self.emit(sim, "out", time_ps + self.delay_ps)
+
+
+class Probe(Component):
+    """Test sink recording every pulse arrival time."""
+
+    input_ports = ("in",)
+    output_ports = ()
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self.times: list[float] = []
+
+    def on_pulse(self, port: str, time_ps: float, sim: PulseSimulator) -> None:
+        self.times.append(time_ps)
+
+    def reset_state(self) -> None:
+        self.times.clear()

@@ -1,0 +1,160 @@
+"""Event-driven pulse-level SFQ netlist simulator.
+
+The paper verifies its Unit design with JSIM, a SPICE-level Josephson
+circuit simulator.  What the evaluation consumes from those runs is
+functional correctness and latency — both of which a discrete pulse
+model reproduces once each cell's behaviour and Table I latency are
+encoded (DESIGN.md section 5 documents this substitution).
+
+Model: an SFQ signal is a *pulse* (one flux quantum) arriving at a
+component port at a picosecond timestamp.  Components react to a pulse
+by updating internal state (storage loops) and/or scheduling pulses on
+their outputs after their cell latency.  The simulator is a plain
+time-ordered event queue; simultaneous arrivals are delivered in
+deterministic (insertion-order) sequence, which the race-logic circuits
+exploit with explicit wire delays exactly as the paper's Prioritization
+module does.
+
+Usage::
+
+    net = Netlist()
+    dro = net.add(DroCell("reg0"))
+    probe = net.add(Probe("out"))
+    net.connect(dro, "out", probe, "in")
+    net.pulse(dro, "data", at=0.0)
+    net.pulse(dro, "clock", at=20.0)
+    net.simulate()
+    assert probe.times  # the stored flux quantum was read out
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from abc import ABC, abstractmethod
+
+__all__ = ["Component", "Netlist", "PulseSimulator"]
+
+
+class Component(ABC):
+    """A netlist element with named input and output ports."""
+
+    #: Port names accepting pulses.
+    input_ports: tuple[str, ...] = ()
+    #: Port names emitting pulses.
+    output_ports: tuple[str, ...] = ()
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def on_pulse(self, port: str, time_ps: float, sim: "PulseSimulator") -> None:
+        """React to a pulse on ``port`` at ``time_ps``."""
+
+    def emit(self, sim: "PulseSimulator", port: str, time_ps: float) -> None:
+        """Schedule an output pulse on ``port`` at ``time_ps``."""
+        if port not in self.output_ports:
+            raise ValueError(f"{self.name}: unknown output port {port!r}")
+        sim.route(self, port, time_ps)
+
+    def reset_state(self) -> None:
+        """Clear internal storage loops (default: stateless)."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class PulseSimulator:
+    """Time-ordered pulse event queue over a fixed netlist."""
+
+    def __init__(self, netlist: "Netlist"):
+        self._netlist = netlist
+        self._queue: list[tuple[float, int, Component, str]] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.delivered = 0
+
+    def inject(self, component: Component, port: str, time_ps: float) -> None:
+        """Schedule an external stimulus pulse."""
+        if port not in component.input_ports:
+            raise ValueError(f"{component.name}: unknown input port {port!r}")
+        heapq.heappush(self._queue, (time_ps, next(self._counter), component, port))
+
+    def route(self, component: Component, out_port: str, time_ps: float) -> None:
+        """Deliver an output pulse to every connected input."""
+        for target, in_port in self._netlist.fanout(component, out_port):
+            heapq.heappush(self._queue, (time_ps, next(self._counter), target, in_port))
+
+    def run(self, until_ps: float = float("inf"), max_events: int = 1_000_000) -> None:
+        """Deliver queued pulses in time order until the queue drains."""
+        while self._queue:
+            time_ps, _, component, port = self._queue[0]
+            if time_ps > until_ps:
+                return
+            heapq.heappop(self._queue)
+            self.now = time_ps
+            self.delivered += 1
+            if self.delivered > max_events:
+                raise RuntimeError("pulse storm: event budget exhausted (feedback loop?)")
+            component.on_pulse(port, time_ps, self)
+
+
+class Netlist:
+    """A set of components plus point-to-point port connections."""
+
+    def __init__(self) -> None:
+        self._components: dict[str, Component] = {}
+        self._wiring: dict[tuple[str, str], list[tuple[Component, str]]] = {}
+
+    def add(self, component: Component) -> Component:
+        """Register a component (names must be unique)."""
+        if component.name in self._components:
+            raise ValueError(f"duplicate component name {component.name!r}")
+        self._components[component.name] = component
+        return component
+
+    def __getitem__(self, name: str) -> Component:
+        return self._components[name]
+
+    def connect(
+        self,
+        source: Component,
+        out_port: str,
+        target: Component,
+        in_port: str,
+    ) -> None:
+        """Wire ``source.out_port`` into ``target.in_port``.
+
+        Note real SFQ outputs have fanout 1 (explicit splitters are
+        needed to branch); the netlist enforces that so composite
+        circuits stay honest about their splitter budget.
+        """
+        if out_port not in source.output_ports:
+            raise ValueError(f"{source.name}: unknown output port {out_port!r}")
+        if in_port not in target.input_ports:
+            raise ValueError(f"{target.name}: unknown input port {in_port!r}")
+        key = (source.name, out_port)
+        if self._wiring.get(key):
+            raise ValueError(
+                f"{source.name}.{out_port} already driven to fanout 1 —"
+                " add an explicit splitter"
+            )
+        self._wiring.setdefault(key, []).append((target, in_port))
+
+    def fanout(self, source: Component, out_port: str) -> list[tuple[Component, str]]:
+        """Connected (component, input-port) sinks of an output port."""
+        return self._wiring.get((source.name, out_port), [])
+
+    def components(self) -> list[Component]:
+        """All registered components."""
+        return list(self._components.values())
+
+    def reset_state(self) -> None:
+        """Clear every component's storage loops."""
+        for component in self._components.values():
+            component.reset_state()
+
+    # Convenience single-call API ------------------------------------
+    def simulator(self) -> PulseSimulator:
+        """A fresh simulator bound to this netlist."""
+        return PulseSimulator(self)

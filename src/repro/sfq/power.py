@@ -1,0 +1,102 @@
+"""RSFQ / ERSFQ power models and the 4-K budget planner (Table V).
+
+RSFQ dissipates mostly *static* power in its bias resistors:
+
+    P_static = I_bias x V_bias            (336 mA x 2.5 mV = 840 uW)
+
+which is far too much to co-locate thousands of Units at the 4-K stage
+(~1 W budget [12]).  ERSFQ [13] eliminates the static term; what remains
+is dynamic power, twice the single-flux-quantum switching energy per
+junction per clock [14]:
+
+    P_unit = I_bias x f_clock x Phi0 x 2  (336 mA, 2 GHz -> 2.78 uW)
+
+Table V turns this into system capacity: a distance-d logical qubit
+needs ``2 d (d-1)`` Units (both stabilizer sectors), so the number of
+protectable logical qubits is the 4-K budget divided by the per-logical
+power.  The same arithmetic with AQEC's published constants (13.44 uW
+per unit, ``(2d-1)^2`` units, x7 modules for a 3-D extension) gives its
+37-qubit row.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.decoders.aqec import AQEC_POWER_PER_UNIT_UW, aqec_units_per_logical_qubit
+
+__all__ = [
+    "PHI0_WB",
+    "FOUR_K_BUDGET_W",
+    "aqec_protectable_logical_qubits",
+    "ersfq_unit_power_w",
+    "protectable_logical_qubits",
+    "rsfq_static_power_w",
+    "units_per_logical_qubit",
+]
+
+PHI0_WB = 2.068e-15
+"""Magnetic flux quantum (Wb), as used in Section V-C."""
+
+FOUR_K_BUDGET_W = 1.0
+"""Assumed cooling budget of the 4-K stage of a dilution refrigerator [12]."""
+
+
+def rsfq_static_power_w(bias_current_a: float, supply_voltage_v: float = 2.5e-3) -> float:
+    """RSFQ static power: bias current times supply voltage."""
+    if bias_current_a < 0 or supply_voltage_v < 0:
+        raise ValueError("current and voltage must be non-negative")
+    return bias_current_a * supply_voltage_v
+
+
+def ersfq_unit_power_w(bias_current_a: float, frequency_hz: float) -> float:
+    """ERSFQ dynamic power: ``I_bias x f x Phi0 x 2`` (Section V-C)."""
+    if bias_current_a < 0 or frequency_hz < 0:
+        raise ValueError("current and frequency must be non-negative")
+    return bias_current_a * frequency_hz * PHI0_WB * 2.0
+
+
+def units_per_logical_qubit(d: int) -> int:
+    """QECOOL Units per logical qubit: ``2 d (d-1)`` (both sectors)."""
+    if d < 2:
+        raise ValueError(f"code distance must be >= 2, got {d}")
+    return 2 * d * (d - 1)
+
+
+def protectable_logical_qubits(
+    d: int,
+    power_per_unit_w: float,
+    budget_w: float = FOUR_K_BUDGET_W,
+) -> int:
+    """Logical qubits a power budget sustains with QECOOL decoding.
+
+    Table V's QECOOL row: d=9, ERSFQ at 2 GHz -> 2498.
+    """
+    if power_per_unit_w <= 0:
+        raise ValueError("power per unit must be positive")
+    per_logical = units_per_logical_qubit(d) * power_per_unit_w
+    return math.floor(budget_w / per_logical)
+
+
+def aqec_protectable_logical_qubits(
+    d: int,
+    budget_w: float = FOUR_K_BUDGET_W,
+    three_d_module_factor: int = 7,
+) -> int:
+    """Table V's AQEC row (37 at d=9).
+
+    The paper extends AQEC's published 2-D hardware to 3-D by assuming
+    7x the modules (one per ``thv``-deep plane window, following the
+    same Section III-C argument) at the published 13.44 uW per unit.
+    """
+    per_logical = (
+        aqec_units_per_logical_qubit(d)
+        * three_d_module_factor
+        * AQEC_POWER_PER_UNIT_UW
+        * 1e-6
+    )
+    # The budget sustains 36.78 logical qubits at d=9; the paper reports
+    # 37, i.e. round-to-nearest rather than the floor used for QECOOL's
+    # 2498 (where the raw value is 2498.5).  We follow the paper so the
+    # Table V rows reproduce digit-for-digit.
+    return round(budget_w / per_logical)

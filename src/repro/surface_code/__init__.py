@@ -1,0 +1,45 @@
+"""Planar surface-code substrate.
+
+This subpackage provides everything the decoders consume:
+
+- :class:`~repro.surface_code.lattice.PlanarLattice` — geometry of one
+  stabilizer sector of an unrotated distance-``d`` planar surface code
+  (the ``d x (d-1)`` ancilla grid with west/east boundaries that the
+  QECOOL hardware tiles with Units),
+- noise models (:mod:`repro.surface_code.noise`) — code-capacity and the
+  phenomenological model of Dennis et al. used throughout the paper,
+- multi-round syndrome extraction and detection events
+  (:mod:`repro.surface_code.syndrome`),
+- logical-failure accounting (:mod:`repro.surface_code.logical`).
+"""
+
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.memory import MemoryOutcome, run_memory_trial
+from repro.surface_code.noise import (
+    CodeCapacityNoise,
+    PhenomenologicalNoise,
+    sample_code_capacity,
+    sample_phenomenological,
+)
+from repro.surface_code.syndrome import (
+    SyndromeHistory,
+    detection_events,
+    detection_matrix,
+    syndrome_of,
+)
+
+__all__ = [
+    "CodeCapacityNoise",
+    "MemoryOutcome",
+    "PhenomenologicalNoise",
+    "PlanarLattice",
+    "SyndromeHistory",
+    "detection_events",
+    "detection_matrix",
+    "logical_failure",
+    "run_memory_trial",
+    "sample_code_capacity",
+    "sample_phenomenological",
+    "syndrome_of",
+]

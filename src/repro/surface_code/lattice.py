@@ -1,0 +1,242 @@
+"""Geometry of one stabilizer sector of an unrotated planar surface code.
+
+The paper decodes Pauli-X data errors with the Z-stabilizer (plaquette)
+sector; the X-stabilizer sector is structurally identical ("The identical
+hardware applies to Z error detection"), so the whole package models a
+single sector and everything generalises by symmetry.
+
+Layout for code distance ``d`` (matching Fig. 1 and Section IV-A):
+
+- **Ancillas (Units)** sit on a grid of ``d`` rows by ``d - 1`` columns —
+  exactly the ``d x (d-1)`` Unit array of the QECOOL architecture.  Ancilla
+  ``(r, c)`` has row ``r`` in ``0..d-1`` and column ``c`` in ``0..d-2``.
+- **Horizontal data qubits** ``h(r, k)`` with ``k`` in ``0..d-1`` sit
+  between ancilla columns: ``h(r, 0)`` touches the *west* boundary and
+  ancilla ``(r, 0)``; ``h(r, k)`` for interior ``k`` touches ancillas
+  ``(r, k-1)`` and ``(r, k)``; ``h(r, d-1)`` touches ancilla ``(r, d-2)``
+  and the *east* boundary.  There are ``d * d`` of them.
+- **Vertical data qubits** ``v(r, c)`` with ``r`` in ``0..d-2`` sit between
+  ancillas ``(r, c)`` and ``(r+1, c)``.  There are ``(d-1)^2`` of them.
+
+Total data qubits: ``d^2 + (d-1)^2`` — the standard unrotated planar-code
+count.  Error chains terminate only on the west/east (rough) boundaries,
+which is why the QECOOL architecture needs Boundary Units only on the left
+and right edges of the Unit array.
+
+A *logical* X error is a residual error chain crossing from the west
+boundary to the east boundary; its indicator is the parity of the residual
+error restricted to the west-boundary cut (the ``d`` qubits ``h(r, 0)``).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = ["PlanarLattice"]
+
+
+class PlanarLattice:
+    """One stabilizer sector of a distance-``d`` unrotated planar code.
+
+    Parameters
+    ----------
+    d:
+        Code distance; must be an odd integer >= 3 (the paper evaluates
+        odd distances 5..13; 3 is allowed for tests).
+
+    Attributes
+    ----------
+    rows, cols:
+        Ancilla-grid shape: ``rows == d`` and ``cols == d - 1``.
+    n_ancillas:
+        ``d * (d - 1)`` — Units per sector (Table V's ``2 d (d-1)`` counts
+        both sectors).
+    n_data:
+        ``d^2 + (d-1)^2`` data qubits in this sector's support.
+    """
+
+    def __init__(self, d: int):
+        if d < 2:
+            raise ValueError(f"code distance must be >= 2, got {d}")
+        self.d = d
+        self.rows = d
+        self.cols = d - 1
+        self.n_ancillas = self.rows * self.cols
+        self._n_horizontal = self.rows * d
+        self._n_vertical = (d - 1) * self.cols
+        self.n_data = self._n_horizontal + self._n_vertical
+
+    # ------------------------------------------------------------------
+    # Index mappings
+    # ------------------------------------------------------------------
+    def ancilla_index(self, r: int, c: int) -> int:
+        """Flat index of ancilla ``(r, c)`` (row-major, the token-scan order)."""
+        self._check_ancilla(r, c)
+        return r * self.cols + c
+
+    def ancilla_coords(self, a: int) -> tuple[int, int]:
+        """Inverse of :meth:`ancilla_index`."""
+        if not 0 <= a < self.n_ancillas:
+            raise ValueError(f"ancilla index {a} out of range")
+        return divmod(a, self.cols)
+
+    def horizontal_index(self, r: int, k: int) -> int:
+        """Flat index of horizontal data qubit ``h(r, k)``, ``k`` in ``0..d-1``."""
+        if not (0 <= r < self.rows and 0 <= k <= self.cols):
+            raise ValueError(f"horizontal data ({r}, {k}) out of range for d={self.d}")
+        return r * (self.cols + 1) + k
+
+    def vertical_index(self, r: int, c: int) -> int:
+        """Flat index of vertical data qubit ``v(r, c)``, ``r`` in ``0..d-2``."""
+        if not (0 <= r < self.rows - 1 and 0 <= c < self.cols):
+            raise ValueError(f"vertical data ({r}, {c}) out of range for d={self.d}")
+        return self._n_horizontal + r * self.cols + c
+
+    # ------------------------------------------------------------------
+    # Stabilizer structure
+    # ------------------------------------------------------------------
+    def stabilizer_support(self, r: int, c: int) -> list[int]:
+        """Data-qubit indices in the support of ancilla ``(r, c)``.
+
+        Interior ancillas have weight 4 (west, east, north, south data);
+        top/bottom rows have weight 3 (smooth boundary: no data qubit
+        beyond the lattice in the vertical direction).
+        """
+        self._check_ancilla(r, c)
+        support = [self.horizontal_index(r, c), self.horizontal_index(r, c + 1)]
+        if r > 0:
+            support.append(self.vertical_index(r - 1, c))
+        if r < self.rows - 1:
+            support.append(self.vertical_index(r, c))
+        return support
+
+    @property
+    def parity_matrix(self) -> np.ndarray:
+        """Binary incidence matrix ``H`` of shape ``(n_ancillas, n_data)``.
+
+        ``syndrome = (H @ error) % 2``.  Cached; do not mutate the
+        returned array.
+        """
+        return self._parity_matrix()
+
+    @lru_cache(maxsize=None)
+    def _parity_matrix(self) -> np.ndarray:
+        h = np.zeros((self.n_ancillas, self.n_data), dtype=np.uint8)
+        for r in range(self.rows):
+            for c in range(self.cols):
+                h[self.ancilla_index(r, c), self.stabilizer_support(r, c)] = 1
+        h.setflags(write=False)
+        return h
+
+    # ------------------------------------------------------------------
+    # Distances and correction paths
+    # ------------------------------------------------------------------
+    def manhattan(self, a: tuple[int, int], b: tuple[int, int]) -> int:
+        """Unit-grid Manhattan distance — spike hops and data qubits crossed."""
+        return abs(a[0] - b[0]) + abs(a[1] - b[1])
+
+    def boundary_distance(self, r: int, c: int) -> int:
+        """Data qubits crossed to reach the *nearest* (west/east) boundary."""
+        self._check_ancilla(r, c)
+        return min(c + 1, self.cols - c)
+
+    def west_distance(self, c: int) -> int:
+        """Data qubits crossed from column ``c`` to the west boundary."""
+        return c + 1
+
+    def east_distance(self, c: int) -> int:
+        """Data qubits crossed from column ``c`` to the east boundary."""
+        return self.cols - c
+
+    def pair_path(self, a: tuple[int, int], b: tuple[int, int]) -> list[int]:
+        """Data qubits along the L-shaped correction path between ancillas.
+
+        Mirrors the spike routing of Algorithm 1's ``SPIKE`` procedure:
+        the spike first travels vertically from the source ``b`` to the
+        sink's row, then horizontally to the sink ``a`` — the syndrome /
+        correction signal retraces the same path.  Length equals the
+        Manhattan distance.
+        """
+        (r1, c1), (r2, c2) = a, b
+        self._check_ancilla(r1, c1)
+        self._check_ancilla(r2, c2)
+        path: list[int] = []
+        lo_r, hi_r = sorted((r1, r2))
+        for rr in range(lo_r, hi_r):
+            path.append(self.vertical_index(rr, c2))
+        lo_c, hi_c = sorted((c1, c2))
+        for k in range(lo_c + 1, hi_c + 1):
+            path.append(self.horizontal_index(r1, k))
+        return path
+
+    def boundary_path(self, r: int, c: int, side: str) -> list[int]:
+        """Data qubits from ancilla ``(r, c)`` to the ``side`` boundary.
+
+        ``side`` is ``"west"`` or ``"east"``.
+        """
+        self._check_ancilla(r, c)
+        if side == "west":
+            return [self.horizontal_index(r, k) for k in range(c + 1)]
+        if side == "east":
+            return [self.horizontal_index(r, k) for k in range(c + 1, self.cols + 1)]
+        raise ValueError(f"side must be 'west' or 'east', got {side!r}")
+
+    def nearest_boundary_path(self, r: int, c: int) -> list[int]:
+        """Shortest boundary correction path (ties go west, like the paper's
+        race-logic priority which we fix deterministically)."""
+        side = "west" if self.west_distance(c) <= self.east_distance(c) else "east"
+        return self.boundary_path(r, c, side)
+
+    # ------------------------------------------------------------------
+    # Logical structure
+    # ------------------------------------------------------------------
+    @property
+    def logical_cut(self) -> np.ndarray:
+        """Indicator vector of the west-boundary cut.
+
+        A residual error with zero syndrome is a logical error iff its
+        overlap with this cut is odd (west-east chains cross it exactly
+        once; trivial loops and same-boundary chains cross it an even
+        number of times).
+        """
+        cut = np.zeros(self.n_data, dtype=np.uint8)
+        for r in range(self.rows):
+            cut[self.horizontal_index(r, 0)] = 1
+        cut.setflags(write=False)
+        return cut
+
+    @property
+    def logical_operator(self) -> np.ndarray:
+        """A representative logical error: the west-east chain along row 0."""
+        op = np.zeros(self.n_data, dtype=np.uint8)
+        for k in range(self.cols + 1):
+            op[self.horizontal_index(0, k)] = 1
+        op.setflags(write=False)
+        return op
+
+    # ------------------------------------------------------------------
+    def syndrome_of(self, error: np.ndarray) -> np.ndarray:
+        """Syndrome ``(H @ error) % 2`` as a flat uint8 vector."""
+        error = np.asarray(error, dtype=np.uint8)
+        if error.shape != (self.n_data,):
+            raise ValueError(f"error must have shape ({self.n_data},), got {error.shape}")
+        return (self.parity_matrix @ error) % 2
+
+    def all_ancillas(self) -> list[tuple[int, int]]:
+        """All ancilla coordinates in row-major (token-scan) order."""
+        return [(r, c) for r in range(self.rows) for c in range(self.cols)]
+
+    def _check_ancilla(self, r: int, c: int) -> None:
+        if not (0 <= r < self.rows and 0 <= c < self.cols):
+            raise ValueError(f"ancilla ({r}, {c}) out of range for d={self.d}")
+
+    def __repr__(self) -> str:
+        return f"PlanarLattice(d={self.d})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PlanarLattice) and other.d == self.d
+
+    def __hash__(self) -> int:
+        return hash(("PlanarLattice", self.d))

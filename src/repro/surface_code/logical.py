@@ -1,0 +1,48 @@
+"""Logical-failure accounting.
+
+After decoding, the residual error is the physical error XOR the applied
+correction.  If the decoder did its bookkeeping right the residual has
+zero syndrome; it then either is a product of stabilizers (success) or
+contains a west-east chain (logical X failure).  The indicator is the
+parity of the residual on the west-boundary cut
+(:attr:`repro.surface_code.lattice.PlanarLattice.logical_cut`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["logical_failure", "residual_error"]
+
+
+def residual_error(error: np.ndarray, correction: np.ndarray) -> np.ndarray:
+    """Residual error pattern: ``error XOR correction``."""
+    error = np.asarray(error, dtype=np.uint8)
+    correction = np.asarray(correction, dtype=np.uint8)
+    if error.shape != correction.shape:
+        raise ValueError(f"shape mismatch: {error.shape} vs {correction.shape}")
+    return error ^ correction
+
+
+def logical_failure(
+    lattice: PlanarLattice,
+    error: np.ndarray,
+    correction: np.ndarray,
+    require_clean_syndrome: bool = True,
+) -> bool:
+    """True iff ``correction`` fails to restore the logical state.
+
+    Parameters
+    ----------
+    require_clean_syndrome:
+        When true (default), raise :class:`ValueError` if the residual
+        error still has non-zero syndrome — that would mean the decoder
+        emitted an invalid correction, which is a bug we want loud, not a
+        miscounted failure rate.
+    """
+    residual = residual_error(error, correction)
+    if require_clean_syndrome and lattice.syndrome_of(residual).any():
+        raise ValueError("residual error has non-zero syndrome: invalid correction")
+    return bool(int(residual @ lattice.logical_cut) % 2)

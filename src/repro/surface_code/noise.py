@@ -1,0 +1,114 @@
+"""Noise models for the quantum error simulator.
+
+The paper evaluates with the *phenomenological* noise model of Dennis et
+al. [4]: every round, each data qubit suffers an independent Pauli-X flip
+with probability ``p`` and each ancilla measurement reads out wrong with
+probability ``q``; the paper sets ``q = p`` ("We assume the error
+probabilities of data and ancilla qubits are equal").
+
+The *code-capacity* model (single round, perfect measurement) is used for
+the 2-D threshold comparisons in Table IV.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.surface_code.lattice import PlanarLattice
+from repro.util.rng import make_rng
+
+__all__ = [
+    "CodeCapacityNoise",
+    "PhenomenologicalNoise",
+    "sample_code_capacity",
+    "sample_phenomenological",
+]
+
+
+@dataclass(frozen=True)
+class CodeCapacityNoise:
+    """Single-round data-error-only noise (perfect syndrome measurement)."""
+
+    p: float
+
+    def __post_init__(self) -> None:
+        _check_probability("p", self.p)
+
+    def sample(self, lattice: PlanarLattice, rng: np.random.Generator | int | None = None) -> np.ndarray:
+        """One iid Pauli-X error pattern over the lattice's data qubits."""
+        rng = make_rng(rng)
+        return (rng.random(lattice.n_data) < self.p).astype(np.uint8)
+
+
+@dataclass(frozen=True)
+class PhenomenologicalNoise:
+    """Per-round iid data flips (``p``) and measurement flips (``q``).
+
+    ``q`` defaults to ``p`` as in the paper.
+    """
+
+    p: float
+    q: float | None = None
+
+    def __post_init__(self) -> None:
+        _check_probability("p", self.p)
+        if self.q is not None:
+            _check_probability("q", self.q)
+
+    @property
+    def measurement_error_rate(self) -> float:
+        """Effective measurement-flip probability (``q`` or ``p``)."""
+        return self.p if self.q is None else self.q
+
+    def sample_round(
+        self, lattice: PlanarLattice, rng: np.random.Generator | int | None = None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """New data errors and measurement flips for one round.
+
+        Returns ``(data_flips, measurement_flips)`` as uint8 vectors of
+        lengths ``n_data`` and ``n_ancillas``.
+        """
+        rng = make_rng(rng)
+        data = (rng.random(lattice.n_data) < self.p).astype(np.uint8)
+        meas = (rng.random(lattice.n_ancillas) < self.measurement_error_rate).astype(np.uint8)
+        return data, meas
+
+
+def sample_code_capacity(
+    lattice: PlanarLattice, p: float, rng: np.random.Generator | int | None = None
+) -> np.ndarray:
+    """Convenience wrapper: one code-capacity error sample."""
+    return CodeCapacityNoise(p).sample(lattice, rng)
+
+
+def sample_phenomenological(
+    lattice: PlanarLattice,
+    p: float,
+    n_rounds: int,
+    rng: np.random.Generator | int | None = None,
+    q: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample ``n_rounds`` of phenomenological noise at once.
+
+    Returns ``(data_flips, measurement_flips)`` with shapes
+    ``(n_rounds, n_data)`` and ``(n_rounds, n_ancillas)``.  Row ``t`` holds
+    the *new* errors appearing in round ``t`` (cumulative state is the
+    running XOR) and the measurement flips applied to round ``t``'s
+    readout.
+    """
+    if n_rounds < 0:
+        raise ValueError(f"n_rounds must be non-negative, got {n_rounds}")
+    model = PhenomenologicalNoise(p, q)
+    rng = make_rng(rng)
+    data = (rng.random((n_rounds, lattice.n_data)) < model.p).astype(np.uint8)
+    meas = (
+        rng.random((n_rounds, lattice.n_ancillas)) < model.measurement_error_rate
+    ).astype(np.uint8)
+    return data, meas
+
+
+def _check_probability(name: str, value: float) -> None:
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value}")

@@ -1,0 +1,150 @@
+"""Multi-round syndrome extraction and detection events.
+
+Decoders in this package (QECOOL and all baselines) consume *detection
+events*: the XOR of consecutive measured syndromes.  An isolated data
+error creates a pair of events at the round it appears (or one event if
+it borders the west/east boundary); an isolated measurement error creates
+a vertical pair of events in consecutive rounds — exactly the 3-D lattice
+matching picture of Fig. 1(c).
+
+``SyndromeHistory`` packages a complete noisy experiment: the per-round
+cumulative error state, measured syndromes, and detection events, for the
+*batch* setting (decode after all rounds).  The online setting, where
+corrections feed back between rounds, is driven round-by-round by
+:mod:`repro.core.online` using :func:`syndrome_of` directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = [
+    "SyndromeHistory",
+    "detection_events",
+    "detection_matrix",
+    "syndrome_of",
+]
+
+
+def syndrome_of(lattice: PlanarLattice, error: np.ndarray) -> np.ndarray:
+    """Perfect syndrome of ``error`` (alias of ``lattice.syndrome_of``)."""
+    return lattice.syndrome_of(error)
+
+
+def detection_events(measured: np.ndarray) -> np.ndarray:
+    """Detection events from a stack of measured syndromes.
+
+    ``measured`` has shape ``(n_layers, n_ancillas)``; row 0 is compared
+    against the all-zero reference (fresh logical qubit), so the result
+    has the same shape: ``events[0] = measured[0]`` and
+    ``events[t] = measured[t] XOR measured[t-1]``.
+    """
+    measured = np.asarray(measured, dtype=np.uint8)
+    if measured.ndim != 2:
+        raise ValueError(f"measured must be 2-D, got shape {measured.shape}")
+    events = measured.copy()
+    events[1:] ^= measured[:-1]
+    return events
+
+
+def detection_matrix(events: np.ndarray, lattice: PlanarLattice) -> list[list[tuple[int, int, int]]]:
+    """Defect coordinates ``(r, c, t)`` per layer, from an event stack."""
+    defects: list[list[tuple[int, int, int]]] = []
+    for t in range(events.shape[0]):
+        layer = []
+        for a in np.flatnonzero(events[t]):
+            r, c = lattice.ancilla_coords(int(a))
+            layer.append((r, c, t))
+        defects.append(layer)
+    return defects
+
+
+@dataclass(frozen=True)
+class SyndromeHistory:
+    """A complete batch experiment: errors, syndromes and events.
+
+    Attributes
+    ----------
+    lattice:
+        Geometry the experiment ran on.
+    cumulative_error:
+        Shape ``(n_layers, n_data)``: the physical error state present
+        when round ``t`` was measured.
+    measured:
+        Shape ``(n_layers, n_ancillas)``: syndromes as read out
+        (including measurement flips).
+    events:
+        Shape ``(n_layers, n_ancillas)``: detection events.
+    final_error:
+        The error state after the last round — what the decoder's
+        correction must neutralise.
+    """
+
+    lattice: PlanarLattice
+    cumulative_error: np.ndarray
+    measured: np.ndarray
+    events: np.ndarray
+
+    @property
+    def n_layers(self) -> int:
+        """Number of syndrome-measurement layers (event layers)."""
+        return self.measured.shape[0]
+
+    @property
+    def final_error(self) -> np.ndarray:
+        """Physical error state after the final round."""
+        return self.cumulative_error[-1]
+
+    @classmethod
+    def run(
+        cls,
+        lattice: PlanarLattice,
+        data_flips: np.ndarray,
+        meas_flips: np.ndarray,
+        final_round_perfect: bool = True,
+    ) -> "SyndromeHistory":
+        """Execute a batch experiment from pre-sampled noise.
+
+        ``data_flips`` / ``meas_flips`` come from
+        :func:`repro.surface_code.noise.sample_phenomenological` and have
+        one row per noisy round.  When ``final_round_perfect`` is true a
+        trailing perfectly-measured round (no new data errors) is
+        appended — the standard device-independent way to terminate the
+        3-D lattice so every chain is matchable (the paper's batch
+        evaluation decodes a ``d``-round window the same way).
+        """
+        data_flips = np.asarray(data_flips, dtype=np.uint8)
+        meas_flips = np.asarray(meas_flips, dtype=np.uint8)
+        if data_flips.ndim != 2 or data_flips.shape[1] != lattice.n_data:
+            raise ValueError("data_flips has wrong shape")
+        if data_flips.shape[0] < 1:
+            raise ValueError("need at least one noisy round")
+        if meas_flips.shape != (data_flips.shape[0], lattice.n_ancillas):
+            raise ValueError("meas_flips has wrong shape")
+        cumulative = np.cumsum(data_flips, axis=0, dtype=np.int64) % 2
+        cumulative = cumulative.astype(np.uint8)
+        measured = (cumulative @ lattice.parity_matrix.T) % 2
+        measured ^= meas_flips
+        if final_round_perfect:
+            last = lattice.syndrome_of(cumulative[-1])
+            measured = np.vstack([measured, last[None, :]])
+            cumulative = np.vstack([cumulative, cumulative[-1][None, :]])
+        return cls(
+            lattice=lattice,
+            cumulative_error=cumulative,
+            measured=measured.astype(np.uint8),
+            events=detection_events(measured),
+        )
+
+    def defects(self) -> list[tuple[int, int, int]]:
+        """All defect coordinates ``(r, c, t)`` in time-major scan order."""
+        out: list[tuple[int, int, int]] = []
+        for t in range(self.n_layers):
+            for a in np.flatnonzero(self.events[t]):
+                r, c = self.lattice.ancilla_coords(int(a))
+                out.append((r, c, t))
+        return out

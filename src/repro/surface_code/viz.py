@@ -1,0 +1,105 @@
+"""ASCII rendering of lattices, errors, syndromes and matchings.
+
+A distance-3 sector renders as::
+
+    W = o = [.] = o = [.] = o = E
+          |       |
+    W = o = [!] = o = [.] = o = E
+          |       |
+    W = o = [.] = o = [.] = o = E
+
+``[.]`` are ancillas (``[!]`` = defect), ``o`` horizontal data qubits,
+``|`` vertical data qubits, ``W``/``E`` the rough boundaries.  Errors
+render as ``X``, corrections as ``#``, overlap (error cancelled by a
+correction) as ``*``.
+
+These renderings back the examples and make decoder-debugging sessions
+legible; they are also regression-tested, so the coordinate conventions
+of :class:`~repro.surface_code.lattice.PlanarLattice` stay pinned.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.decoders.base import Match
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["render_history_layer", "render_lattice", "render_matches"]
+
+
+def _data_char(flags: int) -> str:
+    """Marker for a data qubit: bit 0 = error, bit 1 = correction."""
+    return {0: None, 1: "X", 2: "#", 3: "*"}[flags]
+
+
+def render_lattice(
+    lattice: PlanarLattice,
+    error: np.ndarray | None = None,
+    correction: np.ndarray | None = None,
+    syndrome: np.ndarray | None = None,
+) -> str:
+    """Render one 2-D sector with optional error/correction/syndrome."""
+    flags = np.zeros(lattice.n_data, dtype=np.uint8)
+    if error is not None:
+        flags |= np.asarray(error, dtype=np.uint8)
+    if correction is not None:
+        flags |= np.asarray(correction, dtype=np.uint8) << 1
+    lines: list[str] = []
+    for r in range(lattice.rows):
+        parts = ["W"]
+        for c in range(lattice.cols + 1):
+            mark = _data_char(int(flags[lattice.horizontal_index(r, c)]))
+            parts.append(f"= {mark or 'o'} =")
+            if c < lattice.cols:
+                lit = bool(
+                    syndrome is not None
+                    and syndrome[lattice.ancilla_index(r, c)]
+                )
+                parts.append("[!]" if lit else "[.]")
+        parts.append("E")
+        row_line = " ".join(parts)
+        lines.append(row_line)
+        if r < lattice.rows - 1:
+            # Ancilla boxes sit at columns 8..10, 18..20, ... of the row
+            # line; centre each vertical data qubit under its box.
+            gap = [" "] * len(row_line)
+            for c in range(lattice.cols):
+                mark = _data_char(int(flags[lattice.vertical_index(r, c)]))
+                gap[9 + 10 * c] = mark or "|"
+            lines.append("".join(gap).rstrip())
+    return "\n".join(lines)
+
+
+def render_history_layer(
+    lattice: PlanarLattice, events: np.ndarray, layer: int
+) -> str:
+    """Render the detection events of one time layer."""
+    events = np.asarray(events, dtype=np.uint8)
+    if events.ndim == 1:
+        events = events[None, :]
+    if not 0 <= layer < events.shape[0]:
+        raise ValueError(f"layer {layer} out of range")
+    return render_lattice(lattice, syndrome=events[layer])
+
+
+def render_matches(lattice: PlanarLattice, matches: list[Match]) -> list[str]:
+    """One descriptive line per match, with its spatial correction path."""
+    lines = []
+    for match in matches:
+        r, c, t = match.a
+        if match.kind == "boundary":
+            path = lattice.boundary_path(r, c, match.side)
+            lines.append(
+                f"boundary ({r},{c},t={t}) -> {match.side}"
+                f"  [{len(path)} data flips]"
+            )
+        else:
+            r2, c2, t2 = match.b
+            path = lattice.pair_path((r, c), (r2, c2))
+            kind = "vertical" if (r, c) == (r2, c2) else "pair"
+            lines.append(
+                f"{kind:<8} ({r},{c},t={t}) <-> ({r2},{c2},t={t2})"
+                f"  [{len(path)} data flips, dt={match.vertical_extent}]"
+            )
+    return lines

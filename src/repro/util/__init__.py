@@ -1,0 +1,16 @@
+"""Shared utilities: statistics and random-number handling."""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.stats import (
+    RateEstimate,
+    mean_std,
+    wilson_interval,
+)
+
+__all__ = [
+    "RateEstimate",
+    "make_rng",
+    "mean_std",
+    "spawn_rngs",
+    "wilson_interval",
+]

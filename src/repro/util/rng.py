@@ -1,0 +1,35 @@
+"""Random-number-generator helpers.
+
+All Monte-Carlo entry points in this package accept either an integer seed
+or a ready-made :class:`numpy.random.Generator`.  Centralising the
+conversion here keeps experiment code deterministic and reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["make_rng", "spawn_rngs"]
+
+
+def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh OS entropy), an integer, or an existing
+    generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random.Generator]:
+    """Split ``seed`` into ``n`` statistically independent generators.
+
+    Used by shot runners so each trial stream is independent regardless of
+    how many samples earlier trials consumed.
+    """
+    if n < 0:
+        raise ValueError(f"n must be non-negative, got {n}")
+    root = make_rng(seed)
+    return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)]

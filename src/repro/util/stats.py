@@ -1,0 +1,73 @@
+"""Statistics helpers for Monte-Carlo estimates.
+
+Logical-error-rate experiments report binomial proportions with Wilson
+confidence intervals; cycle-count experiments report mean / max / standard
+deviation, matching the columns of Table III in the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["RateEstimate", "wilson_interval", "mean_std"]
+
+
+def wilson_interval(successes: int, trials: int, z: float = 1.96) -> tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Preferred over the normal approximation because logical error rates in
+    the sub-threshold regime are tiny and the normal interval would cross
+    zero.
+
+    Returns ``(low, high)``; ``(0.0, 1.0)`` when ``trials`` is zero.
+    """
+    if trials < 0 or successes < 0 or successes > trials:
+        raise ValueError(f"invalid counts: {successes}/{trials}")
+    if trials == 0:
+        return (0.0, 1.0)
+    p_hat = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    centre = (p_hat + z2 / (2 * trials)) / denom
+    half = (z / denom) * math.sqrt(p_hat * (1 - p_hat) / trials + z2 / (4 * trials * trials))
+    low = 0.0 if successes == 0 else max(0.0, centre - half)
+    high = 1.0 if successes == trials else min(1.0, centre + half)
+    return (low, high)
+
+
+def mean_std(values: list[float] | tuple[float, ...]) -> tuple[float, float]:
+    """Population mean and standard deviation of ``values``.
+
+    Population (not sample) std matches how the paper's Table III sigma is
+    computed over the full set of per-layer cycle counts.
+    """
+    if not values:
+        return (0.0, 0.0)
+    n = len(values)
+    mean = sum(values) / n
+    var = sum((v - mean) ** 2 for v in values) / n
+    return (mean, math.sqrt(var))
+
+
+@dataclass(frozen=True)
+class RateEstimate:
+    """A binomial rate estimate with its Wilson confidence interval."""
+
+    successes: int
+    trials: int
+    z: float = 1.96
+
+    @property
+    def rate(self) -> float:
+        """Point estimate; 0.0 when no trials were run."""
+        return self.successes / self.trials if self.trials else 0.0
+
+    @property
+    def interval(self) -> tuple[float, float]:
+        """Wilson ``(low, high)`` confidence interval."""
+        return wilson_interval(self.successes, self.trials, self.z)
+
+    def __str__(self) -> str:
+        low, high = self.interval
+        return f"{self.rate:.3e} [{low:.3e}, {high:.3e}] ({self.successes}/{self.trials})"

@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surface_code.lattice import PlanarLattice
+
+
+@pytest.fixture(scope="session")
+def d3() -> PlanarLattice:
+    """Smallest interesting lattice (fast tests)."""
+    return PlanarLattice(3)
+
+
+@pytest.fixture(scope="session")
+def d5() -> PlanarLattice:
+    """The smallest distance the paper evaluates."""
+    return PlanarLattice(5)
+
+
+@pytest.fixture(scope="session")
+def d7() -> PlanarLattice:
+    """Mid-size lattice for integration tests."""
+    return PlanarLattice(7)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

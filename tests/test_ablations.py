@@ -1,0 +1,60 @@
+"""Tests for the ablation sweeps."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    AblationPoint,
+    ordering_ablation,
+    sweep_measurement_noise,
+    sweep_reg_size,
+    sweep_thv,
+)
+
+
+class TestAblationPoint:
+    def test_rates(self):
+        pt = AblationPoint("thv", 3, failures=5, overflows=2, shots=50)
+        assert pt.failure_rate.rate == pytest.approx(0.1)
+        assert pt.overflow_rate.rate == pytest.approx(0.04)
+        assert "thv=3" in pt.format()
+
+
+class TestSweeps:
+    def test_thv_sweep_structure(self):
+        points = sweep_thv(d=5, p=0.01, shots=12, thvs=(0, 3))
+        assert [pt.value for pt in points] == [0, 3]
+        assert all(pt.shots == 12 for pt in points)
+
+    def test_thv_zero_hurts(self):
+        """No temporal look-ahead treats every measurement error as a
+        data error — at meaningful noise this must be visibly worse."""
+        points = sweep_thv(d=7, p=0.02, shots=80, thvs=(0, 3), seed=7)
+        rate = {pt.value: pt.failure_rate.rate for pt in points}
+        assert rate[0] > rate[3]
+
+    def test_reg_size_sweep_structure(self):
+        points = sweep_reg_size(d=5, p=0.01, shots=10, sizes=(4, 7))
+        assert [pt.value for pt in points] == [4, 7]
+
+    def test_tiny_reg_overflows_under_pressure(self):
+        points = sweep_reg_size(
+            d=9, p=0.02, shots=40, sizes=(4, 12), frequency_hz=0.25e9, seed=3
+        )
+        overflow = {pt.value: pt.overflows for pt in points}
+        assert overflow[4] >= overflow[12]
+        assert overflow[4] > 0
+
+    def test_measurement_noise_sweep(self):
+        points = sweep_measurement_noise(
+            d=5, p=0.01, shots=60, q_over_p=(0.0, 4.0), seed=5
+        )
+        rate = {pt.value: pt.failure_rate.rate for pt in points}
+        assert rate[0.0] <= rate[4.0] + 0.05
+
+    def test_ordering_ablation_keys(self):
+        rates = ordering_ablation(d=5, p=0.01, shots=30)
+        assert set(rates) == {"qecool", "greedy", "mwpm"}
+        for est in rates.values():
+            assert est.trials == 30

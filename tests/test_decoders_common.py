@@ -1,0 +1,103 @@
+"""Cross-decoder contract tests.
+
+Every decoder in the package must satisfy the same contract: given any
+detection-event stack, the returned correction's syndrome equals the
+per-ancilla XOR of the events (all defects explained, nothing else
+touched).  Running the full matrix here means a new decoder gets the
+whole battery for free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.window import SlidingWindowDecoder
+from repro.decoders.aqec import AqecDecoder
+from repro.decoders.greedy import GreedyMatchingDecoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import sample_phenomenological
+from repro.surface_code.syndrome import SyndromeHistory
+
+DECODER_FACTORIES = [
+    QecoolDecoder,
+    MwpmDecoder,
+    UnionFindDecoder,
+    GreedyMatchingDecoder,
+    AqecDecoder,
+    SlidingWindowDecoder,
+]
+
+
+@pytest.fixture(params=DECODER_FACTORIES, ids=lambda f: f.__name__)
+def decoder(request):
+    return request.param()
+
+
+class TestContract:
+    def test_name_is_set(self, decoder):
+        assert decoder.name != "decoder"
+
+    def test_empty_events_empty_correction(self, decoder, d5):
+        events = np.zeros((3, d5.n_ancillas), dtype=np.uint8)
+        result = decoder.decode(d5, events)
+        assert not result.correction.any()
+        assert result.matches == [] or result.n_matches == 0
+
+    def test_accepts_1d_events(self, decoder, d5):
+        syndrome = np.zeros(d5.n_ancillas, dtype=np.uint8)
+        syndrome[d5.ancilla_index(2, 1)] = 1
+        result = decoder.decode(d5, syndrome)
+        assert np.array_equal(d5.syndrome_of(result.correction), syndrome)
+
+    def test_single_data_error_corrected(self, decoder, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[d5.vertical_index(1, 1)] = 1
+        result = decoder.decode_code_capacity(d5, d5.syndrome_of(error))
+        assert not logical_failure(d5, error, result.correction)
+
+    def test_single_boundary_error_corrected(self, decoder, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[d5.horizontal_index(3, 0)] = 1
+        result = decoder.decode_code_capacity(d5, d5.syndrome_of(error))
+        assert not logical_failure(d5, error, result.correction)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_valid_on_random_stacks(self, decoder, d5, seed):
+        rng = np.random.default_rng(seed)
+        events = (rng.random((4, d5.n_ancillas)) < 0.12).astype(np.uint8)
+        result = decoder.decode(d5, events)
+        expected = np.bitwise_xor.reduce(events, axis=0)
+        assert np.array_equal(d5.syndrome_of(result.correction), expected)
+
+    def test_valid_on_realizable_history(self, decoder, d7):
+        data, meas = sample_phenomenological(d7, 0.02, 7, 123)
+        history = SyndromeHistory.run(d7, data, meas)
+        result = decoder.decode(d7, history.events)
+        # Residual syndrome must be clean — logical_failure would raise.
+        logical_failure(d7, history.final_error, result.correction)
+
+
+@given(
+    st.integers(3, 6),
+    st.integers(1, 4),
+    st.floats(0.0, 0.3),
+    st.integers(0, 2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_all_decoders_valid_property(d, n_layers, density, seed):
+    lattice = PlanarLattice(d)
+    rng = np.random.default_rng(seed)
+    events = (rng.random((n_layers, lattice.n_ancillas)) < density).astype(np.uint8)
+    expected = np.bitwise_xor.reduce(events, axis=0)
+    for factory in DECODER_FACTORIES:
+        result = factory().decode(lattice, events)
+        assert np.array_equal(
+            lattice.syndrome_of(result.correction), expected
+        ), factory.__name__

@@ -1,0 +1,116 @@
+"""Metamorphic properties of the QECOOL matching policy.
+
+Symmetries the greedy spike policy must respect; violations would mean
+hidden coordinate dependencies in the engine's optimisations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import QecoolDecoder
+from repro.decoders.base import Match
+from repro.surface_code.lattice import PlanarLattice
+
+
+@st.composite
+def sparse_stacks(draw):
+    d = draw(st.integers(3, 6))
+    lattice = PlanarLattice(d)
+    n_layers = draw(st.integers(1, 3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    events = (rng.random((n_layers, lattice.n_ancillas)) < 0.1).astype(np.uint8)
+    return lattice, events
+
+
+def shift_time(match: Match, k: int) -> Match:
+    a = (match.a[0], match.a[1], match.a[2] + k)
+    if match.kind == "boundary":
+        return Match("boundary", a, side=match.side)
+    return Match("pair", a, (match.b[0], match.b[1], match.b[2] + k))
+
+
+def shift_rows(match: Match, k: int) -> Match:
+    a = (match.a[0] + k, match.a[1], match.a[2])
+    if match.kind == "boundary":
+        return Match("boundary", a, side=match.side)
+    return Match("pair", a, (match.b[0] + k, match.b[1], match.b[2]))
+
+
+@given(sparse_stacks(), st.integers(1, 3))
+@settings(max_examples=50, deadline=None)
+def test_prepended_empty_layers_only_shift_times(case, k):
+    """Empty leading layers pop immediately; the matching on the rest is
+    unchanged up to the time offset."""
+    lattice, events = case
+    base = QecoolDecoder().decode(lattice, events).matches
+    padded = np.vstack(
+        [np.zeros((k, lattice.n_ancillas), dtype=np.uint8), events]
+    )
+    shifted = QecoolDecoder().decode(lattice, padded).matches
+    assert shifted == [shift_time(m, k) for m in base]
+
+
+@given(sparse_stacks())
+@settings(max_examples=50, deadline=None)
+def test_appended_empty_layers_do_not_change_matching(case):
+    lattice, events = case
+    base = QecoolDecoder().decode(lattice, events).matches
+    padded = np.vstack(
+        [events, np.zeros((2, lattice.n_ancillas), dtype=np.uint8)]
+    )
+    assert QecoolDecoder().decode(lattice, padded).matches == base
+
+
+@given(sparse_stacks())
+@settings(max_examples=50, deadline=None)
+def test_row_translation_equivariance(case):
+    """Shifting every defect down one row (when the top row is empty of
+    consequences, i.e. we embed in a taller lattice conceptually) is not
+    available on a fixed lattice; instead check the weaker property: a
+    configuration occupying only the top half, shifted to the bottom
+    half, yields row-shifted matches.  Row-major token order and the
+    race keys are both translation-covariant, so this must hold
+    exactly."""
+    lattice, events = case
+    half = lattice.rows // 2
+    if half == 0:
+        return
+    # Keep only defects in rows [0, half); build the shifted copy.
+    trimmed = events.copy()
+    shifted_events = np.zeros_like(events)
+    shift = lattice.rows - half
+    kept_any = False
+    for t in range(events.shape[0]):
+        for a in np.flatnonzero(events[t]):
+            r, c = lattice.ancilla_coords(int(a))
+            if r < half:
+                kept_any = True
+                shifted_events[t, lattice.ancilla_index(r + shift, c)] = 1
+            else:
+                trimmed[t, a] = 0
+    base = QecoolDecoder().decode(lattice, trimmed).matches
+    shifted = QecoolDecoder().decode(lattice, shifted_events).matches
+    if not kept_any:
+        assert base == shifted == []
+        return
+    assert shifted == [shift_rows(m, shift) for m in base]
+
+
+@given(sparse_stacks())
+@settings(max_examples=40, deadline=None)
+def test_decode_is_idempotent_on_residual_events(case):
+    """After decoding, re-decoding the (now empty) residual event set
+    yields nothing: the decoder consumed every defect exactly once."""
+    lattice, events = case
+    result = QecoolDecoder().decode(lattice, events)
+    residual = events.copy()
+    for match in result.matches:
+        for (r, c, t) in match.endpoints():
+            residual[t, lattice.ancilla_index(r, c)] ^= 1
+    assert not residual.any()
+    again = QecoolDecoder().decode(lattice, residual)
+    assert again.matches == []

@@ -1,0 +1,70 @@
+"""Property-based cross-validation: optimised engine vs naive reference.
+
+The engine (:mod:`repro.core.engine`) uses bitmasks, analytic sweep
+skipping and a lazily-validated winner cache; the reference
+(:mod:`repro.core.reference`) re-implements Algorithm 1 as literally and
+slowly as possible.  They must make *identical* matching decisions on
+every input — this suite is the main guard on the engine's
+optimisations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.reference import reference_greedy_matching
+from repro.surface_code.lattice import PlanarLattice
+
+
+@st.composite
+def event_stacks(draw, max_d=7, max_layers=5, max_density=0.25):
+    d = draw(st.integers(3, max_d))
+    lattice = PlanarLattice(d)
+    n_layers = draw(st.integers(1, max_layers))
+    density = draw(st.floats(0.0, max_density))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    events = (rng.random((n_layers, lattice.n_ancillas)) < density).astype(np.uint8)
+    return lattice, events
+
+
+@given(event_stacks())
+@settings(max_examples=120, deadline=None)
+def test_engine_matches_reference(case):
+    lattice, events = case
+    engine_matches = QecoolDecoder().decode(lattice, events).matches
+    reference_matches = reference_greedy_matching(lattice, events)
+    assert engine_matches == reference_matches
+
+
+@given(event_stacks(max_d=5, max_layers=3, max_density=0.5))
+@settings(max_examples=60, deadline=None)
+def test_engine_matches_reference_dense(case):
+    """High defect density stresses the winner cache invalidation."""
+    lattice, events = case
+    engine_matches = QecoolDecoder().decode(lattice, events).matches
+    reference_matches = reference_greedy_matching(lattice, events)
+    assert engine_matches == reference_matches
+
+
+@given(event_stacks())
+@settings(max_examples=60, deadline=None)
+def test_correction_syndrome_equals_event_parity(case):
+    """Decoder validity: the correction's syndrome equals the XOR over
+    event layers — every defect is explained exactly."""
+    lattice, events = case
+    result = QecoolDecoder().decode(lattice, events)
+    expected = np.bitwise_xor.reduce(events, axis=0)
+    assert np.array_equal(lattice.syndrome_of(result.correction), expected)
+
+
+@given(event_stacks(max_d=6, max_layers=4))
+@settings(max_examples=60, deadline=None)
+def test_every_defect_matched_exactly_once(case):
+    lattice, events = case
+    result = QecoolDecoder().decode(lattice, events)
+    endpoints = [e for m in result.matches for e in m.endpoints()]
+    assert len(endpoints) == len(set(endpoints)) == int(events.sum())

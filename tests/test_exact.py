@@ -1,0 +1,43 @@
+"""Tests for the brute-force optimal matcher (itself a test oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decoders.base import total_weight
+from repro.decoders.exact import brute_force_matching
+
+
+class TestBruteForce:
+    def test_empty(self, d5):
+        weight, matches = brute_force_matching(d5, [])
+        assert weight == 0
+        assert matches == []
+
+    def test_single_defect_nearest_boundary(self, d5):
+        weight, matches = brute_force_matching(d5, [(2, 1, 0)])
+        assert weight == 2  # west distance from column 1
+        assert matches[0].side == "west"
+
+    def test_adjacent_pair_beats_boundaries(self, d5):
+        # Columns 1 and 2 of d=5: boundaries cost 2 + 2, pairing costs 1.
+        weight, matches = brute_force_matching(d5, [(2, 1, 0), (2, 2, 0)])
+        assert weight == 1
+        assert matches[0].kind == "pair"
+
+    def test_boundary_split_beats_long_pair(self, d5):
+        # Columns 0 and 3: pairing costs 3, boundaries cost 1 + 1.
+        weight, matches = brute_force_matching(d5, [(2, 0, 0), (2, 3, 0)])
+        assert weight == 2
+        assert all(m.kind == "boundary" for m in matches)
+
+    def test_weight_consistent_with_match_list(self, d5):
+        defects = [(0, 0, 0), (1, 1, 0), (2, 2, 1), (4, 3, 2)]
+        weight, matches = brute_force_matching(d5, defects)
+        assert total_weight(d5, matches) == weight
+
+    def test_too_many_defects_rejected(self, d5):
+        defects = [(r, c, 0) for r in range(5) for c in range(3)]
+        assert len(defects) == 15
+        with pytest.raises(ValueError):
+            brute_force_matching(d5, defects)

@@ -1,0 +1,173 @@
+"""Smoke and contract tests for every experiment generator."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.core.online import OnlineConfig
+from repro.experiments.fig4 import Fig4aResult, run_fig4a, run_fig4b
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.montecarlo import (
+    run_batch_point,
+    run_code_capacity_point,
+    run_online_point,
+)
+from repro.experiments.runner import EXPERIMENTS, run_experiment
+from repro.experiments.table3 import PAPER_TABLE3, run_table3
+from repro.experiments.table4 import PAPER_TABLE4, run_table4
+from repro.experiments.table5 import run_table5
+from repro.experiments.tables12 import format_table1, format_table2, headline_numbers
+from repro.core.decoder import QecoolDecoder
+from repro.decoders.mwpm import MwpmDecoder
+
+
+class TestMonteCarloRunners:
+    def test_code_capacity_point(self):
+        point = run_code_capacity_point(QecoolDecoder(), 5, 0.02, 20, rng=1)
+        assert point.shots == 20
+        assert 0 <= point.failures <= 20
+        assert point.decoder == "qecool"
+
+    def test_batch_point_with_match_stats(self):
+        point = run_batch_point(MwpmDecoder(), 5, 0.02, 15, rng=2)
+        assert point.n_matches >= point.n_deep_vertical >= 0
+        assert 0.0 <= point.deep_vertical_fraction <= 1.0
+
+    def test_online_point(self):
+        point = run_online_point(5, 0.01, 15, OnlineConfig(), rng=3)
+        assert point.failures >= point.overflows
+        assert point.logical_rate.trials == 15
+
+    def test_online_point_layer_cycles(self):
+        point = run_online_point(
+            5, 0.005, 5, OnlineConfig(frequency_hz=None), rng=4,
+            n_rounds=10, keep_layer_cycles=True,
+        )
+        assert len(point.layer_cycles) == 5 * 11
+
+    def test_deterministic(self):
+        a = run_batch_point(QecoolDecoder(), 5, 0.02, 20, rng=9)
+        b = run_batch_point(QecoolDecoder(), 5, 0.02, 20, rng=9)
+        assert a.failures == b.failures
+
+
+class TestFig4:
+    def test_fig4a_structure(self):
+        result = run_fig4a(shots=8, distances=(3, 5), ps=(0.01, 0.05))
+        assert set(result.points) == {"qecool", "mwpm"}
+        curves = result.curves("qecool")
+        assert set(curves) == {3, 5}
+        assert all(len(v) == 2 for v in curves.values())
+
+    def test_fig4a_rows_format(self):
+        result = run_fig4a(shots=5, distances=(3,), ps=(0.05,))
+        rows = result.rows()
+        assert len(rows) == 1 + 2  # header + one row per decoder
+        assert "qecool" in "".join(rows)
+
+    def test_fig4b_fraction_grows_with_p(self):
+        points = run_fig4b(shots=40, d=5, ps=(0.003, 0.08), seed=1)
+        assert points[0].deep_vertical_fraction <= points[1].deep_vertical_fraction + 0.01
+
+    def test_empty_result_threshold(self):
+        result = Fig4aResult()
+        assert not result.threshold("qecool").found
+
+
+class TestFig7:
+    def test_structure_and_overflow_accounting(self):
+        result = run_fig7(
+            shots=6, frequencies=(1e9,), distances=(5,), ps=(0.01, 0.03)
+        )
+        assert list(result.points) == [1e9]
+        assert len(result.points[1e9]) == 2
+        fractions = result.overflow_fraction(1e9)
+        assert set(fractions) == {(5, 0.01), (5, 0.03)}
+
+    def test_rows_format(self):
+        result = run_fig7(shots=4, frequencies=(2e9,), distances=(5,), ps=(0.01,))
+        rows = result.rows()
+        assert any("2.0GHz" in r for r in rows)
+
+
+class TestTable3:
+    def test_paper_reference_complete(self):
+        assert len(PAPER_TABLE3) == 15  # 5 distances x 3 error rates
+
+    def test_rows(self):
+        rows = run_table3(shots=5, distances=(5,), ps=(0.001, 0.01), rounds_per_shot=10)
+        assert len(rows) == 2
+        for row in rows:
+            assert row.max_cycles >= row.avg_cycles >= 0
+            assert row.n_layers == 5 * 11
+            assert row.paper is not None
+            assert row.meets_1us_at_2ghz
+            assert "paper" in row.format()
+
+
+class TestTable4:
+    def test_paper_reference(self):
+        assert PAPER_TABLE4["qecool"] == (0.060, 0.010)
+        assert PAPER_TABLE4["aqec"][1] is None
+
+    def test_2d_only_run(self):
+        rows = run_table4(
+            shots=25, ps_2d=(0.05, 0.15), distances_2d=(3, 5),
+            include_3d=False,
+        )
+        names = [r.decoder for r in rows]
+        assert names == ["mwpm", "union-find", "aqec", "qecool", "greedy"]
+        for row in rows:
+            assert row.p_th_3d is None
+            assert row.format()
+
+    def test_seeds_independent_of_include_3d(self):
+        a = run_table4(shots=10, ps_2d=(0.08,), distances_2d=(3, 5), include_3d=False)
+        b = run_table4(shots=10, ps_2d=(0.08,), distances_2d=(3, 5), include_3d=False)
+        assert [r.p_th_2d for r in a] == [r.p_th_2d for r in b]
+
+
+class TestTable5:
+    def test_rows(self):
+        rows = run_table5(shots=10, rounds_per_shot=10)
+        assert [r.decoder for r in rows] == ["aqec", "qecool"]
+        aqec, qecool = rows
+        assert aqec.protectable == 37
+        assert qecool.protectable == 2498
+        assert qecool.power_per_unit_uw == pytest.approx(2.78, abs=0.01)
+        assert not aqec.applicable_3d and qecool.applicable_3d
+        assert "2498" in qecool.format()
+
+
+class TestTables12:
+    def test_table1_lines(self):
+        lines = format_table1()
+        assert len(lines) == 8  # header + 7 cells
+        assert any("switch_1to2" in l for l in lines)
+
+    def test_table2_total_line(self):
+        lines = format_table2()
+        assert "3177" in lines[-1]
+
+    def test_headlines(self):
+        numbers = headline_numbers()
+        assert numbers["total_jjs"] == 3177
+        assert numbers["ersfq_power_uw"] == pytest.approx(2.78, abs=0.01)
+        assert numbers["max_frequency_ghz"] == pytest.approx(4.65, abs=0.01)
+
+
+class TestRunner:
+    def test_experiment_names(self):
+        assert "fig4a" in EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError):
+            run_experiment("nope", 10)
+
+    @pytest.mark.parametrize("name", ["tables12", "table5"])
+    def test_cheap_experiments_run(self, name):
+        out = io.StringIO()
+        run_experiment(name, shots=10, out=out)
+        assert len(out.getvalue()) > 100

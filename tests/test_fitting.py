@@ -1,0 +1,70 @@
+"""Tests for the scaling-ansatz threshold fit."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.fitting import fit_threshold_ansatz
+from repro.experiments.threshold import estimate_threshold
+
+
+def ansatz_curves(p_th, amplitude=0.1, distances=(5, 7, 9), ps=(0.002, 0.004, 0.008)):
+    curves = {}
+    for d in distances:
+        k = (d + 1) // 2
+        curves[d] = [(p, amplitude * (p / p_th) ** k) for p in ps]
+    return curves
+
+
+class TestAnsatzFit:
+    def test_exact_recovery(self):
+        fit = fit_threshold_ansatz(ansatz_curves(0.015))
+        assert fit.p_th == pytest.approx(0.015, rel=1e-6)
+        assert fit.amplitude == pytest.approx(0.1, rel=1e-6)
+        assert fit.rms_residual == pytest.approx(0.0, abs=1e-9)
+
+    def test_predict(self):
+        fit = fit_threshold_ansatz(ansatz_curves(0.02))
+        assert fit.predict(7, 0.02) == pytest.approx(fit.amplitude, rel=1e-6)
+        assert fit.predict(9, 0.01) < fit.predict(5, 0.01)
+
+    def test_noisy_recovery(self):
+        rng = np.random.default_rng(8)
+        curves = {}
+        for d, points in ansatz_curves(0.012).items():
+            curves[d] = [
+                (p, rate * math.exp(rng.normal(0, 0.1))) for p, rate in points
+            ]
+        fit = fit_threshold_ansatz(curves)
+        assert fit.p_th == pytest.approx(0.012, rel=0.2)
+        assert fit.rms_residual < 0.3
+        assert fit.n_points == 9
+
+    def test_window_drops_saturated_points(self):
+        curves = ansatz_curves(0.015)
+        curves[5].append((0.5, 0.5))  # saturated: outside the window
+        fit = fit_threshold_ansatz(curves)
+        assert fit.p_th == pytest.approx(0.015, rel=1e-6)
+
+    def test_needs_two_distances(self):
+        curves = {5: [(0.002, 1e-3), (0.004, 4e-3), (0.008, 2e-2)]}
+        with pytest.raises(ValueError):
+            fit_threshold_ansatz(curves)
+
+    def test_needs_three_points(self):
+        curves = {5: [(0.002, 1e-3)], 7: [(0.002, 1e-4)]}
+        with pytest.raises(ValueError):
+            fit_threshold_ansatz(curves)
+
+    def test_agrees_with_crossing_estimator(self):
+        """Both estimators must land on the same synthetic threshold."""
+        curves = ansatz_curves(
+            0.018, distances=(5, 7, 9), ps=(0.005, 0.01, 0.02, 0.03)
+        )
+        fit = fit_threshold_ansatz(curves)
+        crossing = estimate_threshold(curves)
+        assert crossing.found
+        assert fit.p_th == pytest.approx(crossing.p_th, rel=0.1)

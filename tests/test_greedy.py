@@ -1,0 +1,85 @@
+"""Tests for the Drake–Hougardy-style greedy matcher."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders.base import total_weight
+from repro.decoders.exact import brute_force_matching
+from repro.decoders.greedy import GreedyMatchingDecoder
+from repro.surface_code.lattice import PlanarLattice
+
+
+class TestGreedyPolicy:
+    def test_globally_closest_pair_first(self, d7):
+        # B-C at distance 1; A at distance 2 from B.  Greedy pairs (B, C)
+        # and sends A to... its options: boundary west (distance 3) from
+        # column 2.  A ends on the boundary even though (A, B) was cheap.
+        defects = [(3, 2, 0), (3, 4, 0), (3, 5, 0)]
+        matches = GreedyMatchingDecoder().match_defects(d7, defects)
+        pair = next(m for m in matches if m.kind == "pair")
+        assert {pair.a[:2], pair.b[:2]} == {(3, 4), (3, 5)}
+        boundary = next(m for m in matches if m.kind == "boundary")
+        assert boundary.a == (3, 2, 0)
+
+    def test_boundary_when_cheaper(self, d5):
+        matches = GreedyMatchingDecoder().match_defects(d5, [(0, 0, 0), (4, 3, 2)])
+        assert all(m.kind == "boundary" for m in matches)
+
+    def test_empty(self, d5):
+        assert GreedyMatchingDecoder().match_defects(d5, []) == []
+
+    @given(
+        st.integers(3, 6).flatmap(
+            lambda d: st.tuples(
+                st.just(PlanarLattice(d)),
+                st.lists(
+                    st.tuples(
+                        st.integers(0, d - 1),
+                        st.integers(0, d - 2),
+                        st.integers(0, 3),
+                    ),
+                    min_size=0, max_size=8, unique=True,
+                ),
+            )
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_greedy_bounded_by_all_boundary_solution(self, case):
+        """Greedy is never better than optimal, and never worse than
+        sending every defect to its own boundary: a pair is only ever
+        committed when it is strictly cheaper than its endpoints' two
+        boundary matches.  (Unlike maximum-weight matching, greedy
+        *minimum* matching has no constant-factor guarantee, so the
+        boundary sum is the honest upper bound.)"""
+        lattice, defects = case
+        matches = GreedyMatchingDecoder().match_defects(lattice, defects)
+        optimal, _ = brute_force_matching(lattice, defects)
+        got = total_weight(lattice, matches)
+        all_boundary = sum(lattice.boundary_distance(r, c) for (r, c, _) in defects)
+        assert optimal <= got <= all_boundary
+
+    def test_equal_weight_tie_prefers_pair(self):
+        """Pair vs boundary at the same weight resolves to the pair —
+        mirroring the paper's delayed Boundary Unit spikes."""
+        lattice = PlanarLattice(4)
+        matches = GreedyMatchingDecoder().match_defects(
+            lattice, [(0, 0, 0), (0, 1, 0)]
+        )
+        assert len(matches) == 1
+        assert matches[0].kind == "pair"
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(0, 3), st.integers(0, 3)),
+            min_size=1, max_size=9, unique=True,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_every_defect_consumed_once(self, defects):
+        lattice = PlanarLattice(5)
+        matches = GreedyMatchingDecoder().match_defects(lattice, defects)
+        endpoints = [e for m in matches for e in m.endpoints()]
+        assert sorted(endpoints) == sorted(defects)

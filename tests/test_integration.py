@@ -1,0 +1,139 @@
+"""End-to-end statistical integration tests.
+
+These run real Monte-Carlo workloads (moderate shot counts, fixed seeds)
+and assert the *physics* the paper relies on: sub-threshold scaling,
+decoder accuracy ordering, and online/batch consistency.  Loose bounds
+keep them stable while still catching sign errors, broken corrections or
+metric regressions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.online import OnlineConfig, run_online_trial
+from repro.decoders.greedy import GreedyMatchingDecoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.decoders.union_find import UnionFindDecoder
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import sample_code_capacity, sample_phenomenological
+from repro.surface_code.syndrome import SyndromeHistory
+
+
+def batch_failures(decoder, d, p, shots, seed):
+    lattice = PlanarLattice(d)
+    rng = np.random.default_rng(seed)
+    failures = 0
+    for _ in range(shots):
+        data, meas = sample_phenomenological(lattice, p, d, rng)
+        history = SyndromeHistory.run(lattice, data, meas)
+        result = decoder.decode(lattice, history.events)
+        failures += logical_failure(lattice, history.final_error, result.correction)
+    return failures
+
+
+def code_capacity_failures(decoder, d, p, shots, seed):
+    lattice = PlanarLattice(d)
+    rng = np.random.default_rng(seed)
+    failures = 0
+    for _ in range(shots):
+        error = sample_code_capacity(lattice, p, rng)
+        result = decoder.decode_code_capacity(lattice, lattice.syndrome_of(error))
+        failures += logical_failure(lattice, error, result.correction)
+    return failures
+
+
+class TestSubThresholdScaling:
+    """Below p_th, increasing d must decrease the logical error rate."""
+
+    def test_qecool_batch_d5_vs_d9_below_threshold(self):
+        f5 = batch_failures(QecoolDecoder(), 5, 0.004, 400, seed=10)
+        f9 = batch_failures(QecoolDecoder(), 9, 0.004, 400, seed=11)
+        assert f9 < max(f5, 3)
+
+    def test_mwpm_code_capacity_d3_vs_d7(self):
+        f3 = code_capacity_failures(MwpmDecoder(), 3, 0.05, 500, seed=12)
+        f7 = code_capacity_failures(MwpmDecoder(), 7, 0.05, 500, seed=13)
+        assert f7 < f3
+
+    def test_above_threshold_large_d_hurts_qecool(self):
+        """Above QECOOL's ~1.5% batch threshold, bigger codes fail more —
+        the defining property of a threshold.  (p = 3% sits above p_th
+        but below the ~50% saturation where the ordering washes out.)"""
+        f5 = batch_failures(QecoolDecoder(), 5, 0.03, 300, seed=14)
+        f9 = batch_failures(QecoolDecoder(), 9, 0.03, 300, seed=15)
+        assert f9 > f5
+
+
+class TestDecoderOrdering:
+    """MWPM is the accuracy reference; QECOOL trades accuracy for
+    hardware simplicity; a fair sample must show MWPM no worse."""
+
+    def test_mwpm_not_worse_than_qecool_batch(self):
+        shots = 300
+        p = 0.02  # between the two thresholds: separation is largest
+        f_mwpm = batch_failures(MwpmDecoder(), 7, p, shots, seed=20)
+        f_qecool = batch_failures(QecoolDecoder(), 7, p, shots, seed=20)
+        assert f_mwpm <= f_qecool + 10
+
+    def test_mwpm_beats_qecool_above_its_threshold(self):
+        shots = 200
+        f_mwpm = batch_failures(MwpmDecoder(), 9, 0.02, shots, seed=21)
+        f_qecool = batch_failures(QecoolDecoder(), 9, 0.02, shots, seed=21)
+        assert f_mwpm < f_qecool
+
+    def test_union_find_close_to_mwpm(self):
+        shots = 300
+        f_uf = batch_failures(UnionFindDecoder(), 7, 0.015, shots, seed=22)
+        f_mwpm = batch_failures(MwpmDecoder(), 7, 0.015, shots, seed=22)
+        assert f_mwpm <= f_uf + 8
+
+    def test_greedy_not_wildly_worse_than_mwpm(self):
+        shots = 200
+        f_greedy = batch_failures(GreedyMatchingDecoder(), 5, 0.01, shots, seed=23)
+        f_mwpm = batch_failures(MwpmDecoder(), 5, 0.01, shots, seed=23)
+        assert f_greedy <= 5 * max(f_mwpm, 3)
+
+
+class TestOnlineConsistency:
+    def test_online_unconstrained_comparable_to_batch(self):
+        """At 2 GHz the decoder keeps up easily at d=5, so online and
+        batch QECOOL should have similar failure rates (online can even
+        win slightly: it corrects errors sooner)."""
+        lattice = PlanarLattice(5)
+        rng = np.random.default_rng(30)
+        shots, p = 300, 0.01
+        online_failures = sum(
+            run_online_trial(lattice, p, 5, OnlineConfig(), rng=rng).failed
+            for _ in range(shots)
+        )
+        batch = batch_failures(QecoolDecoder(), 5, p, shots, seed=31)
+        assert online_failures <= batch + 15
+
+    def test_overflow_only_at_slow_clock(self):
+        lattice = PlanarLattice(9)
+        rng = np.random.default_rng(32)
+        fast = [
+            run_online_trial(lattice, 0.01, 9, OnlineConfig(frequency_hz=2e9), rng=rng)
+            for _ in range(40)
+        ]
+        assert not any(o.overflow for o in fast)
+
+
+class TestFullPipeline:
+    def test_quickstart_snippet_runs(self):
+        """The README / package-docstring quickstart must stay valid."""
+        from repro import PlanarLattice, QecoolDecoder, SyndromeHistory
+        from repro.surface_code import sample_phenomenological
+        from repro.surface_code.logical import logical_failure
+
+        lattice = PlanarLattice(d=5)
+        data, meas = sample_phenomenological(lattice, p=0.005, n_rounds=5, rng=7)
+        history = SyndromeHistory.run(lattice, data, meas)
+        result = QecoolDecoder().decode(lattice, history.events)
+        assert isinstance(
+            logical_failure(lattice, history.final_error, result.correction), bool
+        )

@@ -1,0 +1,231 @@
+"""Tests for the planar surface-code geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.surface_code.lattice import PlanarLattice
+
+DISTANCES = [2, 3, 5, 7, 9, 13]
+
+
+def lattice_and_ancilla(min_d: int = 2, max_d: int = 9):
+    """Strategy: (lattice, (r, c)) with valid ancilla coordinates."""
+    return st.integers(min_d, max_d).flatmap(
+        lambda d: st.tuples(
+            st.just(PlanarLattice(d)),
+            st.tuples(st.integers(0, d - 1), st.integers(0, d - 2)),
+        )
+    )
+
+
+class TestCounts:
+    @pytest.mark.parametrize("d", DISTANCES)
+    def test_ancilla_count(self, d):
+        assert PlanarLattice(d).n_ancillas == d * (d - 1)
+
+    @pytest.mark.parametrize("d", DISTANCES)
+    def test_data_count(self, d):
+        assert PlanarLattice(d).n_data == d * d + (d - 1) * (d - 1)
+
+    def test_rejects_tiny_distance(self):
+        with pytest.raises(ValueError):
+            PlanarLattice(1)
+
+    def test_repr_and_equality(self):
+        assert PlanarLattice(5) == PlanarLattice(5)
+        assert PlanarLattice(5) != PlanarLattice(7)
+        assert "5" in repr(PlanarLattice(5))
+
+
+class TestIndexing:
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_ancilla_index_bijection(self, d):
+        lattice = PlanarLattice(d)
+        seen = set()
+        for r in range(lattice.rows):
+            for c in range(lattice.cols):
+                idx = lattice.ancilla_index(r, c)
+                assert lattice.ancilla_coords(idx) == (r, c)
+                seen.add(idx)
+        assert seen == set(range(lattice.n_ancillas))
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_data_indices_disjoint_and_complete(self, d):
+        lattice = PlanarLattice(d)
+        seen = set()
+        for r in range(lattice.rows):
+            for k in range(lattice.cols + 1):
+                seen.add(lattice.horizontal_index(r, k))
+        for r in range(lattice.rows - 1):
+            for c in range(lattice.cols):
+                seen.add(lattice.vertical_index(r, c))
+        assert seen == set(range(lattice.n_data))
+
+    def test_out_of_range_raises(self, d5):
+        with pytest.raises(ValueError):
+            d5.ancilla_index(5, 0)
+        with pytest.raises(ValueError):
+            d5.ancilla_coords(d5.n_ancillas)
+        with pytest.raises(ValueError):
+            d5.horizontal_index(0, 5)
+        with pytest.raises(ValueError):
+            d5.vertical_index(4, 0)
+
+
+class TestStabilizers:
+    def test_interior_weight_four(self, d5):
+        assert len(d5.stabilizer_support(2, 1)) == 4
+
+    def test_top_and_bottom_weight_three(self, d5):
+        assert len(d5.stabilizer_support(0, 1)) == 3
+        assert len(d5.stabilizer_support(4, 1)) == 3
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_each_data_qubit_in_at_most_two_stabilizers(self, d):
+        lattice = PlanarLattice(d)
+        column_weights = lattice.parity_matrix.sum(axis=0)
+        assert column_weights.max() <= 2
+        assert column_weights.min() >= 1
+
+    def test_parity_matrix_shape_and_immutability(self, d5):
+        h = d5.parity_matrix
+        assert h.shape == (d5.n_ancillas, d5.n_data)
+        with pytest.raises(ValueError):
+            h[0, 0] = 1
+
+    def test_single_data_error_flips_its_stabilizers(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        q = d5.vertical_index(1, 2)
+        error[q] = 1
+        syndrome = d5.syndrome_of(error)
+        flipped = set(np.flatnonzero(syndrome))
+        assert flipped == {d5.ancilla_index(1, 2), d5.ancilla_index(2, 2)}
+
+    def test_west_boundary_error_flips_one_stabilizer(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[d5.horizontal_index(2, 0)] = 1
+        syndrome = d5.syndrome_of(error)
+        assert list(np.flatnonzero(syndrome)) == [d5.ancilla_index(2, 0)]
+
+
+class TestPaths:
+    @given(lattice_and_ancilla())
+    def test_boundary_paths_have_published_lengths(self, pair):
+        lattice, (r, c) = pair
+        assert len(lattice.boundary_path(r, c, "west")) == lattice.west_distance(c)
+        assert len(lattice.boundary_path(r, c, "east")) == lattice.east_distance(c)
+        assert lattice.boundary_distance(r, c) == min(
+            lattice.west_distance(c), lattice.east_distance(c)
+        )
+
+    def test_bad_side_rejected(self, d5):
+        with pytest.raises(ValueError):
+            d5.boundary_path(0, 0, "north")
+
+    @given(
+        st.integers(3, 9).flatmap(
+            lambda d: st.tuples(
+                st.just(PlanarLattice(d)),
+                st.tuples(st.integers(0, d - 1), st.integers(0, d - 2)),
+                st.tuples(st.integers(0, d - 1), st.integers(0, d - 2)),
+            )
+        )
+    )
+    def test_pair_path_length_is_manhattan(self, triple):
+        lattice, a, b = triple
+        assert len(lattice.pair_path(a, b)) == lattice.manhattan(a, b)
+
+    @given(
+        st.integers(3, 9).flatmap(
+            lambda d: st.tuples(
+                st.just(PlanarLattice(d)),
+                st.tuples(st.integers(0, d - 1), st.integers(0, d - 2)),
+                st.tuples(st.integers(0, d - 1), st.integers(0, d - 2)),
+            )
+        )
+    )
+    def test_pair_path_syndrome_is_exactly_the_endpoints(self, triple):
+        """Flipping the correction path must flip exactly the two matched
+        ancillas (or none, when source == sink)."""
+        lattice, a, b = triple
+        error = np.zeros(lattice.n_data, dtype=np.uint8)
+        for q in lattice.pair_path(a, b):
+            error[q] ^= 1
+        flipped = set(np.flatnonzero(lattice.syndrome_of(error)))
+        if a == b:
+            assert flipped == set()
+        else:
+            assert flipped == {lattice.ancilla_index(*a), lattice.ancilla_index(*b)}
+
+    @given(lattice_and_ancilla())
+    def test_boundary_path_syndrome_is_exactly_the_ancilla(self, pair):
+        lattice, (r, c) = pair
+        for side in ("west", "east"):
+            error = np.zeros(lattice.n_data, dtype=np.uint8)
+            for q in lattice.boundary_path(r, c, side):
+                error[q] ^= 1
+            flipped = set(np.flatnonzero(lattice.syndrome_of(error)))
+            assert flipped == {lattice.ancilla_index(r, c)}
+
+    def test_nearest_boundary_prefers_west_on_tie(self):
+        lattice = PlanarLattice(3)  # cols=2: column 0 ties west=1 vs east=2? no
+        # d=5, cols=4: column 1 has west=2, east=3 -> west; column 2: west=3,
+        # east=2 -> east.  A genuine tie needs odd cols: d=4 (cols=3), c=1.
+        tie = PlanarLattice(4)
+        path = tie.nearest_boundary_path(0, 1)
+        assert path == tie.boundary_path(0, 1, "west")
+
+
+class TestLogicalStructure:
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_operator_commutes_with_stabilizers(self, d):
+        lattice = PlanarLattice(d)
+        assert not lattice.syndrome_of(lattice.logical_operator).any()
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_logical_operator_crosses_cut_once(self, d):
+        lattice = PlanarLattice(d)
+        overlap = int(lattice.logical_operator @ lattice.logical_cut) % 2
+        assert overlap == 1
+
+    @pytest.mark.parametrize("d", [3, 5, 7])
+    def test_trivial_cycles_cross_cut_evenly(self, d):
+        """Syndrome-free error chains split into homology classes; the
+        west-cut parity must vanish on every *trivial* generator (square
+        faces of the grid and west/east boundary returns) so that it is a
+        genuine logical indicator."""
+        lattice = PlanarLattice(d)
+        loops = []
+        # Square faces between ancilla rows r, r+1 and columns c, c+1.
+        for r in range(lattice.rows - 1):
+            for c in range(lattice.cols - 1):
+                loops.append([
+                    lattice.horizontal_index(r, c + 1),
+                    lattice.horizontal_index(r + 1, c + 1),
+                    lattice.vertical_index(r, c),
+                    lattice.vertical_index(r, c + 1),
+                ])
+        # Boundary "U" returns on both rough edges.
+        for r in range(lattice.rows - 1):
+            loops.append([
+                lattice.horizontal_index(r, 0),
+                lattice.horizontal_index(r + 1, 0),
+                lattice.vertical_index(r, 0),
+            ])
+            loops.append([
+                lattice.horizontal_index(r, lattice.cols),
+                lattice.horizontal_index(r + 1, lattice.cols),
+                lattice.vertical_index(r, lattice.cols - 1),
+            ])
+        for loop in loops:
+            chain = np.zeros(lattice.n_data, dtype=np.uint8)
+            chain[loop] = 1
+            assert not lattice.syndrome_of(chain).any()
+            assert int(chain @ lattice.logical_cut) % 2 == 0
+
+    def test_cut_size_is_d(self, d5):
+        assert int(d5.logical_cut.sum()) == 5

@@ -1,0 +1,63 @@
+"""Tests for logical-failure accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surface_code.logical import logical_failure, residual_error
+
+
+class TestResidual:
+    def test_xor(self):
+        a = np.array([1, 0, 1], dtype=np.uint8)
+        b = np.array([1, 1, 0], dtype=np.uint8)
+        assert residual_error(a, b).tolist() == [0, 1, 1]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            residual_error(np.zeros(3, dtype=np.uint8), np.zeros(4, dtype=np.uint8))
+
+
+class TestLogicalFailure:
+    def test_no_error_no_failure(self, d5):
+        zero = np.zeros(d5.n_data, dtype=np.uint8)
+        assert not logical_failure(d5, zero, zero)
+
+    def test_logical_operator_fails(self, d5):
+        zero = np.zeros(d5.n_data, dtype=np.uint8)
+        assert logical_failure(d5, d5.logical_operator.copy(), zero)
+
+    def test_perfect_correction_succeeds(self, d5, rng):
+        error = (rng.random(d5.n_data) < 0.2).astype(np.uint8)
+        assert not logical_failure(d5, error, error.copy())
+
+    def test_correction_off_by_logical_fails(self, d5, rng):
+        error = (rng.random(d5.n_data) < 0.2).astype(np.uint8)
+        correction = error ^ d5.logical_operator
+        assert logical_failure(d5, error, correction)
+
+    def test_correction_off_by_stabilizer_loop_succeeds(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        loop = np.zeros(d5.n_data, dtype=np.uint8)
+        loop[[
+            d5.horizontal_index(1, 2),
+            d5.horizontal_index(2, 2),
+            d5.vertical_index(1, 1),
+            d5.vertical_index(1, 2),
+        ]] = 1
+        assert not logical_failure(d5, error, loop)
+
+    def test_dirty_residual_raises(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[0] = 1  # single flip: syndrome non-zero
+        zero = np.zeros(d5.n_data, dtype=np.uint8)
+        with pytest.raises(ValueError, match="non-zero syndrome"):
+            logical_failure(d5, error, zero)
+
+    def test_dirty_residual_allowed_when_not_required(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[d5.horizontal_index(0, 0)] = 1
+        zero = np.zeros(d5.n_data, dtype=np.uint8)
+        # Crosses the cut once: counted as failure when the check is off.
+        assert logical_failure(d5, error, zero, require_clean_syndrome=False)

@@ -1,0 +1,70 @@
+"""Tests for the dual-sector logical memory simulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import QecoolDecoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.surface_code.memory import MemoryOutcome, run_memory_trial
+
+
+class TestMemoryOutcome:
+    def test_failed_is_or(self):
+        assert not MemoryOutcome(False, False).failed
+        assert MemoryOutcome(True, False).failed
+        assert MemoryOutcome(False, True).failed
+
+
+class TestMemoryTrial:
+    def test_noiseless_survives(self):
+        outcome = run_memory_trial(5, QecoolDecoder, px=0.0, rng=1)
+        assert not outcome.failed
+
+    def test_deterministic(self):
+        a = run_memory_trial(5, QecoolDecoder, px=0.03, py=0.01, rng=9)
+        b = run_memory_trial(5, QecoolDecoder, px=0.03, py=0.01, rng=9)
+        assert (a.x_failed, a.z_failed) == (b.x_failed, b.z_failed)
+
+    def test_asymmetric_noise_biases_sectors(self):
+        """Heavy X noise with no Z noise should fail the X sector far
+        more often than the Z sector."""
+        rng = np.random.default_rng(3)
+        x_fails = z_fails = 0
+        for _ in range(60):
+            outcome = run_memory_trial(5, QecoolDecoder, px=0.04, pz=0.0, rng=rng)
+            x_fails += outcome.x_failed
+            z_fails += outcome.z_failed
+        assert x_fails > z_fails
+        assert z_fails == 0
+
+    def test_y_errors_hit_both_sectors(self):
+        """Pure Y noise behaves like correlated X and Z (footnote 2)."""
+        rng = np.random.default_rng(4)
+        x_fails = z_fails = 0
+        for _ in range(60):
+            outcome = run_memory_trial(
+                5, QecoolDecoder, px=0.0, pz=0.0, py=0.04, rng=rng
+            )
+            x_fails += outcome.x_failed
+            z_fails += outcome.z_failed
+        assert x_fails > 0
+        assert z_fails > 0
+
+    def test_combined_rate_roughly_doubles_single_sector(self):
+        """With symmetric independent noise, the logical loss rate is
+        close to the union of two iid sector failures."""
+        rng = np.random.default_rng(5)
+        n = 150
+        outcomes = [
+            run_memory_trial(5, MwpmDecoder, px=0.02, rng=rng) for _ in range(n)
+        ]
+        either = sum(o.failed for o in outcomes)
+        x_only = sum(o.x_failed for o in outcomes)
+        assert either >= x_only
+        assert either <= 2 * x_only + 10
+
+    def test_custom_rounds(self):
+        outcome = run_memory_trial(5, QecoolDecoder, px=0.01, n_rounds=2, rng=6)
+        assert isinstance(outcome.failed, bool)

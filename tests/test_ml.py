@@ -1,0 +1,80 @@
+"""Tests for the exact maximum-likelihood decoder (d = 3 oracle)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import QecoolDecoder
+from repro.decoders.ml import MaximumLikelihoodDecoder
+from repro.decoders.mwpm import MwpmDecoder
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import sample_code_capacity
+
+
+class TestConstruction:
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            MaximumLikelihoodDecoder(p=0.0)
+        with pytest.raises(ValueError):
+            MaximumLikelihoodDecoder(p=0.6)
+
+    def test_rejects_large_distance(self, d5):
+        decoder = MaximumLikelihoodDecoder(p=0.05)
+        with pytest.raises(ValueError):
+            decoder.decode_code_capacity(d5, np.zeros(d5.n_ancillas, dtype=np.uint8))
+
+    def test_rejects_multilayer(self, d3):
+        decoder = MaximumLikelihoodDecoder(p=0.05)
+        with pytest.raises(ValueError):
+            decoder.decode(d3, np.zeros((2, d3.n_ancillas), dtype=np.uint8))
+
+
+class TestCorrectness:
+    def test_zero_syndrome_trivial_correction(self, d3):
+        decoder = MaximumLikelihoodDecoder(p=0.05)
+        result = decoder.decode_code_capacity(
+            d3, np.zeros(d3.n_ancillas, dtype=np.uint8)
+        )
+        # The identity has far higher likelihood than any logical chain.
+        assert not result.correction.any()
+
+    def test_correction_always_valid(self, d3):
+        decoder = MaximumLikelihoodDecoder(p=0.08)
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            error = sample_code_capacity(d3, 0.15, rng)
+            syndrome = d3.syndrome_of(error)
+            result = decoder.decode_code_capacity(d3, syndrome)
+            assert np.array_equal(d3.syndrome_of(result.correction), syndrome)
+
+    def test_single_error_corrected(self, d3):
+        decoder = MaximumLikelihoodDecoder(p=0.05)
+        for q in range(d3.n_data):
+            error = np.zeros(d3.n_data, dtype=np.uint8)
+            error[q] = 1
+            result = decoder.decode_code_capacity(d3, d3.syndrome_of(error))
+            assert not logical_failure(d3, error, result.correction)
+
+
+class TestOptimality:
+    @pytest.mark.parametrize("other", [MwpmDecoder, QecoolDecoder])
+    def test_nothing_beats_maximum_likelihood(self, d3, other):
+        """ML is the information-theoretic optimum: on a common sample no
+        matching decoder may do meaningfully better."""
+        p = 0.12
+        ml = MaximumLikelihoodDecoder(p=p)
+        rival = other()
+        rng = np.random.default_rng(7)
+        ml_fails = rival_fails = 0
+        for _ in range(400):
+            error = sample_code_capacity(d3, p, rng)
+            syndrome = d3.syndrome_of(error)
+            ml_fails += logical_failure(
+                d3, error, ml.decode_code_capacity(d3, syndrome).correction
+            )
+            rival_fails += logical_failure(
+                d3, error, rival.decode_code_capacity(d3, syndrome).correction
+            )
+        assert ml_fails <= rival_fails + 8  # slack for Monte-Carlo noise

@@ -1,0 +1,81 @@
+"""Tests for the noise models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surface_code.noise import (
+    CodeCapacityNoise,
+    PhenomenologicalNoise,
+    sample_code_capacity,
+    sample_phenomenological,
+)
+
+
+class TestCodeCapacity:
+    def test_zero_probability_is_clean(self, d5, rng):
+        assert not CodeCapacityNoise(0.0).sample(d5, rng).any()
+
+    def test_unit_probability_flips_everything(self, d5, rng):
+        assert CodeCapacityNoise(1.0).sample(d5, rng).all()
+
+    def test_shape_and_dtype(self, d5, rng):
+        sample = CodeCapacityNoise(0.3).sample(d5, rng)
+        assert sample.shape == (d5.n_data,)
+        assert sample.dtype == np.uint8
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            CodeCapacityNoise(1.5)
+        with pytest.raises(ValueError):
+            CodeCapacityNoise(-0.1)
+
+    def test_rate_statistics(self, d7):
+        rng = np.random.default_rng(0)
+        total = sum(
+            sample_code_capacity(d7, 0.2, rng).sum() for _ in range(200)
+        )
+        rate = total / (200 * d7.n_data)
+        assert 0.17 < rate < 0.23
+
+    def test_deterministic_for_seed(self, d5):
+        a = sample_code_capacity(d5, 0.3, 99)
+        b = sample_code_capacity(d5, 0.3, 99)
+        assert np.array_equal(a, b)
+
+
+class TestPhenomenological:
+    def test_q_defaults_to_p(self):
+        assert PhenomenologicalNoise(0.01).measurement_error_rate == 0.01
+
+    def test_explicit_q(self):
+        assert PhenomenologicalNoise(0.01, q=0.02).measurement_error_rate == 0.02
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            PhenomenologicalNoise(0.01, q=2.0)
+
+    def test_sample_round_shapes(self, d5, rng):
+        data, meas = PhenomenologicalNoise(0.1).sample_round(d5, rng)
+        assert data.shape == (d5.n_data,)
+        assert meas.shape == (d5.n_ancillas,)
+
+    def test_multiround_shapes(self, d5, rng):
+        data, meas = sample_phenomenological(d5, 0.05, 7, rng)
+        assert data.shape == (7, d5.n_data)
+        assert meas.shape == (7, d5.n_ancillas)
+
+    def test_zero_rounds_allowed(self, d5, rng):
+        data, meas = sample_phenomenological(d5, 0.05, 0, rng)
+        assert data.shape[0] == 0
+
+    def test_negative_rounds_rejected(self, d5, rng):
+        with pytest.raises(ValueError):
+            sample_phenomenological(d5, 0.05, -1, rng)
+
+    def test_measurement_rate_statistics(self, d5):
+        rng = np.random.default_rng(3)
+        _, meas = sample_phenomenological(d5, 0.1, 500, rng)
+        rate = meas.mean()
+        assert 0.08 < rate < 0.12

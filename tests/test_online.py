@@ -1,0 +1,107 @@
+"""Tests for the online-QEC simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.online import OnlineConfig, run_online_trial
+from repro.surface_code.lattice import PlanarLattice
+
+
+class TestOnlineConfig:
+    def test_cycles_per_interval(self):
+        config = OnlineConfig(frequency_hz=2e9, measurement_interval_s=1e-6)
+        assert config.cycles_per_interval == 2000
+
+    def test_unconstrained(self):
+        assert OnlineConfig(frequency_hz=None).cycles_per_interval == float("inf")
+
+    def test_paper_defaults(self):
+        config = OnlineConfig()
+        assert config.thv == 3
+        assert config.reg_size == 7
+        assert config.measurement_interval_s == 1e-6
+
+
+class TestOnlineTrial:
+    def test_noiseless_never_fails(self, d5):
+        for freq in (None, 2e9, 0.5e9):
+            outcome = run_online_trial(
+                d5, p=0.0, n_rounds=5, config=OnlineConfig(frequency_hz=freq), rng=1
+            )
+            assert not outcome.failed
+            assert not outcome.overflow
+
+    def test_noiseless_pops_every_layer(self, d5):
+        outcome = run_online_trial(
+            d5, p=0.0, n_rounds=5, config=OnlineConfig(frequency_hz=None), rng=1
+        )
+        # n_rounds noisy layers + the final perfect layer all popped.
+        assert len(outcome.layer_cycles) == 6
+
+    def test_rejects_zero_rounds(self, d5):
+        with pytest.raises(ValueError):
+            run_online_trial(d5, p=0.01, n_rounds=0)
+
+    def test_deterministic_for_seed(self, d5):
+        a = run_online_trial(d5, 0.02, 5, OnlineConfig(), rng=42)
+        b = run_online_trial(d5, 0.02, 5, OnlineConfig(), rng=42)
+        assert a.failed == b.failed
+        assert a.matches == b.matches
+        assert a.layer_cycles == b.layer_cycles
+
+    def test_residual_syndrome_always_clean(self, d5):
+        """run_online_trial's final logical check raises on a dirty
+        residual; many random trials exercising matching + compensation
+        must never trigger it."""
+        rng = np.random.default_rng(7)
+        for _ in range(40):
+            run_online_trial(d5, 0.03, 5, OnlineConfig(), rng=rng)
+
+    def test_starved_decoder_overflows(self, d5):
+        """A decoder clocked absurdly slowly cannot keep up with a noisy
+        stream and must hit Reg overflow."""
+        config = OnlineConfig(frequency_hz=1e6)  # 1 cycle per layer
+        rng = np.random.default_rng(3)
+        outcomes = [
+            run_online_trial(d5, 0.05, 10, config, rng=rng) for _ in range(20)
+        ]
+        assert any(o.overflow for o in outcomes)
+        for o in outcomes:
+            if o.overflow:
+                assert o.failed
+                assert not o.logical_failed  # overflow is not a matching failure
+
+    def test_overflow_rate_monotone_in_frequency(self):
+        lattice = PlanarLattice(9)
+        rates = []
+        for freq in (5e7, 2e8, 2e9):
+            rng = np.random.default_rng(11)
+            overflows = sum(
+                run_online_trial(
+                    lattice, 0.01, 9, OnlineConfig(frequency_hz=freq), rng=rng
+                ).overflow
+                for _ in range(25)
+            )
+            rates.append(overflows)
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[0] > 0
+        assert rates[2] == 0
+
+    def test_low_noise_mostly_succeeds(self, d5):
+        rng = np.random.default_rng(5)
+        failures = sum(
+            run_online_trial(d5, 0.001, 5, OnlineConfig(), rng=rng).failed
+            for _ in range(50)
+        )
+        assert failures <= 2
+
+    def test_matches_carry_absolute_times(self, d5):
+        rng = np.random.default_rng(9)
+        outcome = run_online_trial(
+            d5, 0.05, 6, OnlineConfig(frequency_hz=None), rng=rng
+        )
+        for match in outcome.matches:
+            for (_, _, t) in match.endpoints():
+                assert 0 <= t <= 6  # within the 7 pushed layers

@@ -1,0 +1,58 @@
+"""Tests for experiment-result JSON persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.montecarlo import BatchPoint, OnlinePoint
+from repro.experiments.results import (
+    load_batch_points,
+    load_online_points,
+    save_points,
+)
+
+
+class TestRoundTrip:
+    def test_batch_points(self, tmp_path):
+        points = [
+            BatchPoint("qecool", 5, 0.01, 100, 7, n_matches=42, n_deep_vertical=1),
+            BatchPoint("mwpm", 7, 0.02, 50, 3),
+        ]
+        path = tmp_path / "batch.json"
+        save_points(path, points)
+        loaded = load_batch_points(path)
+        assert loaded == points
+        assert loaded[0].logical_rate.rate == pytest.approx(0.07)
+
+    def test_online_points(self, tmp_path):
+        points = [
+            OnlinePoint(9, 0.01, 2e9, 100, 5, 1, layer_cycles=[3, 4, 5]),
+            OnlinePoint(5, 0.002, None, 40, 0, 0),
+        ]
+        path = tmp_path / "online.json"
+        save_points(path, points)
+        loaded = load_online_points(path)
+        assert loaded == points
+        assert loaded[0].overflow_rate.rate == pytest.approx(0.01)
+
+    def test_empty_list(self, tmp_path):
+        path = tmp_path / "empty.json"
+        save_points(path, [])
+        assert load_batch_points(path) == []
+        assert load_online_points(path) == []
+
+    def test_kind_mismatch_rejected(self, tmp_path):
+        path = tmp_path / "batch.json"
+        save_points(path, [BatchPoint("qecool", 5, 0.01, 10, 1)])
+        with pytest.raises(ValueError, match="online"):
+            load_online_points(path)
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_points(tmp_path / "x.json", [object()])
+
+    def test_bad_schema_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 99, "kind": "batch", "points": []}')
+        with pytest.raises(ValueError, match="schema"):
+            load_batch_points(path)

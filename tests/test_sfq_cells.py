@@ -1,0 +1,77 @@
+"""Tests for the Table I cell library and derived wire constants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfq.cells import (
+    CELL_LIBRARY,
+    SUPPLY_VOLTAGE_MV,
+    SfqCell,
+    WIRE_AREA_UM2_PER_JJ,
+    WIRE_BIAS_MA_PER_JJ,
+)
+
+
+class TestTable1Data:
+    def test_all_seven_cells_present(self):
+        assert set(CELL_LIBRARY) == {
+            "splitter", "merger", "switch_1to2", "dro", "ndro", "rd", "d2",
+        }
+
+    @pytest.mark.parametrize(
+        "name,jjs,bias,area,latency",
+        [
+            ("splitter", 3, 0.300, 900, 4.3),
+            ("merger", 7, 0.880, 900, 8.2),
+            ("switch_1to2", 33, 3.464, 8100, 10.5),
+            ("dro", 6, 0.720, 900, 5.1),
+            ("ndro", 11, 1.112, 1800, 6.4),
+            ("rd", 11, 0.900, 1800, 6.0),
+            ("d2", 12, 0.944, 1800, 6.8),
+        ],
+    )
+    def test_published_row(self, name, jjs, bias, area, latency):
+        cell = CELL_LIBRARY[name]
+        assert cell.jj_count == jjs
+        assert cell.bias_current_ma == bias
+        assert cell.area_um2 == area
+        assert cell.latency_ps == latency
+
+    def test_static_power(self):
+        # splitter: 0.3 mA x 2.5 mV = 0.75 uW
+        assert CELL_LIBRARY["splitter"].static_power_uw == pytest.approx(0.75)
+
+    def test_invalid_cell_rejected(self):
+        with pytest.raises(ValueError):
+            SfqCell("bad", jj_count=0, bias_current_ma=1, area_um2=1, latency_ps=1)
+        with pytest.raises(ValueError):
+            SfqCell("bad", jj_count=1, bias_current_ma=-1, area_um2=1, latency_ps=1)
+
+
+class TestDerivedWireConstants:
+    """The wire constants must reproduce Table II's totals exactly —
+    they were back-derived from them (see the module docstring)."""
+
+    CELL_COUNTS = {
+        "splitter": 31, "merger": 65, "switch_1to2": 11,
+        "dro": 3, "ndro": 20, "rd": 44, "d2": 6,
+    }
+    WIRE_JJS = 1472
+
+    def test_cell_bias_plus_wire_bias_is_336(self):
+        cells = sum(
+            CELL_LIBRARY[c].bias_current_ma * n for c, n in self.CELL_COUNTS.items()
+        )
+        total = cells + self.WIRE_JJS * WIRE_BIAS_MA_PER_JJ
+        assert total == pytest.approx(336.0, abs=0.01)
+
+    def test_cell_area_plus_wire_area_is_1p274mm2(self):
+        cells = sum(
+            CELL_LIBRARY[c].area_um2 * n for c, n in self.CELL_COUNTS.items()
+        )
+        total = cells + self.WIRE_JJS * WIRE_AREA_UM2_PER_JJ
+        assert total == pytest.approx(1_274_400, rel=1e-5)
+
+    def test_supply_voltage(self):
+        assert SUPPLY_VOLTAGE_MV == 2.5

@@ -1,0 +1,236 @@
+"""Tests for the composite Unit circuits (Reg, prioritizer, steering)."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.spike import incoming_port
+from repro.sfq.circuits import RacePrioritizer, ShiftRegister, SpikeSteering, TapSelector
+from repro.sfq.netlist import Netlist
+
+
+class TestShiftRegister:
+    def test_rejects_zero_width(self):
+        with pytest.raises(ValueError):
+            ShiftRegister(Netlist(), "r", 0)
+
+    def test_splitter_budget(self):
+        net = Netlist()
+        reg = ShiftRegister(net, "r", 7)
+        assert reg.splitter_count == 6
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=8))
+    @settings(max_examples=40, deadline=None)
+    def test_one_shift_moves_bits_toward_output(self, bits):
+        net = Netlist()
+        reg = ShiftRegister(net, "r", len(bits))
+        reg.load_state(bits)
+        sim = net.simulator()
+        comp, port = reg.clock_root()
+        sim.inject(comp, port, 10.0)
+        sim.run()
+        expected = [0] + bits[:-1]
+        assert reg.state() == expected
+        assert len(reg.serial_out.times) == bits[-1]
+
+    def test_sequential_shifts_drain_register(self):
+        net = Netlist()
+        reg = ShiftRegister(net, "r", 4)
+        reg.load_state([1, 1, 0, 1])
+        comp, port = reg.clock_root()
+        sim = net.simulator()
+        for k in range(4):
+            sim.inject(comp, port, 100.0 * (k + 1))
+        sim.run()
+        assert reg.state() == [0, 0, 0, 0]
+        assert len(reg.serial_out.times) == 3  # all three stored bits spilled
+
+
+class TestTapSelector:
+    @pytest.mark.parametrize("tap", [0, 1, 2, 3])
+    def test_selected_tap_fires(self, tap):
+        net = Netlist()
+        mux = TapSelector(net, "mux", depth=3)
+        sim = net.simulator()
+        mux.select(sim, tap, at=0.0)
+        mux.probe(sim, at=50.0)
+        sim.run()
+        for i, probe in enumerate(mux.taps):
+            assert bool(probe.times) == (i == tap)
+
+    def test_out_of_range_tap(self):
+        net = Netlist()
+        mux = TapSelector(net, "mux", depth=2)
+        sim = net.simulator()
+        with pytest.raises(ValueError):
+            mux.select(sim, 3)
+
+
+class TestRacePrioritizer:
+    def build(self):
+        net = Netlist()
+        return net, RacePrioritizer(net, "prio")
+
+    def test_no_spike_no_winner(self):
+        net, prio = self.build()
+        sim = net.simulator()
+        sim.run()
+        assert prio.winning_port() is None
+
+    @pytest.mark.parametrize("port", ["N", "E", "S", "W"])
+    def test_single_spike_wins(self, port):
+        net, prio = self.build()
+        sim = net.simulator()
+        prio.inject_spike(sim, port, 0.0)
+        sim.run()
+        assert prio.winning_port() == port
+
+    @pytest.mark.parametrize(
+        "ports", list(itertools.combinations(["N", "E", "S", "W"], 2))
+    )
+    def test_simultaneous_race_resolves_by_priority(self, ports):
+        """Equal-time spikes must resolve in N > E > S > W order — the
+        same priority the decoder engine's race keys use."""
+        net, prio = self.build()
+        sim = net.simulator()
+        for port in ports:
+            prio.inject_spike(sim, port, 0.0)
+        sim.run()
+        order = ["N", "E", "S", "W"]
+        expected = min(ports, key=order.index)
+        assert prio.winning_port() == expected
+
+    def test_priority_matches_decoder_semantics(self):
+        """Hardware priority order == the engine's incoming_port ranks."""
+        sink = (2, 2)
+        by_engine = sorted(
+            ["N", "E", "S", "W"],
+            key=lambda port: incoming_port(sink, {
+                "N": (1, 2), "S": (3, 2), "E": (2, 3), "W": (2, 1),
+            }[port]),
+        )
+        order = ["N", "E", "S", "W"]
+        assert by_engine == order
+
+    def test_well_separated_first_arrival_wins(self):
+        net, prio = self.build()
+        sim = net.simulator()
+        prio.inject_spike(sim, "W", 0.0)
+        prio.inject_spike(sim, "N", 500.0)  # far outside the race window
+        sim.run()
+        assert prio.winning_port() == "W"
+
+    def test_later_spikes_diverted_to_dump(self):
+        net, prio = self.build()
+        sim = net.simulator()
+        prio.inject_spike(sim, "N", 0.0)
+        prio.inject_spike(sim, "S", 400.0)
+        sim.run()
+        assert prio.winning_port() == "N"
+        assert len(prio.dump.times) == 1
+
+    def test_winner_pulse_fires_exactly_once(self):
+        net, prio = self.build()
+        sim = net.simulator()
+        prio.inject_spike(sim, "E", 0.0)
+        prio.inject_spike(sim, "W", 0.0)
+        sim.run()
+        assert len(prio.winner_out.times) == 1
+
+
+class TestSpikeSteering:
+    @pytest.mark.parametrize(
+        "row_match,flag,expected",
+        [
+            (True, True, "E"),   # same row, token passed -> east
+            (True, False, "W"),  # same row, token ahead -> west
+            (False, True, "S"),  # earlier row -> south
+            (False, False, "N"),  # later row -> north
+        ],
+    )
+    def test_spike_procedure_truth_table(self, row_match, flag, expected):
+        """Matches Algorithm 1's SPIKE procedure exactly."""
+        net = Netlist()
+        steer = SpikeSteering(net, "s")
+        sim = net.simulator()
+        steer.configure(sim, row_match=row_match, flag=flag, at=0.0)
+        steer.send_spike(sim, at=20.0)
+        sim.run()
+        assert steer.fired_direction() == expected
+
+    def test_reconfiguration(self):
+        net = Netlist()
+        steer = SpikeSteering(net, "s")
+        sim = net.simulator()
+        steer.configure(sim, row_match=True, flag=True, at=0.0)
+        steer.send_spike(sim, at=10.0)
+        # Reconfigure only after the first spike has cleared both switch
+        # levels (10 + 2 x 10.5 ps), as the Unit's state machine would.
+        steer.configure(sim, row_match=False, flag=False, at=40.0)
+        steer.send_spike(sim, at=50.0)
+        sim.run()
+        assert steer.outputs["E"].times and steer.outputs["N"].times
+
+
+class TestSyndromeReturn:
+    def build(self):
+        from repro.sfq.circuits import UnitSinkDatapath
+        net = Netlist()
+        return net, UnitSinkDatapath(net, "u")
+
+    @pytest.mark.parametrize("port", ["N", "E", "S", "W"])
+    def test_reply_retraces_incoming_port(self, port):
+        net, dp = self.build()
+        sim = net.simulator()
+        dp.spike(sim, port, 0.0)
+        sim.run()
+        dp.respond(sim, 1000.0)
+        sim.run()
+        assert dp.winner() == port
+        assert dp.reply() == port
+
+    def test_race_then_reply_uses_winner_port(self):
+        net, dp = self.build()
+        sim = net.simulator()
+        dp.spike(sim, "W", 0.0)
+        dp.spike(sim, "E", 0.0)  # E outranks W on simultaneous arrival
+        sim.run()
+        dp.respond(sim, 1000.0)
+        sim.run()
+        assert dp.winner() == "E"
+        assert dp.reply() == "E"
+
+    def test_no_spike_no_reply(self):
+        net, dp = self.build()
+        sim = net.simulator()
+        dp.respond(sim, 100.0)
+        sim.run()
+        assert dp.winner() is None
+        assert dp.reply() is None
+
+    def test_reply_fires_exactly_once(self):
+        net, dp = self.build()
+        sim = net.simulator()
+        dp.spike(sim, "S", 0.0)
+        sim.run()
+        dp.respond(sim, 1000.0)
+        sim.run()
+        fired = sum(len(p.times) for p in dp.syndrome.outputs.values())
+        assert fired == 1
+
+    def test_direction_latch_survives_reply(self):
+        """NDRO readout is non-destructive: a second respond pulse
+        replies again on the same port."""
+        net, dp = self.build()
+        sim = net.simulator()
+        dp.spike(sim, "N", 0.0)
+        sim.run()
+        dp.respond(sim, 1000.0)
+        sim.run()
+        dp.respond(sim, 2000.0)
+        sim.run()
+        assert len(dp.syndrome.outputs["N"].times) == 2

@@ -1,0 +1,179 @@
+"""Behavioural truth tables of each SFQ cell model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfq.components import (
+    D2Cell,
+    DroCell,
+    JtlWire,
+    MergerCell,
+    NdroCell,
+    Probe,
+    RdCell,
+    SplitterCell,
+    Switch1to2,
+)
+from repro.sfq.netlist import Netlist
+
+
+def single(component, wire_outputs):
+    """Build a 1-component netlist with probes on the named outputs."""
+    net = Netlist()
+    net.add(component)
+    probes = {}
+    for port in wire_outputs:
+        probe = net.add(Probe(f"probe_{port}"))
+        net.connect(component, port, probe, "in")
+        probes[port] = probe
+    return net, probes
+
+
+class TestSplitter:
+    def test_duplicates_pulse(self):
+        s = SplitterCell("s")
+        net, probes = single(s, ["out0", "out1"])
+        sim = net.simulator()
+        sim.inject(s, "in", 0.0)
+        sim.run()
+        assert probes["out0"].times == [s.latency_ps]
+        assert probes["out1"].times == [s.latency_ps]
+
+
+class TestMerger:
+    def test_either_input_propagates(self):
+        m = MergerCell("m")
+        net, probes = single(m, ["out"])
+        sim = net.simulator()
+        sim.inject(m, "in0", 0.0)
+        sim.inject(m, "in1", 10.0)
+        sim.run()
+        assert len(probes["out"].times) == 2
+
+
+class TestSwitch:
+    def test_default_route(self):
+        sw = Switch1to2("sw")
+        net, probes = single(sw, ["out0", "out1"])
+        sim = net.simulator()
+        sim.inject(sw, "in", 0.0)
+        sim.run()
+        assert probes["out0"].times and not probes["out1"].times
+
+    def test_select_redirects(self):
+        sw = Switch1to2("sw")
+        net, probes = single(sw, ["out0", "out1"])
+        sim = net.simulator()
+        sim.inject(sw, "select1", 0.0)
+        sim.inject(sw, "in", 5.0)
+        sim.run()
+        assert probes["out1"].times and not probes["out0"].times
+
+    def test_bad_initial_rejected(self):
+        with pytest.raises(ValueError):
+            Switch1to2("sw", initial=2)
+
+
+class TestDro:
+    def test_read_after_write(self):
+        dro = DroCell("d")
+        net, probes = single(dro, ["out"])
+        sim = net.simulator()
+        sim.inject(dro, "data", 0.0)
+        sim.inject(dro, "clock", 10.0)
+        sim.run()
+        assert probes["out"].times == [10.0 + dro.latency_ps]
+
+    def test_readout_is_destructive(self):
+        dro = DroCell("d")
+        net, probes = single(dro, ["out"])
+        sim = net.simulator()
+        sim.inject(dro, "data", 0.0)
+        sim.inject(dro, "clock", 10.0)
+        sim.inject(dro, "clock", 20.0)
+        sim.run()
+        assert len(probes["out"].times) == 1
+
+    def test_empty_read_silent(self):
+        dro = DroCell("d")
+        net, probes = single(dro, ["out"])
+        sim = net.simulator()
+        sim.inject(dro, "clock", 10.0)
+        sim.run()
+        assert probes["out"].times == []
+
+    def test_double_write_is_one_flux_quantum(self):
+        dro = DroCell("d")
+        net, probes = single(dro, ["out"])
+        sim = net.simulator()
+        sim.inject(dro, "data", 0.0)
+        sim.inject(dro, "data", 1.0)
+        sim.inject(dro, "clock", 10.0)
+        sim.inject(dro, "clock", 20.0)
+        sim.run()
+        assert len(probes["out"].times) == 1
+
+
+class TestNdro:
+    def test_read_is_nondestructive(self):
+        ndro = NdroCell("n")
+        net, probes = single(ndro, ["out"])
+        sim = net.simulator()
+        sim.inject(ndro, "set", 0.0)
+        sim.inject(ndro, "clock", 10.0)
+        sim.inject(ndro, "clock", 20.0)
+        sim.run()
+        assert len(probes["out"].times) == 2
+
+    def test_reset_clears(self):
+        ndro = NdroCell("n")
+        net, probes = single(ndro, ["out"])
+        sim = net.simulator()
+        sim.inject(ndro, "set", 0.0)
+        sim.inject(ndro, "reset", 5.0)
+        sim.inject(ndro, "clock", 10.0)
+        sim.run()
+        assert probes["out"].times == []
+
+
+class TestRd:
+    def test_destructive_with_reset(self):
+        rd = RdCell("r")
+        net, probes = single(rd, ["out"])
+        sim = net.simulator()
+        sim.inject(rd, "data", 0.0)
+        sim.inject(rd, "reset", 2.0)
+        sim.inject(rd, "clock", 10.0)
+        sim.run()
+        assert probes["out"].times == []
+
+    def test_normal_read(self):
+        rd = RdCell("r")
+        net, probes = single(rd, ["out"])
+        sim = net.simulator()
+        sim.inject(rd, "data", 0.0)
+        sim.inject(rd, "clock", 10.0)
+        sim.inject(rd, "clock", 20.0)
+        sim.run()
+        assert len(probes["out"].times) == 1
+
+
+class TestD2:
+    def test_complementary_outputs(self):
+        d2 = D2Cell("d")
+        net, probes = single(d2, ["out0", "out1"])
+        sim = net.simulator()
+        sim.inject(d2, "clock", 5.0)   # empty -> out0
+        sim.inject(d2, "data", 10.0)
+        sim.inject(d2, "clock", 20.0)  # set -> out1 (destructive)
+        sim.inject(d2, "clock", 30.0)  # empty again -> out0
+        sim.run()
+        assert len(probes["out0"].times) == 2
+        assert len(probes["out1"].times) == 1
+
+
+class TestJtl:
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            JtlWire("w", delay_ps=-1.0)

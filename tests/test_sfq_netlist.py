@@ -1,0 +1,105 @@
+"""Tests for the pulse-level netlist simulator mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfq.components import DroCell, JtlWire, Probe, SplitterCell
+from repro.sfq.netlist import Netlist
+
+
+class TestWiring:
+    def test_duplicate_names_rejected(self):
+        net = Netlist()
+        net.add(Probe("p"))
+        with pytest.raises(ValueError):
+            net.add(Probe("p"))
+
+    def test_unknown_ports_rejected(self):
+        net = Netlist()
+        a = net.add(JtlWire("a"))
+        b = net.add(Probe("b"))
+        with pytest.raises(ValueError):
+            net.connect(a, "nope", b, "in")
+        with pytest.raises(ValueError):
+            net.connect(a, "out", b, "nope")
+
+    def test_fanout_one_enforced(self):
+        """Real SFQ outputs drive exactly one input; branching requires
+        an explicit splitter — the netlist enforces the discipline."""
+        net = Netlist()
+        a = net.add(JtlWire("a"))
+        p1 = net.add(Probe("p1"))
+        p2 = net.add(Probe("p2"))
+        net.connect(a, "out", p1, "in")
+        with pytest.raises(ValueError, match="splitter"):
+            net.connect(a, "out", p2, "in")
+
+    def test_lookup(self):
+        net = Netlist()
+        a = net.add(JtlWire("a"))
+        assert net["a"] is a
+
+
+class TestSimulation:
+    def test_delay_accumulates(self):
+        net = Netlist()
+        w1 = net.add(JtlWire("w1", delay_ps=3.0))
+        w2 = net.add(JtlWire("w2", delay_ps=4.0))
+        probe = net.add(Probe("p"))
+        net.connect(w1, "out", w2, "in")
+        net.connect(w2, "out", probe, "in")
+        sim = net.simulator()
+        sim.inject(w1, "in", 1.0)
+        sim.run()
+        assert probe.times == [8.0]
+
+    def test_time_ordering(self):
+        net = Netlist()
+        probe = net.add(Probe("p"))
+        w = net.add(JtlWire("w", delay_ps=0.0))
+        net.connect(w, "out", probe, "in")
+        sim = net.simulator()
+        sim.inject(w, "in", 5.0)
+        sim.inject(w, "in", 2.0)
+        sim.run()
+        assert probe.times == [2.0, 5.0]
+
+    def test_run_until(self):
+        net = Netlist()
+        probe = net.add(Probe("p"))
+        w = net.add(JtlWire("w", delay_ps=1.0))
+        net.connect(w, "out", probe, "in")
+        sim = net.simulator()
+        sim.inject(w, "in", 0.0)
+        sim.inject(w, "in", 100.0)
+        sim.run(until_ps=50.0)
+        assert probe.times == [1.0]
+
+    def test_pulse_storm_guard(self):
+        """A feedback loop of zero-delay wires must hit the event budget
+        instead of hanging."""
+        net = Netlist()
+        s = net.add(SplitterCell("s"))
+        w = net.add(JtlWire("w", delay_ps=0.0))
+        sink = net.add(Probe("sink"))
+        net.connect(s, "out0", w, "in")
+        net.connect(w, "out", s, "in")  # loop
+        net.connect(s, "out1", sink, "in")
+        sim = net.simulator()
+        sim.inject(s, "in", 0.0)
+        with pytest.raises(RuntimeError, match="storm"):
+            sim.run(max_events=1000)
+
+    def test_reset_state(self):
+        net = Netlist()
+        dro = net.add(DroCell("d"))
+        probe = net.add(Probe("p"))
+        net.connect(dro, "out", probe, "in")
+        sim = net.simulator()
+        sim.inject(dro, "data", 0.0)
+        sim.run()
+        assert dro.stored
+        net.reset_state()
+        assert not dro.stored
+        assert probe.times == []

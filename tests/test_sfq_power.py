@@ -1,0 +1,78 @@
+"""Tests for the power models and the Table V budget arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfq.power import (
+    FOUR_K_BUDGET_W,
+    PHI0_WB,
+    aqec_protectable_logical_qubits,
+    ersfq_unit_power_w,
+    protectable_logical_qubits,
+    rsfq_static_power_w,
+    units_per_logical_qubit,
+)
+
+
+class TestRsfq:
+    def test_paper_value(self):
+        # 336 mA x 2.5 mV = 840 uW
+        assert rsfq_static_power_w(0.336) == pytest.approx(840e-6)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            rsfq_static_power_w(-1.0)
+
+
+class TestErsfq:
+    def test_paper_value_2ghz(self):
+        # 336 mA x 2 GHz x Phi0 x 2 = 2.78 uW
+        power = ersfq_unit_power_w(0.336, 2.0e9)
+        assert power == pytest.approx(2.78e-6, rel=0.01)
+
+    def test_linear_in_frequency(self):
+        assert ersfq_unit_power_w(0.336, 1.0e9) == pytest.approx(
+            ersfq_unit_power_w(0.336, 2.0e9) / 2
+        )
+
+    def test_phi0(self):
+        assert PHI0_WB == 2.068e-15
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ersfq_unit_power_w(0.336, -1.0)
+
+
+class TestBudgetPlanner:
+    def test_qecool_units_per_logical(self):
+        assert units_per_logical_qubit(9) == 144
+        assert units_per_logical_qubit(5) == 40
+
+    def test_rejects_tiny_d(self):
+        with pytest.raises(ValueError):
+            units_per_logical_qubit(1)
+
+    def test_paper_2498(self):
+        power = ersfq_unit_power_w(0.336, 2.0e9)
+        assert protectable_logical_qubits(9, power) == 2498
+
+    def test_paper_aqec_37(self):
+        assert aqec_protectable_logical_qubits(9) == 37
+
+    def test_budget_default_1w(self):
+        assert FOUR_K_BUDGET_W == 1.0
+
+    def test_scales_with_budget(self):
+        power = ersfq_unit_power_w(0.336, 2.0e9)
+        half = protectable_logical_qubits(9, power, budget_w=0.5)
+        assert half == 2498 // 2 or half == (2498 - 1) // 2
+
+    def test_qecool_beats_aqec_by_orders_of_magnitude(self):
+        """The paper's headline: ~2500 vs 37 protectable logical qubits."""
+        power = ersfq_unit_power_w(0.336, 2.0e9)
+        assert protectable_logical_qubits(9, power) > 60 * aqec_protectable_logical_qubits(9)
+
+    def test_rejects_nonpositive_power(self):
+        with pytest.raises(ValueError):
+            protectable_logical_qubits(9, 0.0)

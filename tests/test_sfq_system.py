@@ -1,0 +1,78 @@
+"""Tests for the system-level (logical-qubit) hardware roll-up."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfq.system import (
+    LogicalQubitDecoder,
+    boundary_unit_bias_ma,
+    controller_bias_ma,
+    row_master_bias_ma,
+    system_protectable_logical_qubits,
+)
+from repro.sfq.unit_design import build_unit_design
+
+
+class TestComponentEstimates:
+    def test_row_master_scales_with_d(self):
+        assert row_master_bias_ma(13) > row_master_bias_ma(5) > 0
+
+    def test_boundary_unit_scales_with_d(self):
+        assert boundary_unit_bias_ma(13) > boundary_unit_bias_ma(5) > 0
+
+    def test_controller_scales_with_d(self):
+        assert controller_bias_ma(13) > controller_bias_ma(5) > 0
+
+    def test_overhead_components_far_below_a_unit(self):
+        """Each overhead block must be much smaller than a full Unit
+        (336 mA) — they contain no Reg/BasePointer datapath."""
+        unit_bias = build_unit_design().bias_current_ma
+        for d in (5, 9, 13):
+            assert row_master_bias_ma(d) < unit_bias / 8
+            assert boundary_unit_bias_ma(d) < unit_bias / 8
+            # The Controller carries real counter state; still well
+            # under half a Unit even at d = 13.
+            assert controller_bias_ma(d) < unit_bias / 2
+
+    @pytest.mark.parametrize("fn", [row_master_bias_ma, boundary_unit_bias_ma, controller_bias_ma])
+    def test_rejects_tiny_d(self, fn):
+        with pytest.raises(ValueError):
+            fn(1)
+
+
+class TestLogicalQubitDecoder:
+    @pytest.fixture(scope="class")
+    def decoder(self):
+        return LogicalQubitDecoder(9, build_unit_design())
+
+    def test_counts(self, decoder):
+        assert decoder.n_units == 144
+        assert decoder.n_row_masters == 18
+        assert decoder.n_boundary_units == 4
+        assert decoder.n_controllers == 2
+
+    def test_units_dominate(self, decoder):
+        """The paper's implicit assumption: Units dominate the power."""
+        assert decoder.overhead_fraction < 0.05
+
+    def test_total_exceeds_units(self, decoder):
+        assert decoder.total_bias_ma > decoder.units_bias_ma
+
+    def test_power_linear_in_frequency(self, decoder):
+        assert decoder.ersfq_power_w(2e9) == pytest.approx(
+            2 * decoder.ersfq_power_w(1e9)
+        )
+
+
+class TestSystemCapacity:
+    def test_close_to_paper_headline(self):
+        capacity, overhead = system_protectable_logical_qubits(9)
+        # A few percent below 2498, never above it.
+        assert 2300 <= capacity <= 2498
+        assert 0.0 < overhead < 0.05
+
+    def test_monotone_in_distance(self):
+        c5, _ = system_protectable_logical_qubits(5)
+        c13, _ = system_protectable_logical_qubits(13)
+        assert c5 > c13

@@ -1,0 +1,115 @@
+"""Tests for spike routing, arrival metrics and race priority."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.spike import (
+    BOUNDARY_DELAY,
+    PRIORITY_EAST,
+    PRIORITY_INTERNAL,
+    PRIORITY_NORTH,
+    PRIORITY_SOUTH,
+    PRIORITY_WEST,
+    boundary_candidate,
+    incoming_port,
+    pair_candidate,
+    vertical_candidate,
+)
+from repro.surface_code.lattice import PlanarLattice
+
+
+class TestIncomingPort:
+    def test_horizontal_dominates(self):
+        # Different column: arrives horizontally regardless of row.
+        assert incoming_port((2, 2), (0, 5)) == PRIORITY_EAST
+        assert incoming_port((2, 2), (4, 0)) == PRIORITY_WEST
+
+    def test_same_column_vertical(self):
+        assert incoming_port((2, 2), (0, 2)) == PRIORITY_NORTH
+        assert incoming_port((2, 2), (4, 2)) == PRIORITY_SOUTH
+
+    def test_self_is_internal(self):
+        assert incoming_port((1, 1), (1, 1)) == PRIORITY_INTERNAL
+
+    def test_priority_order(self):
+        assert (
+            PRIORITY_INTERNAL
+            < PRIORITY_NORTH
+            < PRIORITY_EAST
+            < PRIORITY_SOUTH
+            < PRIORITY_WEST
+        )
+
+
+class TestPairCandidate:
+    def test_arrival_is_3d_manhattan(self, d5):
+        cand = pair_candidate(d5, (0, 0), (2, 3), t_rel=2)
+        assert cand.arrival == 2 + 5
+        assert cand.hops == 7
+
+    def test_same_layer(self, d5):
+        cand = pair_candidate(d5, (1, 1), (1, 2), t_rel=0)
+        assert cand.arrival == 1
+        assert cand.port == PRIORITY_EAST
+
+    @given(
+        st.tuples(st.integers(0, 4), st.integers(0, 3)),
+        st.tuples(st.integers(0, 4), st.integers(0, 3)),
+        st.integers(0, 6),
+    )
+    def test_key_orders_by_arrival_first(self, a, b, t_rel):
+        lattice = PlanarLattice(5)
+        cand = pair_candidate(lattice, a, b, t_rel)
+        assert cand.key[0] == cand.arrival
+
+
+class TestVerticalCandidate:
+    def test_arrival_is_depth_gap(self):
+        cand = vertical_candidate(3)
+        assert cand.arrival == 3
+        assert cand.port == PRIORITY_INTERNAL
+
+    def test_rejects_zero_gap(self):
+        with pytest.raises(ValueError):
+            vertical_candidate(0)
+
+    def test_beats_pair_at_equal_distance(self, d5):
+        vertical = vertical_candidate(2)
+        pair = pair_candidate(d5, (0, 0), (0, 2), t_rel=0)
+        assert vertical.arrival == pair.arrival
+        assert vertical.key < pair.key  # internal port outranks all
+
+
+class TestBoundaryCandidate:
+    def test_west_side_chosen_near_west(self, d5):
+        cand = boundary_candidate(d5, (2, 0))
+        assert cand.side == "west"
+        assert cand.hops == 1
+        assert cand.arrival == 1 + BOUNDARY_DELAY
+
+    def test_east_side_chosen_near_east(self, d5):
+        cand = boundary_candidate(d5, (2, 3))
+        assert cand.side == "east"
+        assert cand.hops == 1
+
+    def test_loses_tie_against_normal_unit(self, d5):
+        boundary = boundary_candidate(d5, (2, 0))  # distance 1 (+delay)
+        pair = pair_candidate(d5, (2, 0), (2, 1), t_rel=0)  # distance 1
+        assert pair.key < boundary.key
+
+    def test_beats_strictly_farther_pair(self, d5):
+        boundary = boundary_candidate(d5, (2, 0))  # effective 1.5
+        pair = pair_candidate(d5, (2, 0), (2, 2), t_rel=0)  # distance 2
+        assert boundary.key < pair.key
+
+    @given(st.integers(2, 9).flatmap(
+        lambda d: st.tuples(st.just(d), st.integers(0, d - 1), st.integers(0, d - 2))
+    ))
+    def test_hops_equal_boundary_distance(self, args):
+        d, r, c = args
+        lattice = PlanarLattice(d)
+        cand = boundary_candidate(lattice, (r, c))
+        assert cand.hops == lattice.boundary_distance(r, c)

@@ -1,0 +1,118 @@
+"""Tests for multi-round syndrome extraction and detection events."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.noise import sample_phenomenological
+from repro.surface_code.syndrome import SyndromeHistory, detection_events
+
+
+class TestDetectionEvents:
+    def test_first_layer_is_reference(self):
+        measured = np.array([[1, 0, 1], [1, 1, 1]], dtype=np.uint8)
+        events = detection_events(measured)
+        assert events[0].tolist() == [1, 0, 1]
+        assert events[1].tolist() == [0, 1, 0]
+
+    def test_constant_syndrome_events_only_once(self):
+        measured = np.tile(np.array([0, 1, 0], dtype=np.uint8), (4, 1))
+        events = detection_events(measured)
+        assert events.sum() == 1  # only the onset layer
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            detection_events(np.zeros(4, dtype=np.uint8))
+
+    @given(st.integers(1, 6), st.integers(2, 8), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_events_telescope_to_last_measurement(self, n_layers, width, seed):
+        """XOR of all event layers equals the final measured syndrome."""
+        rng = np.random.default_rng(seed)
+        measured = (rng.random((n_layers, width)) < 0.4).astype(np.uint8)
+        events = detection_events(measured)
+        total = np.bitwise_xor.reduce(events, axis=0)
+        assert np.array_equal(total, measured[-1])
+
+
+class TestSyndromeHistory:
+    def _history(self, lattice, p, rounds, seed, perfect=True):
+        data, meas = sample_phenomenological(lattice, p, rounds, seed)
+        return SyndromeHistory.run(lattice, data, meas, final_round_perfect=perfect)
+
+    def test_layer_count_with_perfect_round(self, d5):
+        history = self._history(d5, 0.05, 5, 1)
+        assert history.n_layers == 6
+
+    def test_layer_count_without_perfect_round(self, d5):
+        history = self._history(d5, 0.05, 5, 1, perfect=False)
+        assert history.n_layers == 5
+
+    def test_final_perfect_round_measures_true_syndrome(self, d5):
+        history = self._history(d5, 0.08, 4, 2)
+        expected = d5.syndrome_of(history.final_error)
+        assert np.array_equal(history.measured[-1], expected)
+
+    def test_noiseless_history_is_eventless(self, d5):
+        history = self._history(d5, 0.0, 4, 3)
+        assert not history.events.any()
+
+    def test_events_telescope_to_final_syndrome(self, d5):
+        """With a perfect last round, the per-ancilla XOR over all event
+        layers equals the final error's true syndrome — the invariant
+        that makes decoder corrections cancel the physical error."""
+        history = self._history(d5, 0.08, 5, 4)
+        total = np.bitwise_xor.reduce(history.events, axis=0)
+        assert np.array_equal(total, d5.syndrome_of(history.final_error))
+
+    def test_cumulative_error_accumulates(self, d3):
+        data = np.zeros((2, d3.n_data), dtype=np.uint8)
+        data[0, 0] = 1
+        data[1, 1] = 1
+        meas = np.zeros((2, d3.n_ancillas), dtype=np.uint8)
+        history = SyndromeHistory.run(d3, data, meas)
+        assert history.cumulative_error[0, 0] == 1
+        assert history.cumulative_error[1, 1] == 1
+        assert history.final_error[0] == 1 and history.final_error[1] == 1
+
+    def test_isolated_measurement_error_makes_vertical_pair(self, d3):
+        data = np.zeros((3, d3.n_data), dtype=np.uint8)
+        meas = np.zeros((3, d3.n_ancillas), dtype=np.uint8)
+        meas[1, 2] = 1  # one flipped readout in round 1
+        history = SyndromeHistory.run(d3, data, meas)
+        defects = history.defects()
+        r, c = d3.ancilla_coords(2)
+        assert defects == [(r, c, 1), (r, c, 2)]
+
+    def test_wrong_shapes_rejected(self, d3):
+        with pytest.raises(ValueError):
+            SyndromeHistory.run(
+                d3,
+                np.zeros((2, 3), dtype=np.uint8),
+                np.zeros((2, d3.n_ancillas), dtype=np.uint8),
+            )
+        with pytest.raises(ValueError):
+            SyndromeHistory.run(
+                d3,
+                np.zeros((2, d3.n_data), dtype=np.uint8),
+                np.zeros((3, d3.n_ancillas), dtype=np.uint8),
+            )
+        with pytest.raises(ValueError):
+            SyndromeHistory.run(
+                d3,
+                np.zeros((0, d3.n_data), dtype=np.uint8),
+                np.zeros((0, d3.n_ancillas), dtype=np.uint8),
+            )
+
+    def test_defects_scan_order_is_time_major(self, d3):
+        data = np.zeros((2, d3.n_data), dtype=np.uint8)
+        meas = np.zeros((2, d3.n_ancillas), dtype=np.uint8)
+        meas[0, 4] = 1
+        meas[1, 0] = 1
+        history = SyndromeHistory.run(d3, data, meas)
+        times = [t for (_, _, t) in history.defects()]
+        assert times == sorted(times)

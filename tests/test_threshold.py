@@ -1,0 +1,86 @@
+"""Tests for threshold estimation."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.threshold import estimate_threshold, pairwise_crossings
+
+
+def synthetic_curves(p_th: float, distances=(5, 7, 9), ps=(0.005, 0.01, 0.02, 0.04, 0.08)):
+    """Idealised scaling curves crossing exactly at p_th:
+    p_L = (p / p_th) ** (d / 2) scaled so all curves meet at p_th."""
+    curves = {}
+    for d in distances:
+        curves[d] = [(p, 0.5 * (p / p_th) ** (d / 2)) for p in ps]
+    return curves
+
+
+class TestEstimate:
+    def test_recovers_synthetic_threshold(self):
+        est = estimate_threshold(synthetic_curves(0.02))
+        assert est.found
+        assert est.p_th == pytest.approx(0.02, rel=0.05)
+
+    def test_all_subthreshold_gives_none(self):
+        # Curves that never cross inside the sampled window.
+        curves = {
+            5: [(0.001, 1e-3), (0.002, 4e-3)],
+            9: [(0.001, 1e-5), (0.002, 1e-4)],
+        }
+        est = estimate_threshold(curves)
+        assert not est.found
+        assert est.p_th is None
+
+    def test_crossings_sorted_into_median(self):
+        est = estimate_threshold(synthetic_curves(0.015, distances=(5, 7, 9, 11)))
+        assert est.found
+        assert len(est.crossings) >= 3
+        assert min(est.crossings) <= est.p_th <= max(est.crossings)
+
+    def test_zero_rate_points_ignored(self):
+        curves = synthetic_curves(0.02)
+        curves[5].append((0.001, 0.0))  # a zero-failure Monte-Carlo point
+        est = estimate_threshold(curves)
+        assert est.found
+
+    def test_noise_tolerance(self):
+        """Crossings from noisy curves stay near the true threshold.
+
+        The amplitude keeps every point below 1.0 — saturation would
+        flatten the curves into degenerate overlapping segments.
+        """
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        curves = {}
+        for d in (5, 7, 9):
+            pts = []
+            for p in (0.005, 0.01, 0.02, 0.03):
+                rate = 0.05 * (p / 0.02) ** (d / 2)
+                noisy = rate * math.exp(rng.normal(0, 0.15))
+                pts.append((p, noisy))
+            curves[d] = pts
+        est = estimate_threshold(curves)
+        assert est.found
+        assert 0.012 < est.p_th < 0.033
+
+
+class TestCrossings:
+    def test_parallel_curves_never_cross(self):
+        curves = {
+            5: [(0.01, 0.1), (0.02, 0.2)],
+            7: [(0.01, 0.05), (0.02, 0.1)],
+        }
+        assert pairwise_crossings(curves) == []
+
+    def test_single_crossing_found(self):
+        curves = {
+            5: [(0.01, 0.1), (0.04, 0.2)],
+            7: [(0.01, 0.05), (0.04, 0.4)],
+        }
+        crossings = pairwise_crossings(curves)
+        assert len(crossings) == 1
+        assert 0.01 < crossings[0] < 0.04

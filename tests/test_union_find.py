@@ -1,0 +1,91 @@
+"""Tests for the Union-Find decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.decoders.union_find import UnionFindDecoder, _graph_for
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+
+
+class TestGraph:
+    def test_vertex_count(self, d5):
+        graph = _graph_for(d5, 3)
+        assert graph.n_vertices == d5.n_ancillas * 3 + 1
+
+    def test_graph_cached(self, d5):
+        assert _graph_for(d5, 3) is _graph_for(d5, 3)
+
+    def test_edge_data_qubits_in_range(self, d5):
+        graph = _graph_for(d5, 2)
+        for _, _, q in graph.edges:
+            assert q == -1 or 0 <= q < d5.n_data
+
+    def test_boundary_edges_exist_per_row_and_layer(self, d5):
+        graph = _graph_for(d5, 2)
+        boundary_edges = [e for e in graph.edges if graph.boundary_vertex in e[:2]]
+        # west + east per (row, layer)
+        assert len(boundary_edges) == 2 * d5.rows * 2
+
+
+class TestDecoding:
+    def test_single_bulk_error(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[d5.vertical_index(2, 1)] = 1
+        result = UnionFindDecoder().decode_code_capacity(d5, d5.syndrome_of(error))
+        assert not logical_failure(d5, error, result.correction)
+
+    def test_short_chain_corrected(self, d5):
+        error = np.zeros(d5.n_data, dtype=np.uint8)
+        error[d5.horizontal_index(2, 1)] = 1
+        error[d5.horizontal_index(2, 2)] = 1
+        result = UnionFindDecoder().decode_code_capacity(d5, d5.syndrome_of(error))
+        assert not logical_failure(d5, error, result.correction)
+
+    def test_measurement_error_needs_no_data_correction(self, d5):
+        events = np.zeros((3, d5.n_ancillas), dtype=np.uint8)
+        a = d5.ancilla_index(2, 2)
+        events[1, a] = 1
+        events[2, a] = 1
+        result = UnionFindDecoder().decode(d5, events)
+        # Correction may contain a stabilizer-trivial loop but must have
+        # zero syndrome (the two events cancel vertically).
+        assert not d5.syndrome_of(result.correction).any()
+
+    def test_full_event_layer_still_valid(self, d3):
+        events = np.ones((1, d3.n_ancillas), dtype=np.uint8)
+        result = UnionFindDecoder().decode(d3, events)
+        assert np.array_equal(d3.syndrome_of(result.correction), events[0])
+
+    @given(
+        st.integers(3, 6),
+        st.integers(1, 4),
+        st.floats(0.0, 0.4),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_validity_property(self, d, n_layers, density, seed):
+        lattice = PlanarLattice(d)
+        rng = np.random.default_rng(seed)
+        events = (rng.random((n_layers, lattice.n_ancillas)) < density).astype(np.uint8)
+        result = UnionFindDecoder().decode(lattice, events)
+        expected = np.bitwise_xor.reduce(events, axis=0)
+        assert np.array_equal(lattice.syndrome_of(result.correction), expected)
+
+    def test_accuracy_beats_random_at_moderate_noise(self, d5):
+        """Below threshold the UF decoder should succeed almost always."""
+        from repro.surface_code.noise import sample_phenomenological
+        from repro.surface_code.syndrome import SyndromeHistory
+
+        rng = np.random.default_rng(17)
+        failures = 0
+        for _ in range(40):
+            data, meas = sample_phenomenological(d5, 0.005, 5, rng)
+            history = SyndromeHistory.run(d5, data, meas)
+            result = UnionFindDecoder().decode(d5, history.events)
+            failures += logical_failure(d5, history.final_error, result.correction)
+        assert failures <= 3

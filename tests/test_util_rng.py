@@ -1,0 +1,49 @@
+"""Tests for repro.util.rng."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.util.rng import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_from_int_is_deterministic(self):
+        a = make_rng(7).random(5)
+        b = make_rng(7).random(5)
+        assert np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(0)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(1, 5)) == 5
+
+    def test_streams_differ(self):
+        a, b = spawn_rngs(1, 2)
+        assert not np.array_equal(a.random(8), b.random(8))
+
+    def test_deterministic_across_calls(self):
+        a1 = spawn_rngs(9, 3)[2].random(4)
+        a2 = spawn_rngs(9, 3)[2].random(4)
+        assert np.array_equal(a1, a2)
+
+    def test_prefix_stable_when_n_grows(self):
+        small = spawn_rngs(9, 2)
+        large = spawn_rngs(9, 6)
+        assert np.array_equal(small[0].random(4), large[0].random(4))
+        assert np.array_equal(small[1].random(4), large[1].random(4))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_zero_ok(self):
+        assert spawn_rngs(0, 0) == []

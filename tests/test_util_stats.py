@@ -1,0 +1,96 @@
+"""Tests for repro.util.stats."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import RateEstimate, mean_std, wilson_interval
+
+
+class TestWilsonInterval:
+    def test_zero_trials_is_vacuous(self):
+        assert wilson_interval(0, 0) == (0.0, 1.0)
+
+    def test_all_failures(self):
+        low, high = wilson_interval(10, 10)
+        assert low > 0.6
+        assert high == 1.0
+
+    def test_no_failures(self):
+        low, high = wilson_interval(0, 10)
+        assert low == 0.0
+        assert high < 0.4
+
+    def test_half(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert high - low < 0.25
+
+    def test_interval_narrows_with_trials(self):
+        w_small = wilson_interval(5, 10)
+        w_large = wilson_interval(500, 1000)
+        assert (w_large[1] - w_large[0]) < (w_small[1] - w_small[0])
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 10)
+
+    def test_rejects_successes_above_trials(self):
+        with pytest.raises(ValueError):
+            wilson_interval(11, 10)
+
+    @given(st.integers(0, 1000), st.integers(0, 1000))
+    def test_always_contained_in_unit_interval(self, k, extra):
+        n = k + extra
+        low, high = wilson_interval(k, n)
+        assert 0.0 <= low <= high <= 1.0
+
+    @given(st.integers(1, 1000), st.integers(0, 1000))
+    def test_contains_point_estimate(self, n, k_raw):
+        k = k_raw % (n + 1)
+        low, high = wilson_interval(k, n)
+        assert low <= k / n <= high
+
+
+class TestMeanStd:
+    def test_empty(self):
+        assert mean_std([]) == (0.0, 0.0)
+
+    def test_constant(self):
+        mean, std = mean_std([4.0, 4.0, 4.0])
+        assert mean == 4.0
+        assert std == 0.0
+
+    def test_known_values(self):
+        mean, std = mean_std([1.0, 3.0])
+        assert mean == 2.0
+        assert std == 1.0
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=50))
+    def test_mean_within_range(self, values):
+        mean, std = mean_std(values)
+        assert min(values) - 1e-6 <= mean <= max(values) + 1e-6
+        assert std >= 0.0
+        assert std <= (max(values) - min(values)) + 1e-6
+
+
+class TestRateEstimate:
+    def test_rate(self):
+        est = RateEstimate(3, 30)
+        assert est.rate == pytest.approx(0.1)
+
+    def test_zero_trials(self):
+        assert RateEstimate(0, 0).rate == 0.0
+
+    def test_str_contains_counts(self):
+        text = str(RateEstimate(2, 20))
+        assert "2/20" in text
+
+    def test_interval_matches_function(self):
+        est = RateEstimate(7, 50)
+        assert est.interval == wilson_interval(7, 50)
+        assert not math.isnan(est.interval[0])

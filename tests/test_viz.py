@@ -1,0 +1,83 @@
+"""Tests pinning the ASCII rendering conventions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.decoders.base import Match
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.viz import (
+    render_history_layer,
+    render_lattice,
+    render_matches,
+)
+
+
+class TestRenderLattice:
+    def test_clean_d3(self, d3):
+        text = render_lattice(d3)
+        lines = text.splitlines()
+        assert len(lines) == 2 * d3.rows - 1
+        assert lines[0].startswith("W")
+        assert lines[0].endswith("E")
+        assert lines[0].count("[.]") == d3.cols
+        assert lines[0].count("o") == d3.cols + 1
+
+    def test_error_marker(self, d3):
+        error = np.zeros(d3.n_data, dtype=np.uint8)
+        error[d3.horizontal_index(0, 0)] = 1
+        text = render_lattice(d3, error=error)
+        assert "X" in text.splitlines()[0]
+
+    def test_correction_marker(self, d3):
+        correction = np.zeros(d3.n_data, dtype=np.uint8)
+        correction[d3.vertical_index(0, 1)] = 1
+        text = render_lattice(d3, correction=correction)
+        assert "#" in text.splitlines()[1]
+
+    def test_overlap_marker(self, d3):
+        chain = np.zeros(d3.n_data, dtype=np.uint8)
+        chain[d3.horizontal_index(1, 1)] = 1
+        text = render_lattice(d3, error=chain, correction=chain)
+        assert "*" in text
+
+    def test_syndrome_marker(self, d3):
+        syndrome = np.zeros(d3.n_ancillas, dtype=np.uint8)
+        syndrome[d3.ancilla_index(1, 0)] = 1
+        text = render_lattice(d3, syndrome=syndrome)
+        assert "[!]" in text.splitlines()[2]
+
+    def test_every_data_qubit_rendered(self, d5):
+        error = np.ones(d5.n_data, dtype=np.uint8)
+        text = render_lattice(d5, error=error)
+        assert text.count("X") == d5.n_data
+
+
+class TestRenderHistoryLayer:
+    def test_layer_selection(self, d3):
+        events = np.zeros((2, d3.n_ancillas), dtype=np.uint8)
+        events[1, 0] = 1
+        assert "[!]" not in render_history_layer(d3, events, 0)
+        assert "[!]" in render_history_layer(d3, events, 1)
+
+    def test_out_of_range(self, d3):
+        events = np.zeros((2, d3.n_ancillas), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            render_history_layer(d3, events, 5)
+
+
+class TestRenderMatches:
+    def test_boundary_line(self, d5):
+        lines = render_matches(d5, [Match("boundary", (2, 0, 1), side="west")])
+        assert lines == ["boundary (2,0,t=1) -> west  [1 data flips]"]
+
+    def test_pair_line(self, d5):
+        lines = render_matches(d5, [Match("pair", (1, 1, 0), (2, 2, 1))])
+        assert "pair" in lines[0]
+        assert "dt=1" in lines[0]
+
+    def test_vertical_line(self, d5):
+        lines = render_matches(d5, [Match("pair", (1, 1, 0), (1, 1, 2))])
+        assert lines[0].startswith("vertical")
+        assert "[0 data flips" in lines[0]

@@ -1,0 +1,100 @@
+"""Tests for the sliding-window decoder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.window import SlidingWindowDecoder
+from repro.surface_code.lattice import PlanarLattice
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import sample_phenomenological
+from repro.surface_code.syndrome import SyndromeHistory
+
+
+class TestConstruction:
+    def test_rejects_bad_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDecoder(window=0)
+
+    def test_rejects_bad_commit(self):
+        with pytest.raises(ValueError):
+            SlidingWindowDecoder(window=3, commit=4)
+        with pytest.raises(ValueError):
+            SlidingWindowDecoder(window=3, commit=0)
+
+
+class TestValidity:
+    @given(
+        st.integers(3, 6),
+        st.integers(1, 6),
+        st.integers(1, 4),
+        st.integers(1, 4),
+        st.floats(0.0, 0.2),
+        st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_correction_valid_for_any_window(self, d, n_layers, window, commit_raw, density, seed):
+        commit = min(commit_raw, window)
+        lattice = PlanarLattice(d)
+        rng = np.random.default_rng(seed)
+        events = (rng.random((n_layers, lattice.n_ancillas)) < density).astype(np.uint8)
+        decoder = SlidingWindowDecoder(window=window, commit=commit)
+        result = decoder.decode(lattice, events)
+        expected = np.bitwise_xor.reduce(events, axis=0)
+        assert np.array_equal(lattice.syndrome_of(result.correction), expected)
+
+    def test_window_covering_everything_equals_batch(self, d5, rng):
+        events = (rng.random((4, d5.n_ancillas)) < 0.12).astype(np.uint8)
+        full = SlidingWindowDecoder(window=10, commit=10).decode(d5, events)
+        batch = QecoolDecoder().decode(d5, events)
+        assert full.matches == batch.matches
+
+    def test_single_layer_window_has_no_temporal_matches(self, d5, rng):
+        events = (rng.random((5, d5.n_ancillas)) < 0.1).astype(np.uint8)
+        result = SlidingWindowDecoder(window=1, commit=1).decode(d5, events)
+        assert all(m.vertical_extent == 0 for m in result.matches)
+
+
+class TestAccuracy:
+    def test_lookahead_window_close_to_batch(self, d5):
+        """A window of thv+1 layers should track batch-QECOOL accuracy —
+        the claim behind the paper's online design."""
+        rng = np.random.default_rng(11)
+        window = SlidingWindowDecoder(window=4, commit=1)
+        batch = QecoolDecoder()
+        w_fails = b_fails = 0
+        for _ in range(200):
+            data, meas = sample_phenomenological(d5, 0.01, 5, rng)
+            history = SyndromeHistory.run(d5, data, meas)
+            w_fails += logical_failure(
+                d5, history.final_error, window.decode(d5, history.events).correction
+            )
+            b_fails += logical_failure(
+                d5, history.final_error, batch.decode(d5, history.events).correction
+            )
+        assert w_fails <= b_fails + 8
+
+    def test_myopic_window_is_worse(self):
+        """window=1 cannot pair measurement errors temporally; under
+        heavy readout noise it must lose to a look-ahead window."""
+        lattice = PlanarLattice(5)
+        rng = np.random.default_rng(12)
+        myopic = SlidingWindowDecoder(window=1, commit=1)
+        lookahead = SlidingWindowDecoder(window=4, commit=1)
+        m_fails = l_fails = 0
+        for _ in range(150):
+            data, meas = sample_phenomenological(lattice, 0.02, 5, rng)
+            history = SyndromeHistory.run(lattice, data, meas)
+            m_fails += logical_failure(
+                lattice, history.final_error,
+                myopic.decode(lattice, history.events).correction,
+            )
+            l_fails += logical_failure(
+                lattice, history.final_error,
+                lookahead.decode(lattice, history.events).correction,
+            )
+        assert m_fails > l_fails
