@@ -1,0 +1,63 @@
+"""Serial vs parallel shot-executor throughput on a batch point.
+
+Measures ``run_batch_point`` at a Fig. 4-style operating point with
+``jobs=1`` against ``jobs=4``, reporting shots/second and the speedup.
+On a machine with >= 4 physical cores the parallel run must clear a 2x
+speedup (the executor's scheduling overhead budget); on smaller boxes
+the speedup is reported but not asserted — there is nothing to win on
+one core, and results are bit-identical either way (asserted here too).
+
+Run:  pytest benchmarks/bench_executor.py --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+PARALLEL_JOBS = 4
+# Heavy enough that a chunk's decode work dwarfs pool scheduling:
+# d=11 batch shots run ~2-4 ms each.
+D, P, SHOTS, CHUNK = 11, 0.01, 96, 12
+
+
+def _measure(jobs: int) -> tuple[float, "BatchPoint"]:
+    from repro.core.decoder import QecoolDecoder
+    from repro.experiments.montecarlo import run_batch_point
+
+    start = time.perf_counter()
+    point = run_batch_point(
+        QecoolDecoder(), D, P, SHOTS, rng=2021, jobs=jobs, chunk_size=CHUNK,
+    )
+    return time.perf_counter() - start, point
+
+
+def test_executor_parallel_speedup(benchmark, reporter):
+    serial_s, serial_pt = _measure(jobs=1)
+
+    def run_parallel():
+        return _measure(jobs=PARALLEL_JOBS)
+
+    parallel_s, parallel_pt = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+
+    # Determinism is non-negotiable regardless of the machine.
+    assert (serial_pt.failures, serial_pt.n_matches, serial_pt.n_deep_vertical) == (
+        parallel_pt.failures, parallel_pt.n_matches, parallel_pt.n_deep_vertical,
+    )
+
+    speedup = serial_s / parallel_s if parallel_s else float("inf")
+    cores = os.cpu_count() or 1
+    lines = [
+        f"point: qecool batch d={D} p={P} shots={SHOTS} chunk={CHUNK}",
+        f"serial   (jobs=1): {serial_s:6.2f}s  {SHOTS / serial_s:8.1f} shots/s",
+        f"parallel (jobs={PARALLEL_JOBS}): {parallel_s:6.2f}s  {SHOTS / parallel_s:8.1f} shots/s",
+        f"speedup: {speedup:.2f}x on {cores} core(s)",
+        f"identical counts: failures={serial_pt.failures}"
+        f" matches={serial_pt.n_matches}",
+    ]
+    reporter(benchmark, "Sharded executor: serial vs parallel", lines)
+    if cores >= PARALLEL_JOBS:
+        assert speedup > 2.0, (
+            f"expected > 2x speedup at {PARALLEL_JOBS} workers on {cores} cores, "
+            f"got {speedup:.2f}x"
+        )

@@ -7,7 +7,13 @@ error rates for batch-QECOOL, MWPM and (optionally) online QECOOL at
 ``--shots``; the default gives a readable reproduction in minutes,
 ``--shots 3000`` approaches the paper's smoothness in a few hours.
 
-Run:  python examples/threshold_study.py [--shots 400] [--max-d 13] [--online]
+``--jobs N`` shards every point's shot loop over N worker processes
+(bit-identical results, N-ish times faster); ``--adaptive`` stops each
+point at 100 failures or a 10%-relative Wilson interval, whichever
+first.
+
+Run:  python examples/threshold_study.py [--shots 400] [--max-d 13]
+      [--online] [--jobs 4] [--adaptive]
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from __future__ import annotations
 import argparse
 import time
 
+from repro.experiments.executor import default_adaptive
 from repro.experiments.fig4 import run_fig4a
 from repro.experiments.fig7 import run_fig7
 
@@ -38,11 +45,18 @@ def main() -> None:
     parser.add_argument("--max-d", type=int, default=13, choices=(5, 7, 9, 11, 13))
     parser.add_argument("--online", action="store_true",
                         help="also run the online (Fig. 7, 2 GHz) sweep")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes per point (results identical)")
+    parser.add_argument("--adaptive", action="store_true",
+                        help="early-stop points once statistically settled")
     args = parser.parse_args()
 
+    stopping = default_adaptive() if args.adaptive else None
     distances = tuple(d for d in (5, 7, 9, 11, 13) if d <= args.max_d)
     start = time.perf_counter()
-    result = run_fig4a(shots=args.shots, distances=distances)
+    result = run_fig4a(
+        shots=args.shots, distances=distances, jobs=args.jobs, adaptive=stopping,
+    )
     for decoder, paper in (("qecool", "~1.5%"), ("mwpm", "~3%")):
         ascii_curves(result.curves(decoder), f"{decoder} (batch, Fig. 4a)")
         est = result.threshold(decoder)
@@ -51,7 +65,8 @@ def main() -> None:
 
     if args.online:
         online = run_fig7(
-            shots=args.shots, frequencies=(2.0e9,), distances=distances
+            shots=args.shots, frequencies=(2.0e9,), distances=distances,
+            jobs=args.jobs, adaptive=stopping,
         )
         ascii_curves(online.curves(2.0e9), "online QECOOL @ 2 GHz (Fig. 7c)")
         est = online.threshold(2.0e9)

@@ -1,7 +1,12 @@
 """Experiment harness: one generator per table and figure of the paper.
 
+- :mod:`repro.experiments.executor` — sharded Monte-Carlo shot
+  execution: deterministic parallelism over worker processes, adaptive
+  (Wilson-interval / failure-quota) stopping and an on-disk point
+  cache,
 - :mod:`repro.experiments.montecarlo` — shot runners for batch and
-  online decoding with Wilson-interval bookkeeping,
+  online decoding with Wilson-interval bookkeeping, built on the
+  executor,
 - :mod:`repro.experiments.threshold` — accuracy-threshold (p_th)
   estimation from logical-error-rate curves,
 - :mod:`repro.experiments.fig4` — Fig. 4(a) error-rate scaling of
@@ -21,6 +26,14 @@ Every generator takes a ``shots`` budget so benchmarks can run reduced
 versions while ``examples/`` scripts reproduce the full sweeps.
 """
 
+from repro.experiments.executor import (
+    AdaptiveConfig,
+    ChunkStats,
+    ParallelExecutor,
+    PointCache,
+    ShotChunk,
+    ShotPlan,
+)
 from repro.experiments.montecarlo import (
     BatchPoint,
     OnlinePoint,
@@ -31,8 +44,14 @@ from repro.experiments.montecarlo import (
 from repro.experiments.threshold import estimate_threshold
 
 __all__ = [
+    "AdaptiveConfig",
     "BatchPoint",
+    "ChunkStats",
     "OnlinePoint",
+    "ParallelExecutor",
+    "PointCache",
+    "ShotChunk",
+    "ShotPlan",
     "estimate_threshold",
     "run_batch_point",
     "run_code_capacity_point",

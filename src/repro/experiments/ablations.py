@@ -26,12 +26,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.decoder import QecoolDecoder
-from repro.core.online import OnlineConfig, run_online_trial
+from repro.core.online import OnlineConfig
 from repro.decoders.greedy import GreedyMatchingDecoder
 from repro.decoders.mwpm import MwpmDecoder
-from repro.experiments.montecarlo import run_batch_point
-from repro.surface_code.lattice import PlanarLattice
-from repro.util.rng import make_rng, spawn_rngs
+from repro.experiments.executor import AdaptiveConfig
+from repro.experiments.montecarlo import run_batch_point, run_online_point
+from repro.util.rng import spawn_rngs
 from repro.util.stats import RateEstimate
 
 __all__ = [
@@ -80,17 +80,18 @@ def _online_sweep(
     shots: int,
     seed: int,
     q: float | None = None,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> list[AblationPoint]:
-    lattice = PlanarLattice(d)
     points = []
     for value, rng in zip(values, spawn_rngs(seed, len(values))):
-        config = make_config(value)
-        failures = overflows = 0
-        for _ in range(shots):
-            outcome = run_online_trial(lattice, p, d, config, rng, q=q)
-            failures += outcome.failed
-            overflows += outcome.overflow
-        points.append(AblationPoint(label, value, failures, overflows, shots))
+        point = run_online_point(
+            d, p, shots, make_config(value), rng,
+            q=q, jobs=jobs, adaptive=adaptive,
+        )
+        points.append(
+            AblationPoint(label, value, point.failures, point.overflows, point.shots)
+        )
     return points
 
 
@@ -100,6 +101,8 @@ def sweep_thv(
     shots: int = 200,
     thvs: tuple[int, ...] = (0, 1, 2, 3, 4, 5),
     seed: int = 101,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> list[AblationPoint]:
     """Online failure rate vs vertical look-ahead threshold.
 
@@ -110,7 +113,7 @@ def sweep_thv(
     return _online_sweep(
         "thv", thvs,
         lambda thv: OnlineConfig(frequency_hz=None, thv=thv, reg_size=thv + 4),
-        d, p, shots, seed,
+        d, p, shots, seed, jobs=jobs, adaptive=adaptive,
     )
 
 
@@ -121,6 +124,8 @@ def sweep_reg_size(
     sizes: tuple[int, ...] = (4, 5, 6, 7, 9, 12),
     frequency_hz: float = 0.5e9,
     seed: int = 102,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> list[AblationPoint]:
     """Failure/overflow rate vs Reg capacity at a tight decoder clock.
 
@@ -131,7 +136,7 @@ def sweep_reg_size(
     return _online_sweep(
         "reg_size", sizes,
         lambda size: OnlineConfig(frequency_hz=frequency_hz, thv=3, reg_size=size),
-        d, p, shots, seed,
+        d, p, shots, seed, jobs=jobs, adaptive=adaptive,
     )
 
 
@@ -141,20 +146,19 @@ def sweep_measurement_noise(
     shots: int = 200,
     q_over_p: tuple[float, ...] = (0.0, 0.5, 1.0, 2.0, 4.0),
     seed: int = 103,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> list[AblationPoint]:
     """Online failure rate as readout noise scales relative to data noise."""
-    lattice = PlanarLattice(d)
     points = []
     for ratio, rng in zip(q_over_p, spawn_rngs(seed, len(q_over_p))):
-        failures = overflows = 0
-        for _ in range(shots):
-            outcome = run_online_trial(
-                lattice, p, d, OnlineConfig(frequency_hz=None), rng,
-                q=min(1.0, ratio * p),
-            )
-            failures += outcome.failed
-            overflows += outcome.overflow
-        points.append(AblationPoint("q/p", ratio, failures, overflows, shots))
+        point = run_online_point(
+            d, p, shots, OnlineConfig(frequency_hz=None), rng,
+            q=min(1.0, ratio * p), jobs=jobs, adaptive=adaptive,
+        )
+        points.append(
+            AblationPoint("q/p", ratio, point.failures, point.overflows, point.shots)
+        )
     return points
 
 
@@ -163,6 +167,7 @@ def ordering_ablation(
     p: float = 0.01,
     shots: int = 300,
     seed: int = 104,
+    jobs: int = 1,
 ) -> dict[str, RateEstimate]:
     """Accuracy cost of QECOOL's token-serialised greedy, batch setting.
 
@@ -177,6 +182,6 @@ def ordering_ablation(
     for decoder in (QecoolDecoder(), GreedyMatchingDecoder(), MwpmDecoder()):
         # The same integer seed replays the same noise for every decoder,
         # so the comparison is paired rather than independently sampled.
-        point = run_batch_point(decoder, d, p, shots, seed)
+        point = run_batch_point(decoder, d, p, shots, seed, jobs=jobs)
         out[decoder.name] = point.logical_rate
     return out

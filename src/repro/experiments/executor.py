@@ -1,0 +1,435 @@
+"""Sharded Monte-Carlo shot execution.
+
+Every experiment in this package reduces to "run N independent shots and
+sum small per-shot counters".  This module owns that hot path:
+
+- :class:`ShotPlan` shards a shot budget into contiguous chunks, each
+  shot drawing its RNG from a :class:`numpy.random.SeedSequence`
+  substream keyed by the *shot index* — so the sampled noise is a pure
+  function of ``(seed, shot index)`` and totals are **bit-identical
+  regardless of chunk size or worker count**,
+- :class:`ParallelExecutor` runs chunks across a
+  ``concurrent.futures.ProcessPoolExecutor`` (``jobs > 1``) with a
+  zero-dependency serial path (``jobs = 1``, also the automatic
+  fallback where process pools are unavailable),
+- :class:`AdaptiveConfig` stops a point early once its Wilson interval
+  is tight enough or a failure quota is met, reporting the shots
+  actually spent,
+- :class:`PointCache` memoises finished points on disk keyed by the
+  full experimental coordinates, so repeated sweeps (threshold studies,
+  benchmarks, reruns after a crash) skip completed work.
+
+Tasks handed to the executor are small picklable objects with a
+``run_chunk(chunk) -> ChunkStats`` method; the concrete Monte-Carlo
+tasks live in :mod:`repro.experiments.montecarlo`.
+
+Determinism contract
+--------------------
+For a fixed seed the reduced :class:`ChunkStats` is invariant under
+``jobs`` and ``chunk_size`` because chunk results are incorporated in
+chunk-index (= shot) order.  Adaptive runs are invariant under ``jobs``
+for a fixed ``chunk_size`` (the stopping rule is evaluated at chunk
+granularity, always in chunk order); varying the chunk size changes
+where an adaptive run may stop, never the per-shot streams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Iterator, Protocol
+
+import numpy as np
+
+from repro.util.rng import seed_root, substream
+from repro.util.stats import RateEstimate
+
+__all__ = [
+    "AdaptiveConfig",
+    "ChunkStats",
+    "ParallelExecutor",
+    "PointCache",
+    "ShotChunk",
+    "ShotPlan",
+    "ShotTask",
+    "default_adaptive",
+    "default_chunk_size",
+]
+
+
+@dataclass(frozen=True)
+class ChunkStats:
+    """Reduced counters of one chunk (or a whole point) of shots.
+
+    A single accumulator type covers all three point kinds (code
+    capacity, batch, online); unused counters stay zero.  ``+`` merges
+    two stats, concatenating ``layer_cycles`` in operand order — callers
+    must add in chunk order to keep the cycle population shot-ordered.
+    """
+
+    shots: int = 0
+    failures: int = 0
+    overflows: int = 0
+    n_matches: int = 0
+    n_deep_vertical: int = 0
+    layer_cycles: tuple[int, ...] = ()
+
+    def __add__(self, other: "ChunkStats") -> "ChunkStats":
+        return ChunkStats(
+            shots=self.shots + other.shots,
+            failures=self.failures + other.failures,
+            overflows=self.overflows + other.overflows,
+            n_matches=self.n_matches + other.n_matches,
+            n_deep_vertical=self.n_deep_vertical + other.n_deep_vertical,
+            layer_cycles=self.layer_cycles + other.layer_cycles,
+        )
+
+    @property
+    def failure_rate(self) -> RateEstimate:
+        """Failure rate with its Wilson interval."""
+        return RateEstimate(self.failures, self.shots)
+
+    def to_payload(self) -> dict:
+        """JSON-serialisable form (for :class:`PointCache`)."""
+        payload = asdict(self)
+        payload["layer_cycles"] = list(self.layer_cycles)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ChunkStats":
+        """Inverse of :meth:`to_payload`."""
+        return cls(
+            shots=int(payload["shots"]),
+            failures=int(payload["failures"]),
+            overflows=int(payload["overflows"]),
+            n_matches=int(payload["n_matches"]),
+            n_deep_vertical=int(payload["n_deep_vertical"]),
+            layer_cycles=tuple(int(c) for c in payload["layer_cycles"]),
+        )
+
+
+@dataclass(frozen=True)
+class ShotChunk:
+    """A contiguous slice ``[start, start + shots)`` of a shot budget."""
+
+    start: int
+    shots: int
+    root: np.random.SeedSequence
+
+    def rngs(self) -> Iterator[np.random.Generator]:
+        """One generator per shot, keyed by global shot index."""
+        for index in range(self.start, self.start + self.shots):
+            yield substream(self.root, index)
+
+
+class ShotTask(Protocol):
+    """What the executor runs: a picklable per-chunk shot loop."""
+
+    def run_chunk(self, chunk: ShotChunk) -> ChunkStats: ...
+
+
+#: Default chunk cap for adaptive runs: stopping is evaluated at chunk
+#: granularity, so huge chunks would overshoot the failure quota badly.
+ADAPTIVE_CHUNK_CAP = 256
+
+
+def default_adaptive() -> "AdaptiveConfig":
+    """The stopping rule behind every ``--adaptive`` flag.
+
+    Stop at 100 failures (relative error ~1/sqrt(100) = 10%) or once
+    the Wilson interval is within 10% of the rate, whichever comes
+    first.  One definition so the runner CLI and the example scripts
+    cannot drift apart.
+    """
+    return AdaptiveConfig(max_failures=100, rel_half_width=0.1)
+
+
+def default_chunk_size(shots: int, adaptive: bool = False) -> int:
+    """Chunk size used when the caller does not pick one.
+
+    A function of ``shots`` alone (never of ``jobs``) so that adaptive
+    stopping points do not drift with worker count; 32 chunks gives
+    enough scheduling granularity for any sane local pool.  Adaptive
+    runs additionally cap chunks at :data:`ADAPTIVE_CHUNK_CAP` shots so
+    a large budget cannot overshoot its stopping rule by a whole huge
+    chunk.
+    """
+    size = max(1, math.ceil(shots / 32))
+    if adaptive:
+        size = min(size, ADAPTIVE_CHUNK_CAP)
+    return size
+
+
+@dataclass(frozen=True)
+class ShotPlan:
+    """A shot budget sharded into deterministic chunks."""
+
+    shots: int
+    root: np.random.SeedSequence
+    chunk_size: int
+
+    @classmethod
+    def build(
+        cls,
+        shots: int,
+        rng: int | np.random.Generator | np.random.SeedSequence | None = None,
+        chunk_size: int | None = None,
+    ) -> "ShotPlan":
+        """Normalise any accepted seed form into a plan."""
+        if shots < 0:
+            raise ValueError(f"shots must be non-negative, got {shots}")
+        if chunk_size is None:
+            chunk_size = default_chunk_size(shots)
+        if chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        return cls(shots=shots, root=seed_root(rng), chunk_size=chunk_size)
+
+    @property
+    def n_chunks(self) -> int:
+        """Number of chunks the budget shards into."""
+        return -(-self.shots // self.chunk_size) if self.shots else 0
+
+    def chunks(self) -> list[ShotChunk]:
+        """The chunks, in shot order; they tile ``range(shots)`` exactly."""
+        return [
+            ShotChunk(start, min(self.chunk_size, self.shots - start), self.root)
+            for start in range(0, self.shots, self.chunk_size)
+        ]
+
+
+@dataclass(frozen=True)
+class AdaptiveConfig:
+    """Early-stopping rule for a Monte-Carlo point.
+
+    Evaluated after each incorporated chunk; the point stops once any
+    enabled criterion is met (but never before ``min_shots``):
+
+    - ``max_failures`` — the classic fixed-failure-count rule: the
+      relative error of a binomial rate is ~``1/sqrt(failures)``, so a
+      quota bounds it directly,
+    - ``rel_half_width`` — Wilson half-width below this fraction of the
+      rate estimate (requires at least one failure),
+    - ``abs_half_width`` — Wilson half-width below this absolute value
+      (the only rule that can stop an all-zero-failure point).
+    """
+
+    max_failures: int | None = 100
+    rel_half_width: float | None = None
+    abs_half_width: float | None = None
+    min_shots: int = 100
+
+    def should_stop(self, stats: ChunkStats) -> bool:
+        """True once ``stats`` satisfies any enabled criterion."""
+        if stats.shots < self.min_shots:
+            return False
+        if self.max_failures is not None and stats.failures >= self.max_failures:
+            return True
+        if self.rel_half_width is None and self.abs_half_width is None:
+            return False
+        low, high = stats.failure_rate.interval
+        half = (high - low) / 2.0
+        if self.abs_half_width is not None and half <= self.abs_half_width:
+            return True
+        if (
+            self.rel_half_width is not None
+            and stats.failures > 0
+            and half <= self.rel_half_width * stats.failure_rate.rate
+        ):
+            return True
+        return False
+
+
+class PointCache:
+    """On-disk memo of finished Monte-Carlo points.
+
+    One JSON file per point under ``root``, named by the SHA-256 of the
+    canonicalised key — a flat mapping of the point's full coordinates
+    ``(experiment, decoder, d, p, rounds, seed, shots, ...)``.  Files
+    are written atomically (tmp + rename) so a crashed run never leaves
+    a half-written entry, and unreadable entries are treated as misses.
+    """
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    @staticmethod
+    def digest(key: dict) -> str:
+        """Stable content hash of a point key."""
+        canonical = json.dumps(key, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def path_for(self, key: dict) -> Path:
+        """Cache file path for ``key``."""
+        return self.root / f"{self.digest(key)}.json"
+
+    def get(self, key: dict) -> ChunkStats | None:
+        """Cached stats for ``key``, or ``None`` on a miss."""
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text())
+            return ChunkStats.from_payload(payload["stats"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: dict, stats: ChunkStats) -> None:
+        """Store ``stats`` under ``key`` (atomic write)."""
+        path = self.path_for(key)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps({"key": key, "stats": stats.to_payload()}))
+        tmp.replace(path)
+
+
+def _execute_chunk(task: ShotTask, chunk: ShotChunk) -> ChunkStats:
+    """Module-level trampoline so tasks pickle cleanly into workers."""
+    return task.run_chunk(chunk)
+
+
+# One process pool shared across points (a sweep runs hundreds of
+# points; paying worker startup per point would dwarf simulation time
+# on spawn-start platforms).  Keyed by worker count: a sweep uses one
+# ``jobs`` value, so in practice one pool lives for the whole run.
+_shared_pool: tuple[int, ProcessPoolExecutor] | None = None
+
+
+def _get_pool(workers: int) -> ProcessPoolExecutor:
+    global _shared_pool
+    if _shared_pool is not None and _shared_pool[0] != workers:
+        _shared_pool[1].shutdown(wait=False, cancel_futures=True)
+        _shared_pool = None
+    if _shared_pool is None:
+        _shared_pool = (workers, ProcessPoolExecutor(max_workers=workers))
+    return _shared_pool[1]
+
+
+def _evict_pool() -> None:
+    """Forget the shared pool (used when it turns out to be broken)."""
+    global _shared_pool
+    _shared_pool = None
+
+
+class _Accumulator:
+    """Chunk-order reducer that concatenates ``layer_cycles`` once.
+
+    ``ChunkStats + ChunkStats`` rebuilds the growing cycles tuple on
+    every merge — O(chunks x cycles) for Table III-sized populations.
+    This keeps scalar counters incremental and joins the cycle parts a
+    single time at the end.
+    """
+
+    def __init__(self) -> None:
+        self._counters = ChunkStats()
+        self._cycle_parts: list[tuple[int, ...]] = []
+
+    def add(self, stats: ChunkStats) -> None:
+        if stats.layer_cycles:
+            self._cycle_parts.append(stats.layer_cycles)
+            stats = ChunkStats(**{**stats.__dict__, "layer_cycles": ()})
+        self._counters = self._counters + stats
+
+    @property
+    def counters(self) -> ChunkStats:
+        """Scalar totals so far (no cycle concatenation) for stopping rules."""
+        return self._counters
+
+    def total(self) -> ChunkStats:
+        """Final stats with the cycle population joined in chunk order."""
+        cycles: tuple[int, ...] = tuple(
+            c for part in self._cycle_parts for c in part
+        )
+        return ChunkStats(**{**self._counters.__dict__, "layer_cycles": cycles})
+
+
+@dataclass
+class ParallelExecutor:
+    """Runs a :class:`ShotTask` over a sharded shot budget.
+
+    ``jobs <= 1`` (default) executes chunks inline with no pool at all;
+    ``jobs > 1`` fans chunks out over a process pool but *incorporates*
+    results strictly in chunk order, which is what makes parallel totals
+    bit-identical to serial ones.  If the platform cannot provide a
+    process pool (restricted sandboxes), execution silently degrades to
+    the serial path rather than failing the experiment.
+    """
+
+    jobs: int = 1
+    chunk_size: int | None = None
+    adaptive: AdaptiveConfig | None = None
+
+    def run(
+        self,
+        task: ShotTask,
+        shots: int,
+        rng: int | np.random.Generator | np.random.SeedSequence | None = None,
+    ) -> ChunkStats:
+        """Execute ``shots`` shots of ``task`` and reduce the stats."""
+        chunk_size = self.chunk_size
+        if chunk_size is None:
+            chunk_size = default_chunk_size(shots, adaptive=self.adaptive is not None)
+        plan = ShotPlan.build(shots, rng, chunk_size)
+        chunks = plan.chunks()
+        if self.jobs <= 1 or len(chunks) <= 1:
+            return self._run_serial(task, chunks)
+        try:
+            pool = _get_pool(self.jobs)
+        except (OSError, ValueError, ImportError):
+            # No usable process pool (e.g. /dev/shm-less sandbox);
+            # results are identical either way, only slower.  Only pool
+            # *creation* is guarded — task exceptions must propagate.
+            _evict_pool()
+            return self._run_serial(task, chunks)
+        try:
+            return self._run_parallel(task, chunks, pool, self.jobs)
+        except Exception:
+            # Whatever broke (task error or a dead worker), don't hand
+            # the next point a possibly-broken pool.
+            pool.shutdown(wait=False, cancel_futures=True)
+            _evict_pool()
+            raise
+
+    def _run_serial(self, task: ShotTask, chunks: list[ShotChunk]) -> ChunkStats:
+        acc = _Accumulator()
+        for chunk in chunks:
+            acc.add(_execute_chunk(task, chunk))
+            if self.adaptive is not None and self.adaptive.should_stop(acc.counters):
+                break
+        return acc.total()
+
+    def _run_parallel(
+        self,
+        task: ShotTask,
+        chunks: list[ShotChunk],
+        pool: ProcessPoolExecutor,
+        workers: int,
+    ) -> ChunkStats:
+        acc = _Accumulator()
+        # Fixed budgets want every chunk in flight at once; adaptive
+        # runs keep a small sliding window so work already dispatched
+        # when the stopping rule fires is bounded by ~2x the workers,
+        # not by the whole remaining budget.
+        window = (
+            len(chunks) if self.adaptive is None
+            else min(len(chunks), 2 * workers)
+        )
+        pending = [pool.submit(_execute_chunk, task, c) for c in chunks[:window]]
+        next_index = window
+        stopped_at = None
+        # Incorporation is strictly in chunk (= shot) order, which is
+        # what makes parallel totals bit-identical to serial ones.
+        for done in range(len(chunks)):
+            acc.add(pending[done].result())
+            if self.adaptive is not None and self.adaptive.should_stop(acc.counters):
+                stopped_at = done
+                break
+            if next_index < len(chunks):
+                pending.append(pool.submit(_execute_chunk, task, chunks[next_index]))
+                next_index += 1
+        if stopped_at is not None:
+            for future in pending[stopped_at + 1:]:
+                future.cancel()
+        return acc.total()

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.core.decoder import QecoolDecoder
 from repro.decoders.base import Decoder
 from repro.decoders.mwpm import MwpmDecoder
+from repro.experiments.executor import AdaptiveConfig
 from repro.experiments.montecarlo import BatchPoint, run_batch_point
 from repro.experiments.threshold import ThresholdEstimate, estimate_threshold
 from repro.util.rng import spawn_rngs
@@ -79,26 +80,32 @@ def run_fig4a(
     ps: tuple[float, ...] = DEFAULT_PS,
     decoders: tuple[Decoder, ...] | None = None,
     seed: int = 2021,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> Fig4aResult:
     """Generate Fig. 4(a)'s series.
 
     ``shots`` is the per-point budget at low p (scaled down where the
     rate is high); the paper's smooth curves used far more — increase
     for publication-quality thresholds (see
-    ``examples/threshold_study.py``).
+    ``examples/threshold_study.py``).  ``jobs`` / ``adaptive`` are
+    forwarded to the sharded executor (seeded results are identical at
+    any worker count).
     """
     if decoders is None:
         decoders = (QecoolDecoder(), MwpmDecoder())
     result = Fig4aResult()
-    jobs = [
+    points = [
         (dec, d, p)
         for dec in decoders
         for d in distances
         for p in ps
     ]
-    rngs = spawn_rngs(seed, len(jobs))
-    for (dec, d, p), rng in zip(jobs, rngs):
-        point = run_batch_point(dec, d, p, _shots_for(p, shots), rng)
+    rngs = spawn_rngs(seed, len(points))
+    for (dec, d, p), rng in zip(points, rngs):
+        point = run_batch_point(
+            dec, d, p, _shots_for(p, shots), rng, jobs=jobs, adaptive=adaptive,
+        )
         result.points.setdefault(dec.name, []).append(point)
     return result
 
@@ -109,6 +116,8 @@ def run_fig4b(
     ps: tuple[float, ...] = DEFAULT_PS,
     seed: int = 42,
     deep_threshold: int = 3,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> list[BatchPoint]:
     """Fig. 4(b): deep-vertical match proportion vs physical error rate.
 
@@ -119,7 +128,7 @@ def run_fig4b(
     return [
         run_batch_point(
             QecoolDecoder(), d, p, _shots_for(p, shots), rng,
-            deep_threshold=deep_threshold,
+            deep_threshold=deep_threshold, jobs=jobs, adaptive=adaptive,
         )
         for p, rng in zip(ps, rngs)
     ]

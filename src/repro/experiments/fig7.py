@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.online import OnlineConfig
+from repro.experiments.executor import AdaptiveConfig
 from repro.experiments.montecarlo import OnlinePoint, run_online_point
 from repro.experiments.threshold import ThresholdEstimate, estimate_threshold
 from repro.util.rng import spawn_rngs
@@ -78,13 +79,21 @@ def run_fig7(
     distances: tuple[int, ...] = DEFAULT_DISTANCES,
     ps: tuple[float, ...] = DEFAULT_PS,
     seed: int = 777,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> Fig7Result:
-    """Generate Fig. 7's three panels."""
+    """Generate Fig. 7's three panels.
+
+    ``jobs`` / ``adaptive`` are forwarded to the sharded executor
+    (seeded results are identical at any worker count).
+    """
     result = Fig7Result()
-    jobs = [(f, d, p) for f in frequencies for d in distances for p in ps]
-    rngs = spawn_rngs(seed, len(jobs))
-    for (freq, d, p), rng in zip(jobs, rngs):
+    points = [(f, d, p) for f in frequencies for d in distances for p in ps]
+    rngs = spawn_rngs(seed, len(points))
+    for (freq, d, p), rng in zip(points, rngs):
         config = OnlineConfig(frequency_hz=freq)
-        point = run_online_point(d, p, _shots_for(p, shots), config, rng)
+        point = run_online_point(
+            d, p, _shots_for(p, shots), config, rng, jobs=jobs, adaptive=adaptive,
+        )
         result.points.setdefault(freq, []).append(point)
     return result

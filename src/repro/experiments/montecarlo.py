@@ -9,28 +9,56 @@ Three kinds of points:
 - **online**: streaming rounds against a finite decoder clock; drives
   Fig. 7 and Table III.
 
-Every runner accepts an integer seed or generator and spawns per-shot
-substreams, so results are reproducible independent of shot count.
+Shot execution is delegated to
+:class:`repro.experiments.executor.ParallelExecutor`: every shot draws
+its generator from a :class:`numpy.random.SeedSequence` substream keyed
+by the shot index, so for a fixed seed the reported counts are
+bit-identical whether a point runs serially, across any number of
+worker processes, or with any chunk size.  Each runner additionally
+accepts
+
+- ``jobs`` — worker processes (1 = in-process serial execution),
+- ``chunk_size`` — shots per scheduling chunk (defaults to ~1/32 of
+  the budget),
+- ``adaptive`` — an :class:`~repro.experiments.executor.AdaptiveConfig`
+  that stops the point once its Wilson interval is tight enough or a
+  failure quota is met; the returned point's ``shots`` is what was
+  actually spent,
+- ``cache`` — a :class:`~repro.experiments.executor.PointCache` (or a
+  directory path) memoising finished points on disk.  Only
+  integer-seeded points are cached: a generator's identity is not a
+  stable key.
 """
 
 from __future__ import annotations
 
+import inspect
+import os
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.core.online import OnlineConfig, run_online_trial
 from repro.decoders.base import Decoder
+from repro.experiments.executor import (
+    AdaptiveConfig,
+    ChunkStats,
+    ParallelExecutor,
+    PointCache,
+    ShotChunk,
+)
 from repro.surface_code.lattice import PlanarLattice
 from repro.surface_code.logical import logical_failure
 from repro.surface_code.noise import sample_code_capacity, sample_phenomenological
 from repro.surface_code.syndrome import SyndromeHistory
-from repro.util.rng import make_rng
 from repro.util.stats import RateEstimate
 
 __all__ = [
     "BatchPoint",
+    "BatchTask",
+    "CodeCapacityTask",
     "OnlinePoint",
+    "OnlineTask",
     "run_batch_point",
     "run_code_capacity_point",
     "run_online_point",
@@ -84,23 +112,181 @@ class OnlinePoint:
         return RateEstimate(self.overflows, self.shots)
 
 
+# ---------------------------------------------------------------------------
+# Shot tasks: picklable per-chunk loops handed to the executor.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CodeCapacityTask:
+    """2-D setting: one perfect syndrome per shot."""
+
+    decoder: Decoder
+    d: int
+    p: float
+
+    def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
+        lattice = PlanarLattice(self.d)
+        failures = 0
+        for rng in chunk.rngs():
+            error = sample_code_capacity(lattice, self.p, rng)
+            syndrome = lattice.syndrome_of(error)
+            result = self.decoder.decode_code_capacity(lattice, syndrome)
+            failures += logical_failure(lattice, error, result.correction)
+        return ChunkStats(shots=chunk.shots, failures=failures)
+
+
+@dataclass(frozen=True)
+class BatchTask:
+    """3-D batch setting: noisy rounds plus a perfect terminal round."""
+
+    decoder: Decoder
+    d: int
+    p: float
+    rounds: int
+    deep_threshold: int = 3
+
+    def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
+        lattice = PlanarLattice(self.d)
+        failures = n_matches = n_deep = 0
+        for rng in chunk.rngs():
+            data, meas = sample_phenomenological(lattice, self.p, self.rounds, rng)
+            history = SyndromeHistory.run(lattice, data, meas)
+            result = self.decoder.decode(lattice, history.events)
+            failures += logical_failure(
+                lattice, history.final_error, result.correction
+            )
+            n_matches += len(result.matches)
+            n_deep += sum(
+                1 for m in result.matches if m.vertical_extent >= self.deep_threshold
+            )
+        return ChunkStats(
+            shots=chunk.shots, failures=failures,
+            n_matches=n_matches, n_deep_vertical=n_deep,
+        )
+
+
+@dataclass(frozen=True)
+class OnlineTask:
+    """Online setting: streaming QECOOL under a finite decoder clock."""
+
+    d: int
+    p: float
+    rounds: int
+    config: OnlineConfig
+    keep_layer_cycles: bool = False
+    q: float | None = None
+
+    def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
+        lattice = PlanarLattice(self.d)
+        failures = overflows = 0
+        cycles: list[int] = []
+        for rng in chunk.rngs():
+            outcome = run_online_trial(
+                lattice, self.p, self.rounds, self.config, rng, q=self.q
+            )
+            failures += outcome.failed
+            overflows += outcome.overflow
+            if self.keep_layer_cycles:
+                cycles.extend(outcome.layer_cycles)
+        return ChunkStats(
+            shots=chunk.shots, failures=failures, overflows=overflows,
+            layer_cycles=tuple(cycles),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Point runners.
+# ---------------------------------------------------------------------------
+
+
+def _decoder_key(decoder: Decoder) -> str:
+    """Stable cache identity of a decoder instance.
+
+    Only constructor parameters participate (matched to same-named
+    attributes) — never the full ``vars()``, which may hold runtime
+    counters like ``MwpmDecoder.fallback_uses`` whose values depend on
+    call history and would make cache keys irreproducible.  A
+    constructor parameter with no same-named attribute raises: silently
+    dropping it would give differently-configured decoders identical
+    cache keys, corrupting every cached table.
+    """
+    params = []
+    for name, param in inspect.signature(type(decoder).__init__).parameters.items():
+        if name == "self" or param.kind in (
+            inspect.Parameter.VAR_POSITIONAL, inspect.Parameter.VAR_KEYWORD
+        ):
+            continue
+        if not hasattr(decoder, name):
+            raise ValueError(
+                f"{type(decoder).__name__} stores constructor parameter "
+                f"{name!r} under a different attribute name; cannot build a "
+                "faithful cache key for it"
+            )
+        params.append((name, getattr(decoder, name)))
+    return f"{decoder.name}:{sorted(params)!r}"
+
+
+def _run_point(
+    task,
+    shots: int,
+    rng,
+    jobs: int,
+    chunk_size: int | None,
+    adaptive: AdaptiveConfig | None,
+    cache: PointCache | str | os.PathLike | None,
+    make_cache_key,
+) -> ChunkStats:
+    """Shared cache-then-execute path of the three point runners.
+
+    ``make_cache_key`` is a zero-argument callable so key construction
+    (which may reject uncacheable decoders) only happens when a cache
+    is actually in play.
+    """
+    if isinstance(cache, (str, os.PathLike)):
+        cache = PointCache(cache)
+    # Only integer seeds name a reproducible point; generator-seeded
+    # runs bypass the cache entirely.
+    cacheable = cache is not None and isinstance(rng, int)
+    if cacheable:
+        cache_key = dict(
+            make_cache_key(), seed=rng, shots=shots,
+            adaptive=None if adaptive is None else sorted(vars(adaptive).items()),
+            chunk_size=chunk_size,
+        )
+        cache_key["adaptive"] = repr(cache_key["adaptive"])
+        hit = cache.get(cache_key)
+        if hit is not None:
+            return hit
+    executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size, adaptive=adaptive)
+    stats = executor.run(task, shots, rng)
+    if cacheable:
+        cache.put(cache_key, stats)
+    return stats
+
+
 def run_code_capacity_point(
     decoder: Decoder,
     d: int,
     p: float,
     shots: int,
     rng: np.random.Generator | int | None = None,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    adaptive: AdaptiveConfig | None = None,
+    cache: PointCache | str | os.PathLike | None = None,
 ) -> BatchPoint:
     """2-D setting: one perfect syndrome per shot."""
-    lattice = PlanarLattice(d)
-    rng = make_rng(rng)
-    failures = 0
-    for _ in range(shots):
-        error = sample_code_capacity(lattice, p, rng)
-        syndrome = lattice.syndrome_of(error)
-        result = decoder.decode_code_capacity(lattice, syndrome)
-        failures += logical_failure(lattice, error, result.correction)
-    return BatchPoint(decoder.name, d, p, shots, failures)
+    stats = _run_point(
+        CodeCapacityTask(decoder, d, p), shots, rng,
+        jobs, chunk_size, adaptive, cache,
+        make_cache_key=lambda: {
+            "experiment": "code_capacity", "decoder": _decoder_key(decoder),
+            "d": d, "p": p, "rounds": 1,
+        },
+    )
+    return BatchPoint(decoder.name, d, p, stats.shots, stats.failures)
 
 
 def run_batch_point(
@@ -111,25 +297,27 @@ def run_batch_point(
     rng: np.random.Generator | int | None = None,
     n_rounds: int | None = None,
     deep_threshold: int = 3,
+    *,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    adaptive: AdaptiveConfig | None = None,
+    cache: PointCache | str | os.PathLike | None = None,
 ) -> BatchPoint:
     """3-D batch setting: ``n_rounds`` (default ``d``) noisy rounds plus a
     perfect terminal round, decoded in one call."""
-    lattice = PlanarLattice(d)
-    rng = make_rng(rng)
     rounds = d if n_rounds is None else n_rounds
-    failures = n_matches = n_deep = 0
-    for _ in range(shots):
-        data, meas = sample_phenomenological(lattice, p, rounds, rng)
-        history = SyndromeHistory.run(lattice, data, meas)
-        result = decoder.decode(lattice, history.events)
-        failures += logical_failure(lattice, history.final_error, result.correction)
-        n_matches += len(result.matches)
-        n_deep += sum(
-            1 for m in result.matches if m.vertical_extent >= deep_threshold
-        )
+    stats = _run_point(
+        BatchTask(decoder, d, p, rounds, deep_threshold), shots, rng,
+        jobs, chunk_size, adaptive, cache,
+        make_cache_key=lambda: {
+            "experiment": "batch", "decoder": _decoder_key(decoder),
+            "d": d, "p": p, "rounds": rounds, "deep_threshold": deep_threshold,
+        },
+    )
     return BatchPoint(
-        decoder.name, d, p, shots, failures,
-        n_matches=n_matches, n_deep_vertical=n_deep, deep_threshold=deep_threshold,
+        decoder.name, d, p, stats.shots, stats.failures,
+        n_matches=stats.n_matches, n_deep_vertical=stats.n_deep_vertical,
+        deep_threshold=deep_threshold,
     )
 
 
@@ -137,24 +325,37 @@ def run_online_point(
     d: int,
     p: float,
     shots: int,
-    config: OnlineConfig = OnlineConfig(),
+    config: OnlineConfig | None = None,
     rng: np.random.Generator | int | None = None,
     n_rounds: int | None = None,
     keep_layer_cycles: bool = False,
+    *,
+    q: float | None = None,
+    jobs: int = 1,
+    chunk_size: int | None = None,
+    adaptive: AdaptiveConfig | None = None,
+    cache: PointCache | str | os.PathLike | None = None,
 ) -> OnlinePoint:
-    """Online setting: streaming QECOOL under ``config``'s clock."""
-    rng = make_rng(rng)
-    lattice = PlanarLattice(d)
+    """Online setting: streaming QECOOL under ``config``'s clock.
+
+    ``config=None`` means a fresh default :class:`OnlineConfig` (never a
+    shared instance); ``q`` overrides the measurement-error rate
+    (defaults to ``p`` inside the noise model).
+    """
+    config = OnlineConfig() if config is None else config
     rounds = d if n_rounds is None else n_rounds
-    failures = overflows = 0
-    cycles: list[int] = []
-    for _ in range(shots):
-        outcome = run_online_trial(lattice, p, rounds, config, rng)
-        failures += outcome.failed
-        overflows += outcome.overflow
-        if keep_layer_cycles:
-            cycles.extend(outcome.layer_cycles)
+    stats = _run_point(
+        OnlineTask(d, p, rounds, config, keep_layer_cycles, q), shots, rng,
+        jobs, chunk_size, adaptive, cache,
+        make_cache_key=lambda: {
+            "experiment": "online", "decoder": "qecool-online",
+            "d": d, "p": p, "rounds": rounds, "q": q,
+            "config": repr(sorted(vars(config).items())),
+            "keep_layer_cycles": keep_layer_cycles,
+        },
+    )
     return OnlinePoint(
-        d=d, p=p, frequency_hz=config.frequency_hz, shots=shots,
-        failures=failures, overflows=overflows, layer_cycles=cycles,
+        d=d, p=p, frequency_hz=config.frequency_hz, shots=stats.shots,
+        failures=stats.failures, overflows=stats.overflows,
+        layer_cycles=list(stats.layer_cycles),
     )

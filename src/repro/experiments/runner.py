@@ -3,11 +3,23 @@
 Usage::
 
     python -m repro.experiments.runner --experiment all --shots 200
-    python -m repro.experiments.runner --experiment fig4a --shots 1000
+    python -m repro.experiments.runner --experiment fig4a --shots 1000 --jobs 4
+    python -m repro.experiments.runner --experiment table4 --adaptive
     python -m repro.experiments.runner --experiment table3
 
 ``--shots`` trades fidelity for runtime; benchmarks use small budgets,
 ``examples/threshold_study.py`` documents publication-scale runs.
+
+``--jobs N`` shards every Monte-Carlo point's shot loop across ``N``
+worker processes (see :mod:`repro.experiments.executor`).  For a fixed
+seed the printed numbers are **bit-identical** at any ``--jobs`` value
+— parallelism changes wall-clock only, never results.
+
+``--adaptive`` lets each point stop early once 100 failures are seen or
+its Wilson interval is tight, reporting the shots actually spent.  This
+re-allocates budget from easy (high-p) points to the sub-threshold tail
+but does change the per-point shot counts, so seeded outputs differ
+from a fixed-budget run.
 """
 
 from __future__ import annotations
@@ -16,6 +28,7 @@ import argparse
 import sys
 import time
 
+from repro.experiments.executor import default_adaptive
 from repro.experiments.fig4 import run_fig4a, run_fig4b
 from repro.experiments.fig7 import run_fig7
 from repro.experiments.table3 import run_table3
@@ -31,9 +44,24 @@ EXPERIMENTS = (
 )
 
 
-def run_experiment(name: str, shots: int, out=sys.stdout) -> None:
-    """Run one named experiment and print its report to ``out``."""
+def run_experiment(
+    name: str,
+    shots: int,
+    out=None,
+    jobs: int = 1,
+    adaptive: bool = False,
+) -> None:
+    """Run one named experiment and print its report to ``out``.
+
+    ``out=None`` resolves to the *current* ``sys.stdout`` at call time
+    (not import time), so redirection and capture work.  ``jobs`` and
+    ``adaptive`` are forwarded to the Monte-Carlo executor; experiments
+    without a shot loop (``tables12``, ``system``) ignore them.
+    """
+    if out is None:
+        out = sys.stdout
     emit = lambda *parts: print(*parts, file=out)
+    stopping = default_adaptive() if adaptive else None
     if name == "tables12":
         emit("== Table I: SFQ cell library ==")
         for line in format_table1():
@@ -48,19 +76,19 @@ def run_experiment(name: str, shots: int, out=sys.stdout) -> None:
             emit(f"{key:<22} {value:.4g}")
     elif name == "table3":
         emit("== Table III: per-layer execution cycles ==")
-        for row in run_table3(shots=max(10, shots // 5)):
+        for row in run_table3(shots=max(10, shots // 5), jobs=jobs):
             emit(row.format())
     elif name == "table4":
         emit("== Table IV: decoder thresholds (2-D / 3-D) ==")
-        for row in run_table4(shots=shots):
+        for row in run_table4(shots=shots, jobs=jobs, adaptive=stopping):
             emit(row.format())
     elif name == "table5":
         emit("== Table V: AQEC vs QECOOL at d=9, p=0.001 ==")
-        for row in run_table5(shots=max(20, shots // 4)):
+        for row in run_table5(shots=max(20, shots // 4), jobs=jobs):
             emit(row.format())
     elif name == "fig4a":
         emit("== Fig. 4(a): batch-QECOOL vs MWPM error-rate scaling ==")
-        result = run_fig4a(shots=shots)
+        result = run_fig4a(shots=shots, jobs=jobs, adaptive=stopping)
         for line in result.rows():
             emit(line)
         for decoder in result.points:
@@ -69,7 +97,7 @@ def run_experiment(name: str, shots: int, out=sys.stdout) -> None:
             emit(f"p_th({decoder}) = {pth}")
     elif name == "fig4b":
         emit("== Fig. 4(b): deep vertical match proportion ==")
-        for point in run_fig4b(shots=shots):
+        for point in run_fig4b(shots=shots, jobs=jobs, adaptive=stopping):
             emit(
                 f"p={point.p:<7} deep(>= {point.deep_threshold} planes)"
                 f" fraction={point.deep_vertical_fraction:.5f}"
@@ -77,7 +105,7 @@ def run_experiment(name: str, shots: int, out=sys.stdout) -> None:
             )
     elif name == "fig7":
         emit("== Fig. 7: online QEC at 500 MHz / 1 GHz / 2 GHz ==")
-        result = run_fig7(shots=shots)
+        result = run_fig7(shots=shots, jobs=jobs, adaptive=stopping)
         for line in result.rows():
             emit(line)
         for freq in result.points:
@@ -94,19 +122,19 @@ def run_experiment(name: str, shots: int, out=sys.stdout) -> None:
 
         budget = max(30, shots // 2)
         emit("== Ablation: vertical look-ahead thv (paper fixes 3) ==")
-        for point in sweep_thv(shots=budget):
+        for point in sweep_thv(shots=budget, jobs=jobs, adaptive=stopping):
             emit(point.format())
         emit()
         emit("== Ablation: Reg capacity at 500 MHz (paper uses 7 bits) ==")
-        for point in sweep_reg_size(shots=budget):
+        for point in sweep_reg_size(shots=budget, jobs=jobs, adaptive=stopping):
             emit(point.format())
         emit()
         emit("== Ablation: readout-noise ratio q/p (paper assumes 1) ==")
-        for point in sweep_measurement_noise(shots=budget):
+        for point in sweep_measurement_noise(shots=budget, jobs=jobs, adaptive=stopping):
             emit(point.format())
         emit()
         emit("== Ablation: matching order (batch, paired noise) ==")
-        for decoder, est in ordering_ablation(shots=shots).items():
+        for decoder, est in ordering_ablation(shots=shots, jobs=jobs).items():
             emit(f"{decoder:<8} p_L = {est}")
     elif name == "system":
         from repro.sfq.system import system_protectable_logical_qubits
@@ -131,11 +159,21 @@ def main(argv: list[str] | None = None) -> int:
         "--shots", type=int, default=200,
         help="Monte-Carlo budget per point (scaled internally per experiment)",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes per Monte-Carlo point (1 = serial; "
+        "seeded results are identical at any value)",
+    )
+    parser.add_argument(
+        "--adaptive", action="store_true",
+        help="stop each point early once its failure quota / Wilson "
+        "interval target is met (reports shots actually spent)",
+    )
     args = parser.parse_args(argv)
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         start = time.perf_counter()
-        run_experiment(name, args.shots)
+        run_experiment(name, args.shots, jobs=args.jobs, adaptive=args.adaptive)
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
     return 0
 

@@ -87,21 +87,26 @@ def run_table3(
     ps: tuple[float, ...] = DEFAULT_PS,
     rounds_per_shot: int = 25,
     seed: int = 333,
+    jobs: int = 1,
 ) -> list[Table3Row]:
     """Measure Table III.
 
     ``shots x rounds_per_shot`` layers contribute to each row; the
     paper's max column is a heavy-tail statistic, so small budgets
     understate it (EXPERIMENTS.md discusses the residual gap).
+    ``jobs`` shards each point's shot loop across worker processes; the
+    cycle population is identical at any worker count.  Adaptive
+    stopping is deliberately not offered here — max/sigma are
+    population statistics and shrinking the population would bias them.
     """
-    jobs = [(d, p) for d in distances for p in ps]
-    rngs = spawn_rngs(seed, len(jobs))
+    points = [(d, p) for d in distances for p in ps]
+    rngs = spawn_rngs(seed, len(points))
     rows = []
     config = OnlineConfig(frequency_hz=None)
-    for (d, p), rng in zip(jobs, rngs):
+    for (d, p), rng in zip(points, rngs):
         point = run_online_point(
             d, p, shots, config, rng,
-            n_rounds=rounds_per_shot, keep_layer_cycles=True,
+            n_rounds=rounds_per_shot, keep_layer_cycles=True, jobs=jobs,
         )
         avg, sigma = mean_std(point.layer_cycles)
         rows.append(

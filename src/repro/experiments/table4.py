@@ -29,6 +29,7 @@ from repro.decoders.base import Decoder
 from repro.decoders.greedy import GreedyMatchingDecoder
 from repro.decoders.mwpm import MwpmDecoder
 from repro.decoders.union_find import UnionFindDecoder
+from repro.experiments.executor import AdaptiveConfig
 from repro.experiments.montecarlo import run_batch_point, run_code_capacity_point
 from repro.experiments.threshold import estimate_threshold
 from repro.util.rng import spawn_rngs
@@ -97,25 +98,31 @@ def run_table4(
     distances_3d: tuple[int, ...] = DEFAULT_3D_DISTANCES,
     seed: int = 4444,
     include_3d: bool = True,
+    jobs: int = 1,
+    adaptive: AdaptiveConfig | None = None,
 ) -> list[Table4Row]:
     """Measure Table IV's threshold columns.
 
     The 3-D sweep is the expensive part; pass ``include_3d=False`` for a
-    quick 2-D-only comparison.  AQEC is excluded from the 3-D column by
-    construction (see module docstring).
+    quick 2-D-only comparison, or ``jobs`` / ``adaptive`` to shard and
+    early-stop each point (seeded results are identical at any worker
+    count).  AQEC is excluded from the 3-D column by construction (see
+    module docstring).
     """
     if decoders is None:
         decoders = default_decoders()
     rows = []
-    n_jobs = len(decoders) * (
+    n_points = len(decoders) * (
         len(distances_2d) * len(ps_2d) + len(distances_3d) * len(ps_3d)
     )
-    rngs = iter(spawn_rngs(seed, n_jobs))
+    rngs = iter(spawn_rngs(seed, n_points))
     for decoder in decoders:
         curves_2d: dict[int, list[tuple[float, float]]] = {}
         for d in distances_2d:
             for p in ps_2d:
-                pt = run_code_capacity_point(decoder, d, p, shots, next(rngs))
+                pt = run_code_capacity_point(
+                    decoder, d, p, shots, next(rngs), jobs=jobs, adaptive=adaptive,
+                )
                 curves_2d.setdefault(d, []).append((p, pt.logical_rate.rate))
         p2 = estimate_threshold(curves_2d).p_th
         p3 = None
@@ -123,7 +130,10 @@ def run_table4(
             curves_3d: dict[int, list[tuple[float, float]]] = {}
             for d in distances_3d:
                 for p in ps_3d:
-                    pt = run_batch_point(decoder, d, p, shots, next(rngs))
+                    pt = run_batch_point(
+                        decoder, d, p, shots, next(rngs),
+                        jobs=jobs, adaptive=adaptive,
+                    )
                     curves_3d.setdefault(d, []).append((p, pt.logical_rate.rate))
             p3 = estimate_threshold(curves_3d).p_th
         else:

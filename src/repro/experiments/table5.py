@@ -90,14 +90,19 @@ def run_table5(
     frequency_hz: float = 2.0e9,
     seed: int = 55,
     rounds_per_shot: int = 25,
+    jobs: int = 1,
 ) -> list[Table5Row]:
     """Assemble Table V: the AQEC row from published constants, the
-    QECOOL row from our hardware model plus measured latency."""
+    QECOOL row from our hardware model plus measured latency.
+
+    ``jobs`` shards the latency measurement's shot loop; the cycle
+    population (and hence the row) is identical at any worker count.
+    """
     design = build_unit_design()
     unit_power_w = ersfq_unit_power_w(design.bias_current_ma * 1e-3, frequency_hz)
     point = run_online_point(
         d, p, shots, OnlineConfig(frequency_hz=None), seed,
-        n_rounds=rounds_per_shot, keep_layer_cycles=True,
+        n_rounds=rounds_per_shot, keep_layer_cycles=True, jobs=jobs,
     )
     avg_cycles, _ = mean_std(point.layer_cycles)
     max_cycles = max(point.layer_cycles, default=0)

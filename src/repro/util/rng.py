@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["make_rng", "spawn_rngs"]
+__all__ = ["make_rng", "seed_root", "spawn_rngs", "substream"]
 
 
 def make_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
@@ -33,3 +33,56 @@ def spawn_rngs(seed: int | np.random.Generator | None, n: int) -> list[np.random
         raise ValueError(f"n must be non-negative, got {n}")
     root = make_rng(seed)
     return [np.random.default_rng(s) for s in root.bit_generator.seed_seq.spawn(n)]
+
+
+def seed_root(
+    seed: int | np.random.Generator | np.random.SeedSequence | None,
+) -> np.random.SeedSequence:
+    """Canonical :class:`numpy.random.SeedSequence` for any seed form.
+
+    ``seed`` may be ``None`` (fresh OS entropy), an integer, a
+    ``SeedSequence`` (returned unchanged) or a ``Generator``.  This is
+    the anchor the sharded executor derives per-shot substreams from,
+    so the same integer always names the same family of streams.
+
+    A ``Generator`` contributes a freshly *spawned* child of its seed
+    sequence — a stateful operation, so successive calls with the same
+    generator yield independent roots.  That preserves the historical
+    contract that reusing one generator across points samples fresh
+    noise each time (reading the generator's initial seed sequence
+    directly would silently replay identical noise on every call).
+    For the same reason a ``SeedSequence`` that has already spawned
+    children contributes a fresh child rather than itself: its
+    spawn-keyed substreams (children ``0..n-1``) are exactly the
+    streams those earlier children already use, and sharing them would
+    correlate supposedly independent samples.
+    """
+    if isinstance(seed, np.random.SeedSequence):
+        if seed.n_children_spawned:
+            return seed.spawn(1)[0]
+        return seed
+    if isinstance(seed, np.random.Generator):
+        return seed.bit_generator.seed_seq.spawn(1)[0]
+    return np.random.SeedSequence(seed)
+
+
+def substream(root: np.random.SeedSequence, index: int) -> np.random.Generator:
+    """The ``index``-th child stream of ``root``, derived statelessly.
+
+    For a root that has never spawned, this is bit-identical to
+    ``root.spawn(index + 1)[index]`` (a spawned child's key is the
+    parent's ``spawn_key`` extended by its index) but without mutating
+    ``root``'s spawn counter, so any worker process can derive any
+    shot's generator independently — the foundation of
+    chunking-invariant Monte-Carlo results.  Callers must not mix
+    stateful ``spawn`` and ``substream`` on the same root
+    (:func:`seed_root` hands out fresh roots to prevent exactly that).
+    """
+    if index < 0:
+        raise ValueError(f"index must be non-negative, got {index}")
+    child = np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(root.spawn_key) + (index,),
+        pool_size=root.pool_size,
+    )
+    return np.random.default_rng(child)

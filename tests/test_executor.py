@@ -1,0 +1,294 @@
+"""Tests for the sharded Monte-Carlo executor.
+
+The load-bearing property is the determinism contract: for a fixed seed
+the reduced counts are bit-identical whether shots run serially, across
+worker processes, or in any chunking — because every shot's generator
+is a pure function of ``(seed, shot index)``.  These tests pin that
+contract plus adaptive-stopping shot accounting and cache bit-exactness.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.online import OnlineConfig
+from repro.experiments.executor import (
+    AdaptiveConfig,
+    ChunkStats,
+    ParallelExecutor,
+    PointCache,
+    ShotPlan,
+    default_chunk_size,
+)
+from repro.experiments.montecarlo import (
+    BatchTask,
+    CodeCapacityTask,
+    OnlineTask,
+    run_batch_point,
+    run_code_capacity_point,
+    run_online_point,
+)
+from repro.util.rng import seed_root, substream
+
+
+class TestShotPlan:
+    def test_chunks_tile_budget_exactly(self):
+        plan = ShotPlan.build(23, rng=1, chunk_size=5)
+        chunks = plan.chunks()
+        assert [c.shots for c in chunks] == [5, 5, 5, 5, 3]
+        assert [c.start for c in chunks] == [0, 5, 10, 15, 20]
+        assert plan.n_chunks == 5
+
+    def test_zero_shots(self):
+        plan = ShotPlan.build(0, rng=1)
+        assert plan.chunks() == []
+        assert plan.n_chunks == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            ShotPlan.build(-1, rng=1)
+        with pytest.raises(ValueError):
+            ShotPlan.build(10, rng=1, chunk_size=0)
+
+    def test_default_chunk_size_is_jobs_independent(self):
+        # Depends only on the budget, so adaptive stop points can't
+        # drift with worker count.
+        assert default_chunk_size(0) == 1
+        assert default_chunk_size(10) == 1
+        assert default_chunk_size(3200) == 100
+
+    def test_adaptive_default_chunks_are_capped(self):
+        # Stopping is evaluated per chunk; a 100k-shot budget must not
+        # overshoot its failure quota by a 3125-shot chunk.
+        assert default_chunk_size(100_000) == 3125
+        assert default_chunk_size(100_000, adaptive=True) == 256
+        assert default_chunk_size(10, adaptive=True) == 1
+
+    @staticmethod
+    def _draws(plan):
+        return [next(iter(c.rngs())).integers(1 << 30) for c in plan.chunks()]
+
+    def test_int_and_seed_sequence_name_the_same_streams(self):
+        from_int = ShotPlan.build(4, rng=77)
+        from_ss = ShotPlan.build(4, rng=np.random.SeedSequence(77))
+        assert self._draws(from_int) == self._draws(from_ss)
+
+    def test_generator_seeds_are_reproducible_but_advance_on_reuse(self):
+        # Two identically-seeded generators name the same streams...
+        a = ShotPlan.build(4, rng=np.random.default_rng(77))
+        b = ShotPlan.build(4, rng=np.random.default_rng(77))
+        assert self._draws(a) == self._draws(b)
+        # ...but reusing ONE generator across plans spawns fresh roots,
+        # preserving the pre-executor contract that a shared generator
+        # samples new noise on every call (no silent replay).
+        gen = np.random.default_rng(77)
+        first = ShotPlan.build(4, rng=gen)
+        second = ShotPlan.build(4, rng=gen)
+        assert self._draws(first) != self._draws(second)
+
+    def test_prespawned_seed_sequence_does_not_alias_its_children(self):
+        # A SeedSequence that already handed out children must not have
+        # its shot substreams collide with those children's streams.
+        ss = np.random.SeedSequence(5)
+        children = [np.random.default_rng(c) for c in ss.spawn(4)]
+        child_draws = [g.integers(1 << 30) for g in children]
+        plan_draws = self._draws(ShotPlan.build(4, rng=ss))
+        assert set(plan_draws).isdisjoint(child_draws)
+
+
+class TestSubstream:
+    def test_matches_stateful_spawn(self):
+        root = seed_root(42)
+        spawned = [np.random.default_rng(s) for s in seed_root(42).spawn(5)]
+        stateless = [substream(root, i) for i in range(5)]
+        for a, b in zip(spawned, stateless):
+            assert a.integers(1 << 30, size=4).tolist() == \
+                b.integers(1 << 30, size=4).tolist()
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            substream(seed_root(1), -1)
+
+    def test_chunking_does_not_change_shot_streams(self):
+        def draws(chunk_size):
+            plan = ShotPlan.build(12, rng=5, chunk_size=chunk_size)
+            return [
+                rng.integers(1 << 30)
+                for chunk in plan.chunks()
+                for rng in chunk.rngs()
+            ]
+
+        assert draws(1) == draws(4) == draws(5) == draws(12)
+
+
+class TestChunkStats:
+    def test_add_accumulates_and_concatenates(self):
+        a = ChunkStats(shots=3, failures=1, layer_cycles=(1, 2))
+        b = ChunkStats(shots=2, failures=2, overflows=1, layer_cycles=(3,))
+        total = a + b
+        assert total == ChunkStats(
+            shots=5, failures=3, overflows=1, layer_cycles=(1, 2, 3)
+        )
+
+    def test_payload_roundtrip(self):
+        stats = ChunkStats(shots=7, failures=2, n_matches=9, layer_cycles=(4, 5))
+        assert ChunkStats.from_payload(stats.to_payload()) == stats
+
+
+class TestDeterminism:
+    """Serial, parallel and chunk-size-varied runs are bit-identical."""
+
+    def test_batch_point_invariant(self):
+        task = BatchTask(QecoolDecoder(), 3, 0.05, rounds=3)
+        reference = ParallelExecutor(jobs=1).run(task, 24, rng=11)
+        for jobs, chunk_size in [(1, 1), (1, 7), (4, 3), (4, 24), (2, 5)]:
+            executor = ParallelExecutor(jobs=jobs, chunk_size=chunk_size)
+            assert executor.run(task, 24, rng=11) == reference
+
+    def test_online_point_invariant_including_cycle_order(self):
+        task = OnlineTask(
+            3, 0.03, rounds=4, config=OnlineConfig(frequency_hz=None),
+            keep_layer_cycles=True,
+        )
+        reference = ParallelExecutor(jobs=1).run(task, 16, rng=8)
+        parallel = ParallelExecutor(jobs=4, chunk_size=3).run(task, 16, rng=8)
+        assert parallel == reference
+        assert len(reference.layer_cycles) == 16 * 5
+
+    def test_code_capacity_invariant(self):
+        task = CodeCapacityTask(QecoolDecoder(), 3, 0.1)
+        reference = ParallelExecutor(jobs=1).run(task, 30, rng=4)
+        assert ParallelExecutor(jobs=3, chunk_size=4).run(task, 30, rng=4) == reference
+
+    def test_runner_level_invariance(self):
+        kwargs = dict(rng=13, n_rounds=3)
+        a = run_batch_point(QecoolDecoder(), 3, 0.05, 20, **kwargs)
+        b = run_batch_point(QecoolDecoder(), 3, 0.05, 20, jobs=4, **kwargs)
+        c = run_batch_point(QecoolDecoder(), 3, 0.05, 20, chunk_size=1, **kwargs)
+        assert (a.failures, a.n_matches, a.n_deep_vertical) \
+            == (b.failures, b.n_matches, b.n_deep_vertical) \
+            == (c.failures, c.n_matches, c.n_deep_vertical)
+
+
+class TestAdaptiveStopping:
+    def test_never_reports_more_shots_than_spent(self):
+        # High p guarantees failures; the quota cuts the budget short.
+        point = run_batch_point(
+            QecoolDecoder(), 3, 0.1, 400, rng=7,
+            adaptive=AdaptiveConfig(max_failures=5, min_shots=4), chunk_size=8,
+        )
+        assert point.shots < 400  # stopped early
+        assert point.shots % 8 == 0  # whole incorporated chunks only
+        assert point.failures >= 5
+
+    def test_min_shots_floor(self):
+        stats = ChunkStats(shots=10, failures=10)
+        assert not AdaptiveConfig(max_failures=1, min_shots=50).should_stop(stats)
+        assert AdaptiveConfig(max_failures=1, min_shots=10).should_stop(stats)
+
+    def test_abs_half_width_stops_zero_failure_points(self):
+        stats = ChunkStats(shots=10_000, failures=0)
+        config = AdaptiveConfig(max_failures=None, abs_half_width=1e-3, min_shots=100)
+        assert config.should_stop(stats)
+        assert not config.should_stop(ChunkStats(shots=50, failures=0))
+
+    def test_rel_half_width_requires_failures(self):
+        config = AdaptiveConfig(max_failures=None, rel_half_width=0.5, min_shots=1)
+        assert not config.should_stop(ChunkStats(shots=10_000, failures=0))
+        assert config.should_stop(ChunkStats(shots=10_000, failures=5_000))
+
+    def test_parallel_adaptive_matches_serial_for_fixed_chunking(self):
+        task = CodeCapacityTask(QecoolDecoder(), 3, 0.1)
+        adaptive = AdaptiveConfig(max_failures=3, min_shots=4)
+        serial = ParallelExecutor(jobs=1, chunk_size=6, adaptive=adaptive)
+        parallel = ParallelExecutor(jobs=4, chunk_size=6, adaptive=adaptive)
+        assert serial.run(task, 120, rng=21) == parallel.run(task, 120, rng=21)
+
+    def test_worker_task_exceptions_propagate(self):
+        # Pool-creation failure degrades to serial, but a *task* error
+        # must surface, not trigger a silent serial re-run.
+        with pytest.raises(ValueError):
+            run_code_capacity_point(QecoolDecoder(), 3, 1.5, 20, rng=1, jobs=2)
+        with pytest.raises(ValueError):
+            run_code_capacity_point(QecoolDecoder(), 3, 1.5, 20, rng=1)
+
+    def test_exhausted_budget_reports_full_shots(self):
+        # Quota never met -> every chunk runs.
+        point = run_batch_point(
+            QecoolDecoder(), 3, 0.01, 12, rng=3,
+            adaptive=AdaptiveConfig(max_failures=10_000, min_shots=1),
+        )
+        assert point.shots == 12
+
+
+class TestPointCache:
+    def test_hit_returns_cached_point_bit_exactly(self, tmp_path):
+        cache = PointCache(tmp_path)
+        first = run_batch_point(QecoolDecoder(), 3, 0.05, 20, rng=11, cache=cache)
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        # Tamper with the stored counts: a second run must return the
+        # tampered values verbatim, proving it came from the cache and
+        # not a recompute.
+        payload = json.loads(files[0].read_text())
+        payload["stats"]["failures"] = 9999
+        files[0].write_text(json.dumps(payload))
+        second = run_batch_point(QecoolDecoder(), 3, 0.05, 20, rng=11, cache=cache)
+        assert second.failures == 9999
+        assert second.shots == first.shots
+
+    def test_distinct_coordinates_miss(self, tmp_path):
+        cache = PointCache(tmp_path)
+        run_batch_point(QecoolDecoder(), 3, 0.05, 20, rng=11, cache=cache)
+        run_batch_point(QecoolDecoder(), 3, 0.05, 20, rng=12, cache=cache)
+        run_batch_point(QecoolDecoder(), 3, 0.05, 21, rng=11, cache=cache)
+        run_batch_point(QecoolDecoder(), 3, 0.06, 20, rng=11, cache=cache)
+        assert len(list(tmp_path.glob("*.json"))) == 4
+
+    def test_generator_seeds_bypass_cache(self, tmp_path):
+        cache = PointCache(tmp_path)
+        rng = np.random.default_rng(5)
+        run_batch_point(QecoolDecoder(), 3, 0.05, 10, rng=rng, cache=cache)
+        assert list(tmp_path.glob("*.json")) == []
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = PointCache(tmp_path)
+        clean = run_batch_point(QecoolDecoder(), 3, 0.05, 15, rng=2, cache=cache)
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{not json")
+        recomputed = run_batch_point(QecoolDecoder(), 3, 0.05, 15, rng=2, cache=cache)
+        assert recomputed.failures == clean.failures
+
+    def test_cache_accepts_path_string(self, tmp_path):
+        run_online_point(3, 0.02, 8, rng=6, cache=str(tmp_path / "sub"))
+        assert len(list((tmp_path / "sub").glob("*.json"))) == 1
+
+    def test_key_ignores_decoder_runtime_counters(self, tmp_path):
+        # MwpmDecoder mutates self.fallback_uses across decodes; the
+        # cache key must depend only on constructor parameters or
+        # reruns/parallel runs would never hit.
+        from repro.decoders.mwpm import MwpmDecoder
+
+        decoder = MwpmDecoder()
+        run_batch_point(decoder, 3, 0.08, 10, rng=1, cache=tmp_path)
+        decoder.fallback_uses = 99
+        run_batch_point(decoder, 3, 0.08, 10, rng=1, cache=tmp_path)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+
+    def test_unmappable_decoder_params_fail_loudly(self, tmp_path):
+        # A decoder hiding a constructor param under another attribute
+        # name must not silently share cache keys across configs.
+        class Renamed(QecoolDecoder):
+            def __init__(self, limit: int = 3):
+                super().__init__()
+                self._limit = limit
+
+        with pytest.raises(ValueError, match="limit"):
+            run_batch_point(Renamed(), 3, 0.05, 5, rng=1, cache=tmp_path)
+        # Without a cache the same decoder runs fine (no key is built).
+        point = run_batch_point(Renamed(), 3, 0.05, 5, rng=1)
+        assert point.shots == 5

@@ -1,0 +1,75 @@
+"""Golden-value regression pins for the seeded Monte-Carlo runners.
+
+These values were produced by the sharded executor's per-shot-substream
+scheme (every shot's generator is ``SeedSequence(seed)``'s child at the
+shot's index).  They pin the *exact* seeded outputs of small points so
+a future refactor of the executor, the noise samplers or the decoders
+cannot silently shift seeded results: any legitimate change to the
+stream layout must update these constants in the same commit, making
+the break visible in review.
+
+Chunking/parallelism invariance (the other half of the determinism
+contract) is covered in ``tests/test_executor.py``; these pins anchor
+the absolute values.
+"""
+
+from __future__ import annotations
+
+from repro.core.decoder import QecoolDecoder
+from repro.core.online import OnlineConfig
+from repro.decoders.mwpm import MwpmDecoder
+from repro.experiments.montecarlo import (
+    run_batch_point,
+    run_code_capacity_point,
+    run_online_point,
+)
+
+
+class TestGoldenCodeCapacity:
+    def test_qecool_d5(self):
+        point = run_code_capacity_point(QecoolDecoder(), 5, 0.08, 40, rng=2021)
+        assert point.failures == 5
+        assert point.shots == 40
+
+
+class TestGoldenBatch:
+    def test_qecool_d3(self):
+        point = run_batch_point(QecoolDecoder(), 3, 0.05, 30, rng=1234)
+        assert (point.failures, point.n_matches, point.n_deep_vertical) == (8, 88, 0)
+
+    def test_mwpm_d3(self):
+        point = run_batch_point(MwpmDecoder(), 3, 0.05, 30, rng=1234)
+        assert (point.failures, point.n_matches, point.n_deep_vertical) == (7, 86, 0)
+
+    def test_same_seed_pairs_noise_across_decoders(self):
+        # The ordering ablation's contract: one integer seed names one
+        # noise realisation, whatever decoder consumes it.
+        a = run_batch_point(QecoolDecoder(), 3, 0.05, 30, rng=1234)
+        b = run_batch_point(MwpmDecoder(), 3, 0.05, 30, rng=1234)
+        assert a.shots == b.shots == 30  # paired budgets, pinned above
+
+
+class TestGoldenOnline:
+    def test_unbounded_clock_with_cycles(self):
+        point = run_online_point(
+            3, 0.02, 25, OnlineConfig(), rng=99,
+            n_rounds=5, keep_layer_cycles=True,
+        )
+        assert (point.failures, point.overflows) == (1, 0)
+        assert len(point.layer_cycles) == 25 * 6
+        assert sum(point.layer_cycles) == 1068
+
+    def test_finite_clock(self):
+        point = run_online_point(
+            5, 0.01, 15, OnlineConfig(frequency_hz=0.5e9), rng=7
+        )
+        assert (point.failures, point.overflows) == (0, 0)
+        assert point.frequency_hz == 0.5e9
+
+    def test_jobs_do_not_move_the_pins(self):
+        point = run_online_point(
+            3, 0.02, 25, OnlineConfig(), rng=99,
+            n_rounds=5, keep_layer_cycles=True, jobs=2, chunk_size=4,
+        )
+        assert (point.failures, point.overflows) == (1, 0)
+        assert sum(point.layer_cycles) == 1068

@@ -1,0 +1,141 @@
+"""Coverage for the experiment runner CLI.
+
+Every experiment name must dispatch and print a report; heavy sweeps
+are monkeypatched onto tiny lattices/budgets so the whole dispatch
+table runs in seconds while still exercising the *real* generators and
+formatters end to end (the stubs call the genuine functions with
+reduced parameters, so interface drift between runner and generators
+fails these tests).
+"""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+import repro.experiments.ablations as ablations_mod
+import repro.experiments.runner as runner_mod
+from repro.experiments.ablations import (
+    ordering_ablation,
+    sweep_measurement_noise,
+    sweep_reg_size,
+    sweep_thv,
+)
+from repro.experiments.fig4 import run_fig4a, run_fig4b
+from repro.experiments.fig7 import run_fig7
+from repro.experiments.runner import EXPERIMENTS, main, run_experiment
+from repro.experiments.table3 import run_table3
+from repro.experiments.table4 import run_table4
+from repro.experiments.table5 import run_table5
+
+
+@pytest.fixture()
+def light_experiments(monkeypatch):
+    """Rebind every heavy generator to a tiny-parameter real run."""
+    monkeypatch.setattr(
+        runner_mod, "run_fig4a",
+        lambda shots, jobs=1, adaptive=None: run_fig4a(
+            shots=4, distances=(3,), ps=(0.05,), jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        runner_mod, "run_fig4b",
+        lambda shots, jobs=1, adaptive=None: run_fig4b(
+            shots=4, d=3, ps=(0.05,), jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        runner_mod, "run_fig7",
+        lambda shots, jobs=1, adaptive=None: run_fig7(
+            shots=3, frequencies=(1e9,), distances=(3,), ps=(0.02,),
+            jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        runner_mod, "run_table3",
+        lambda shots, jobs=1: run_table3(
+            shots=2, distances=(3,), ps=(0.01,), rounds_per_shot=3, jobs=jobs,
+        ),
+    )
+    monkeypatch.setattr(
+        runner_mod, "run_table4",
+        lambda shots, jobs=1, adaptive=None: run_table4(
+            shots=8, ps_2d=(0.08, 0.12), distances_2d=(3, 5),
+            include_3d=False, jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        runner_mod, "run_table5",
+        lambda shots, jobs=1: run_table5(shots=2, rounds_per_shot=3, jobs=jobs),
+    )
+    monkeypatch.setattr(
+        ablations_mod, "sweep_thv",
+        lambda shots, jobs=1, adaptive=None: sweep_thv(
+            d=3, p=0.03, shots=2, thvs=(0, 1), jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        ablations_mod, "sweep_reg_size",
+        lambda shots, jobs=1, adaptive=None: sweep_reg_size(
+            d=3, p=0.03, shots=2, sizes=(4, 7), jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        ablations_mod, "sweep_measurement_noise",
+        lambda shots, jobs=1, adaptive=None: sweep_measurement_noise(
+            d=3, p=0.03, shots=2, q_over_p=(0.0, 1.0), jobs=jobs, adaptive=adaptive,
+        ),
+    )
+    monkeypatch.setattr(
+        ablations_mod, "ordering_ablation",
+        lambda shots, jobs=1: ordering_ablation(d=3, p=0.05, shots=3, jobs=jobs),
+    )
+
+
+class TestDispatch:
+    @pytest.mark.parametrize("name", EXPERIMENTS)
+    def test_every_experiment_prints_a_report(self, name, light_experiments):
+        out = io.StringIO()
+        run_experiment(name, shots=10, out=out)
+        report = out.getvalue()
+        assert len(report) > 40
+        assert "==" in report  # every report leads with a titled section
+
+    @pytest.mark.parametrize("name", EXPERIMENTS)
+    def test_adaptive_and_jobs_kwargs_accepted(self, name, light_experiments):
+        out = io.StringIO()
+        run_experiment(name, shots=10, out=out, jobs=1, adaptive=True)
+        assert out.getvalue()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("nope", 10)
+
+    def test_unknown_experiment_names_the_choices(self):
+        with pytest.raises(ValueError, match="fig4a"):
+            run_experiment("bogus", 10)
+
+
+class TestCli:
+    def test_jobs_and_adaptive_flags_parse(self, capsys):
+        # tables12 has no shot loop, so this exercises flag plumbing
+        # without Monte-Carlo cost.
+        assert main(
+            ["--experiment", "tables12", "--shots", "10", "--jobs", "2", "--adaptive"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "Table I" in captured.out
+        assert "[tables12 done in" in captured.out
+
+    def test_default_experiment_is_all(self):
+        parser_error = None
+        try:
+            main(["--experiment", "not-a-thing"])
+        except SystemExit as exc:  # argparse rejects unknown choices
+            parser_error = exc.code
+        assert parser_error == 2
+
+    def test_bad_jobs_value_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--jobs", "not-an-int"])
