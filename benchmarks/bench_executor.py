@@ -1,13 +1,30 @@
-"""Serial vs parallel shot-executor throughput on a batch point.
+"""Executor and sampling-kernel throughput benchmarks.
 
-Measures ``run_batch_point`` at a Fig. 4-style operating point with
-``jobs=1`` against ``jobs=4``, reporting shots/second and the speedup.
-On a machine with >= 4 physical cores the parallel run must clear a 2x
-speedup (the executor's scheduling overhead budget); on smaller boxes
-the speedup is reported but not asserted — there is nothing to win on
-one core, and results are bit-identical either way (asserted here too).
+Two benchmarks:
+
+- **Parallel executor** — ``run_batch_point`` at a Fig. 4-style
+  operating point with ``jobs=1`` against ``jobs=4``, reporting
+  shots/second and the speedup.  On a machine with >= 4 physical cores
+  the parallel run must clear a 2x speedup (the executor's scheduling
+  overhead budget); on smaller boxes the speedup is reported but not
+  asserted — there is nothing to win on one core, and results are
+  bit-identical either way (asserted here too).
+- **Batched sampling kernel** — the vectorized noise-sample +
+  syndrome-extraction path (``sample_batch`` + ``SyndromeBatch.run``)
+  against the seed's per-shot loop (kept inline here as the baseline
+  and correctness oracle: per-shot sampling, int64 cumsum, per-shot
+  parity matmul and events) on a d=9, rounds=9 phenomenological point,
+  using the executor's per-shot substreams so both paths produce
+  **bit-identical** events.  The batched path must clear 2x.  The
+  current per-shot API (``SyndromeHistory.run``, which now shares the
+  vectorized kernel internally) is timed as a third line for context.
 
 Run:  pytest benchmarks/bench_executor.py --benchmark-only -s
+
+Setting ``BENCH_SMOKE=1`` (the CI bench-smoke job) shrinks the budgets
+so the file doubles as a fast regression smoke test; the hardware
+speedup assertion of the parallel benchmark is skipped in that mode —
+tiny chunks measure pool overhead, not simulation throughput.
 """
 
 from __future__ import annotations
@@ -15,10 +32,16 @@ from __future__ import annotations
 import os
 import time
 
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
 PARALLEL_JOBS = 4
 # Heavy enough that a chunk's decode work dwarfs pool scheduling:
 # d=11 batch shots run ~2-4 ms each.
-D, P, SHOTS, CHUNK = 11, 0.01, 96, 12
+D, P, SHOTS, CHUNK = (11, 0.01, 96, 12) if not SMOKE else (9, 0.01, 24, 6)
+
+# The acceptance point for the sampling kernel: d=9, rounds=9.
+K_D, K_ROUNDS, K_P = 9, 9, 0.01
+K_SHOTS = 512 if not SMOKE else 128
 
 
 def _measure(jobs: int) -> tuple[float, "BatchPoint"]:
@@ -56,8 +79,100 @@ def test_executor_parallel_speedup(benchmark, reporter):
         f" matches={serial_pt.n_matches}",
     ]
     reporter(benchmark, "Sharded executor: serial vs parallel", lines)
-    if cores >= PARALLEL_JOBS:
+    if cores >= PARALLEL_JOBS and not SMOKE:
         assert speedup > 2.0, (
             f"expected > 2x speedup at {PARALLEL_JOBS} workers on {cores} cores, "
             f"got {speedup:.2f}x"
         )
+
+
+def _sampling_inputs():
+    import numpy as np
+
+    from repro.surface_code.lattice import PlanarLattice
+    from repro.surface_code.noise import PhenomenologicalNoise
+    from repro.util.rng import substream
+
+    lattice = PlanarLattice(K_D)
+    model = PhenomenologicalNoise(K_P)
+    root = np.random.SeedSequence(2021)
+    rngs = lambda: [substream(root, i) for i in range(K_SHOTS)]
+    return lattice, model, rngs
+
+
+def _run_seed_loop(lattice, model, rngs):
+    """The seed's per-shot kernel, inlined as baseline and oracle.
+
+    Exactly what ``BatchTask.run_chunk`` did before the batched kernel:
+    per-shot noise draws, per-shot int64 cumsum, per-shot parity matmul,
+    per-shot detection events.
+    """
+    import numpy as np
+
+    events, finals = [], []
+    for rng in rngs():
+        data = (rng.random((K_ROUNDS, lattice.n_data)) < K_P).astype(np.uint8)
+        meas = (rng.random((K_ROUNDS, lattice.n_ancillas)) < K_P).astype(np.uint8)
+        cumulative = (np.cumsum(data, axis=0, dtype=np.int64) % 2).astype(np.uint8)
+        measured = (cumulative @ lattice.parity_matrix.T) % 2
+        measured ^= meas
+        last = lattice.syndrome_of(cumulative[-1])
+        measured = np.vstack([measured, last[None, :]]).astype(np.uint8)
+        ev = measured.copy()
+        ev[1:] ^= measured[:-1]
+        events.append(ev)
+        finals.append(cumulative[-1])
+    return events, finals
+
+
+def _run_api_loop(lattice, model, rngs):
+    from repro.surface_code.syndrome import SyndromeHistory
+
+    for rng in rngs():
+        data, meas = model.sample_rounds(lattice, K_ROUNDS, rng)
+        SyndromeHistory.run(lattice, data, meas)
+
+
+def _run_batched(lattice, model, rngs):
+    from repro.surface_code.syndrome import SyndromeBatch
+
+    data, meas = model.sample_batch(lattice, K_ROUNDS, rng=rngs())
+    return SyndromeBatch.run(lattice, data, meas)
+
+
+def test_batched_sampling_kernel_speedup(benchmark, reporter):
+    import numpy as np
+
+    lattice, model, rngs = _sampling_inputs()
+
+    start = time.perf_counter()
+    loop_events, loop_finals = _run_seed_loop(lattice, model, rngs)
+    loop_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    _run_api_loop(lattice, model, rngs)
+    api_s = time.perf_counter() - start
+
+    batch = benchmark.pedantic(
+        lambda: _run_batched(lattice, model, rngs), rounds=1, iterations=1,
+    )
+    batch_s = benchmark.stats.stats.total
+
+    # Per-shot substreams make the paths bit-identical, not merely
+    # statistically equivalent.
+    for i in range(K_SHOTS):
+        assert np.array_equal(batch.events[i], loop_events[i])
+        assert np.array_equal(batch.final_errors[i], loop_finals[i])
+
+    speedup = loop_s / batch_s if batch_s else float("inf")
+    lines = [
+        f"point: phenomenological d={K_D} rounds={K_ROUNDS} p={K_P} shots={K_SHOTS}",
+        f"per-shot loop (seed kernel): {loop_s * 1e3:7.1f}ms  {K_SHOTS / loop_s:9.1f} shots/s",
+        f"per-shot loop (current API): {api_s * 1e3:7.1f}ms  {K_SHOTS / api_s:9.1f} shots/s",
+        f"batched kernel:              {batch_s * 1e3:7.1f}ms  {K_SHOTS / batch_s:9.1f} shots/s",
+        f"speedup vs seed loop: {speedup:.2f}x (bit-identical events)",
+    ]
+    reporter(benchmark, "Sampling kernel: per-shot loop vs batched", lines)
+    assert speedup > 2.0, (
+        f"expected > 2x speedup from the batched sampling kernel, got {speedup:.2f}x"
+    )

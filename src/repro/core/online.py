@@ -31,7 +31,7 @@ from repro.core.engine import IDLE, QecoolEngine
 from repro.decoders.base import Match, correction_from_matches
 from repro.surface_code.lattice import PlanarLattice
 from repro.surface_code.logical import logical_failure
-from repro.surface_code.noise import PhenomenologicalNoise
+from repro.surface_code.noise import NoiseModel, PhenomenologicalNoise
 from repro.util.rng import make_rng
 
 __all__ = ["OnlineConfig", "OnlineOutcome", "run_online_trial"]
@@ -77,7 +77,7 @@ class OnlineOutcome:
 
 def run_online_trial(
     lattice: PlanarLattice,
-    p: float,
+    p: float | NoiseModel,
     n_rounds: int,
     config: OnlineConfig = OnlineConfig(),
     rng: np.random.Generator | int | None = None,
@@ -85,13 +85,22 @@ def run_online_trial(
 ) -> OnlineOutcome:
     """Run one online-QEC trial of ``n_rounds`` noisy measurement rounds.
 
+    ``p`` is either the phenomenological data-flip rate (with ``q`` the
+    optional measurement rate, defaulting to ``p``) or any
+    :class:`~repro.surface_code.noise.NoiseModel` — round-dependent
+    models such as ``drift`` are sampled with the trial's round index.
     Returns an :class:`OnlineOutcome`; ``failed`` is True on Reg overflow
     or on a residual logical error after the final drain.
     """
     if n_rounds < 1:
         raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
     rng = make_rng(rng)
-    noise = PhenomenologicalNoise(p, q)
+    if isinstance(p, NoiseModel):
+        if q is not None:
+            raise ValueError("q is part of the noise model; pass one or the other")
+        noise = p
+    else:
+        noise = PhenomenologicalNoise(p, q)
     engine = QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
     gen = engine.run(drain=False)
     budget = config.cycles_per_interval
@@ -107,7 +116,7 @@ def run_online_trial(
         if final_round:
             raw = lattice.syndrome_of(error)
         else:
-            data_flips, meas_flips = noise.sample_round(lattice, rng)
+            data_flips, meas_flips = noise.sample_round(lattice, rng, t=k, n_rounds=n_rounds)
             error ^= data_flips
             raw = lattice.syndrome_of(error) ^ meas_flips
         events_row = raw ^ prev_raw ^ compensation

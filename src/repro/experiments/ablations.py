@@ -82,12 +82,15 @@ def _online_sweep(
     q: float | None = None,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[AblationPoint]:
     points = []
     for value, rng in zip(values, spawn_rngs(seed, len(values))):
         point = run_online_point(
             d, p, shots, make_config(value), rng,
             q=q, jobs=jobs, adaptive=adaptive,
+            noise=noise, noise_params=noise_params,
         )
         points.append(
             AblationPoint(label, value, point.failures, point.overflows, point.shots)
@@ -103,6 +106,8 @@ def sweep_thv(
     seed: int = 101,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[AblationPoint]:
     """Online failure rate vs vertical look-ahead threshold.
 
@@ -114,6 +119,7 @@ def sweep_thv(
         "thv", thvs,
         lambda thv: OnlineConfig(frequency_hz=None, thv=thv, reg_size=thv + 4),
         d, p, shots, seed, jobs=jobs, adaptive=adaptive,
+        noise=noise, noise_params=noise_params,
     )
 
 
@@ -126,6 +132,8 @@ def sweep_reg_size(
     seed: int = 102,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[AblationPoint]:
     """Failure/overflow rate vs Reg capacity at a tight decoder clock.
 
@@ -137,6 +145,7 @@ def sweep_reg_size(
         "reg_size", sizes,
         lambda size: OnlineConfig(frequency_hz=frequency_hz, thv=3, reg_size=size),
         d, p, shots, seed, jobs=jobs, adaptive=adaptive,
+        noise=noise, noise_params=noise_params,
     )
 
 
@@ -148,6 +157,8 @@ def sweep_measurement_noise(
     seed: int = 103,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[AblationPoint]:
     """Online failure rate as readout noise scales relative to data noise."""
     points = []
@@ -155,6 +166,7 @@ def sweep_measurement_noise(
         point = run_online_point(
             d, p, shots, OnlineConfig(frequency_hz=None), rng,
             q=min(1.0, ratio * p), jobs=jobs, adaptive=adaptive,
+            noise=noise, noise_params=noise_params,
         )
         points.append(
             AblationPoint("q/p", ratio, point.failures, point.overflows, point.shots)
@@ -168,6 +180,8 @@ def ordering_ablation(
     shots: int = 300,
     seed: int = 104,
     jobs: int = 1,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> dict[str, RateEstimate]:
     """Accuracy cost of QECOOL's token-serialised greedy, batch setting.
 
@@ -182,6 +196,9 @@ def ordering_ablation(
     for decoder in (QecoolDecoder(), GreedyMatchingDecoder(), MwpmDecoder()):
         # The same integer seed replays the same noise for every decoder,
         # so the comparison is paired rather than independently sampled.
-        point = run_batch_point(decoder, d, p, shots, seed, jobs=jobs)
+        point = run_batch_point(
+            decoder, d, p, shots, seed, jobs=jobs,
+            noise=noise, noise_params=noise_params,
+        )
         out[decoder.name] = point.logical_rate
     return out

@@ -82,6 +82,8 @@ def run_fig4a(
     seed: int = 2021,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> Fig4aResult:
     """Generate Fig. 4(a)'s series.
 
@@ -90,7 +92,9 @@ def run_fig4a(
     for publication-quality thresholds (see
     ``examples/threshold_study.py``).  ``jobs`` / ``adaptive`` are
     forwarded to the sharded executor (seeded results are identical at
-    any worker count).
+    any worker count); ``noise`` / ``noise_params`` re-run the whole
+    figure under any registered noise family (each point instantiates
+    the family at its swept ``p``).
     """
     if decoders is None:
         decoders = (QecoolDecoder(), MwpmDecoder())
@@ -105,6 +109,7 @@ def run_fig4a(
     for (dec, d, p), rng in zip(points, rngs):
         point = run_batch_point(
             dec, d, p, _shots_for(p, shots), rng, jobs=jobs, adaptive=adaptive,
+            noise=noise, noise_params=noise_params,
         )
         result.points.setdefault(dec.name, []).append(point)
     return result
@@ -118,6 +123,8 @@ def run_fig4b(
     deep_threshold: int = 3,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[BatchPoint]:
     """Fig. 4(b): deep-vertical match proportion vs physical error rate.
 
@@ -129,6 +136,7 @@ def run_fig4b(
         run_batch_point(
             QecoolDecoder(), d, p, _shots_for(p, shots), rng,
             deep_threshold=deep_threshold, jobs=jobs, adaptive=adaptive,
+            noise=noise, noise_params=noise_params,
         )
         for p, rng in zip(ps, rngs)
     ]

@@ -81,11 +81,14 @@ def run_fig7(
     seed: int = 777,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> Fig7Result:
     """Generate Fig. 7's three panels.
 
     ``jobs`` / ``adaptive`` are forwarded to the sharded executor
-    (seeded results are identical at any worker count).
+    (seeded results are identical at any worker count); ``noise`` /
+    ``noise_params`` select a registered noise family per point.
     """
     result = Fig7Result()
     points = [(f, d, p) for f in frequencies for d in distances for p in ps]
@@ -94,6 +97,7 @@ def run_fig7(
         config = OnlineConfig(frequency_hz=freq)
         point = run_online_point(
             d, p, _shots_for(p, shots), config, rng, jobs=jobs, adaptive=adaptive,
+            noise=noise, noise_params=noise_params,
         )
         result.points.setdefault(freq, []).append(point)
     return result

@@ -28,6 +28,16 @@ accepts
   directory path) memoising finished points on disk.  Only
   integer-seeded points are cached: a generator's identity is not a
   stable key.
+
+Each runner also accepts ``noise`` (a registry name from
+:func:`repro.surface_code.noise.get_noise`, or a ready model instance)
+and ``noise_params`` so any point can be re-run under any registered
+noise scenario; the model's canonical ``key`` participates in the point
+cache key, so differently-noised points never collide.  Inside a chunk
+the code-capacity and batch tasks sample the *whole chunk's* noise with
+the batched kernels and reduce syndrome extraction / failure accounting
+to vectorized numpy passes — the per-shot loop contains only the
+decoder call.
 """
 
 from __future__ import annotations
@@ -48,9 +58,14 @@ from repro.experiments.executor import (
     ShotChunk,
 )
 from repro.surface_code.lattice import PlanarLattice
-from repro.surface_code.logical import logical_failure
-from repro.surface_code.noise import sample_code_capacity, sample_phenomenological
-from repro.surface_code.syndrome import SyndromeHistory
+from repro.surface_code.logical import logical_failures_batch
+from repro.surface_code.noise import (
+    CodeCapacityNoise,
+    NoiseModel,
+    PhenomenologicalNoise,
+    get_noise,
+)
+from repro.surface_code.syndrome import SyndromeBatch
 from repro.util.stats import RateEstimate
 
 __all__ = [
@@ -59,10 +74,37 @@ __all__ = [
     "CodeCapacityTask",
     "OnlinePoint",
     "OnlineTask",
+    "resolve_noise",
     "run_batch_point",
     "run_code_capacity_point",
     "run_online_point",
 ]
+
+
+def resolve_noise(
+    noise: str | NoiseModel | None,
+    default_name: str,
+    p: float,
+    q: float | None = None,
+    noise_params: dict | None = None,
+) -> NoiseModel:
+    """Normalise a point runner's noise arguments into a model instance.
+
+    ``noise`` may be a registry name, a ready-made model (used verbatim;
+    combining it with ``noise_params`` is an error), or ``None`` for the
+    runner's default family at the point's ``(p, q)``.  An explicit
+    ``q`` argument wins over a ``"q"`` riding along in ``noise_params``
+    — the direct argument is the more specific request (this is what
+    lets the q/p ablation sweep its per-point q under a global ``--q``).
+    """
+    if isinstance(noise, NoiseModel):
+        if noise_params:
+            raise ValueError("noise_params only apply when noise is a registry name")
+        return noise
+    params = dict(noise_params or {})
+    if q is not None:
+        params["q"] = q
+    return get_noise(noise or default_name, p=p, **params)
 
 
 @dataclass
@@ -119,47 +161,72 @@ class OnlinePoint:
 
 @dataclass(frozen=True)
 class CodeCapacityTask:
-    """2-D setting: one perfect syndrome per shot."""
+    """2-D setting: one perfect syndrome per shot.
+
+    The whole chunk's noise is sampled in one batched kernel call (per
+    shot substreams preserved — see ``tests/README.md``), syndromes come
+    from one batched parity matmul, and the per-shot loop is reduced to
+    the decoder call alone.
+    """
 
     decoder: Decoder
     d: int
     p: float
+    noise: NoiseModel | None = None
+
+    def model(self) -> NoiseModel:
+        """The noise model in effect (default: code capacity at ``p``)."""
+        return CodeCapacityNoise(self.p) if self.noise is None else self.noise
 
     def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
         lattice = PlanarLattice(self.d)
-        failures = 0
-        for rng in chunk.rngs():
-            error = sample_code_capacity(lattice, self.p, rng)
-            syndrome = lattice.syndrome_of(error)
-            result = self.decoder.decode_code_capacity(lattice, syndrome)
-            failures += logical_failure(lattice, error, result.correction)
+        errors = self.model().sample_data_batch(lattice, rng=chunk.rngs())
+        syndromes = lattice.syndrome_of_batch(errors)
+        corrections = np.empty_like(errors)
+        for i in range(chunk.shots):
+            result = self.decoder.decode_code_capacity(lattice, syndromes[i])
+            corrections[i] = result.correction
+        failures = int(logical_failures_batch(lattice, errors, corrections).sum())
         return ChunkStats(shots=chunk.shots, failures=failures)
 
 
 @dataclass(frozen=True)
 class BatchTask:
-    """3-D batch setting: noisy rounds plus a perfect terminal round."""
+    """3-D batch setting: noisy rounds plus a perfect terminal round.
+
+    Noise sampling, cumulative-error accumulation, syndrome extraction
+    and detection events all run batched over the chunk's shots axis
+    (:class:`~repro.surface_code.syndrome.SyndromeBatch`); only the
+    decoder itself runs per shot.
+    """
 
     decoder: Decoder
     d: int
     p: float
     rounds: int
     deep_threshold: int = 3
+    noise: NoiseModel | None = None
+
+    def model(self) -> NoiseModel:
+        """The noise model in effect (default: phenomenological at ``p``)."""
+        return PhenomenologicalNoise(self.p) if self.noise is None else self.noise
 
     def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
         lattice = PlanarLattice(self.d)
-        failures = n_matches = n_deep = 0
-        for rng in chunk.rngs():
-            data, meas = sample_phenomenological(lattice, self.p, self.rounds, rng)
-            history = SyndromeHistory.run(lattice, data, meas)
-            result = self.decoder.decode(lattice, history.events)
-            failures += logical_failure(
-                lattice, history.final_error, result.correction
-            )
+        data, meas = self.model().sample_batch(lattice, self.rounds, rng=chunk.rngs())
+        batch = SyndromeBatch.run(lattice, data, meas)
+        n_matches = n_deep = 0
+        corrections = np.empty((chunk.shots, lattice.n_data), dtype=np.uint8)
+        for i in range(chunk.shots):
+            result = self.decoder.decode(lattice, batch.events[i])
+            corrections[i] = result.correction
             n_matches += len(result.matches)
             n_deep += sum(
                 1 for m in result.matches if m.vertical_extent >= self.deep_threshold
             )
+        failures = int(
+            logical_failures_batch(lattice, batch.final_errors, corrections).sum()
+        )
         return ChunkStats(
             shots=chunk.shots, failures=failures,
             n_matches=n_matches, n_deep_vertical=n_deep,
@@ -168,7 +235,12 @@ class BatchTask:
 
 @dataclass(frozen=True)
 class OnlineTask:
-    """Online setting: streaming QECOOL under a finite decoder clock."""
+    """Online setting: streaming QECOOL under a finite decoder clock.
+
+    Inherently sequential (corrections feed back between rounds), so
+    shots stay a Python loop; the noise model is threaded through to
+    :func:`~repro.core.online.run_online_trial` round by round.
+    """
 
     d: int
     p: float
@@ -176,15 +248,21 @@ class OnlineTask:
     config: OnlineConfig
     keep_layer_cycles: bool = False
     q: float | None = None
+    noise: NoiseModel | None = None
 
     def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
         lattice = PlanarLattice(self.d)
         failures = overflows = 0
         cycles: list[int] = []
         for rng in chunk.rngs():
-            outcome = run_online_trial(
-                lattice, self.p, self.rounds, self.config, rng, q=self.q
-            )
+            if self.noise is None:
+                outcome = run_online_trial(
+                    lattice, self.p, self.rounds, self.config, rng, q=self.q
+                )
+            else:
+                outcome = run_online_trial(
+                    lattice, self.noise, self.rounds, self.config, rng
+                )
             failures += outcome.failed
             overflows += outcome.overflow
             if self.keep_layer_cycles:
@@ -272,18 +350,32 @@ def run_code_capacity_point(
     shots: int,
     rng: np.random.Generator | int | None = None,
     *,
+    noise: str | NoiseModel | None = None,
+    noise_params: dict | None = None,
     jobs: int = 1,
     chunk_size: int | None = None,
     adaptive: AdaptiveConfig | None = None,
     cache: PointCache | str | os.PathLike | None = None,
 ) -> BatchPoint:
-    """2-D setting: one perfect syndrome per shot."""
+    """2-D setting: one perfect syndrome per shot.
+
+    ``noise`` selects a registered noise family (default
+    ``"code_capacity"``); only its data-flip schedule matters here —
+    measurement is perfect by construction.  For that reason a ``"q"``
+    riding along in ``noise_params`` (e.g. the runner's global ``--q``
+    applied across experiments) is ignored by the *default* model
+    rather than rejected; explicitly requesting ``noise=
+    "code_capacity"`` together with a ``q`` still errors.
+    """
+    if noise is None and noise_params and "q" in noise_params:
+        noise_params = {k: v for k, v in noise_params.items() if k != "q"}
+    model = resolve_noise(noise, "code_capacity", p, noise_params=noise_params)
     stats = _run_point(
-        CodeCapacityTask(decoder, d, p), shots, rng,
+        CodeCapacityTask(decoder, d, p, noise=model), shots, rng,
         jobs, chunk_size, adaptive, cache,
         make_cache_key=lambda: {
             "experiment": "code_capacity", "decoder": _decoder_key(decoder),
-            "d": d, "p": p, "rounds": 1,
+            "d": d, "p": p, "rounds": 1, "noise": model.key,
         },
     )
     return BatchPoint(decoder.name, d, p, stats.shots, stats.failures)
@@ -298,20 +390,29 @@ def run_batch_point(
     n_rounds: int | None = None,
     deep_threshold: int = 3,
     *,
+    noise: str | NoiseModel | None = None,
+    noise_params: dict | None = None,
     jobs: int = 1,
     chunk_size: int | None = None,
     adaptive: AdaptiveConfig | None = None,
     cache: PointCache | str | os.PathLike | None = None,
 ) -> BatchPoint:
     """3-D batch setting: ``n_rounds`` (default ``d``) noisy rounds plus a
-    perfect terminal round, decoded in one call."""
+    perfect terminal round, decoded in one call.
+
+    ``noise`` selects a registered noise family (default
+    ``"phenomenological"``); ``noise_params`` are forwarded to its
+    factory (e.g. ``{"bias": 10}`` for ``"biased_z"``).
+    """
     rounds = d if n_rounds is None else n_rounds
+    model = resolve_noise(noise, "phenomenological", p, noise_params=noise_params)
     stats = _run_point(
-        BatchTask(decoder, d, p, rounds, deep_threshold), shots, rng,
+        BatchTask(decoder, d, p, rounds, deep_threshold, noise=model), shots, rng,
         jobs, chunk_size, adaptive, cache,
         make_cache_key=lambda: {
             "experiment": "batch", "decoder": _decoder_key(decoder),
             "d": d, "p": p, "rounds": rounds, "deep_threshold": deep_threshold,
+            "noise": model.key,
         },
     )
     return BatchPoint(
@@ -331,6 +432,8 @@ def run_online_point(
     keep_layer_cycles: bool = False,
     *,
     q: float | None = None,
+    noise: str | NoiseModel | None = None,
+    noise_params: dict | None = None,
     jobs: int = 1,
     chunk_size: int | None = None,
     adaptive: AdaptiveConfig | None = None,
@@ -340,18 +443,23 @@ def run_online_point(
 
     ``config=None`` means a fresh default :class:`OnlineConfig` (never a
     shared instance); ``q`` overrides the measurement-error rate
-    (defaults to ``p`` inside the noise model).
+    (defaults to ``p`` inside the noise model).  ``noise`` selects a
+    registered noise family (default ``"phenomenological"``), sampled
+    round by round so round-dependent models (``"drift"``) see the
+    trial's round index.
     """
     config = OnlineConfig() if config is None else config
     rounds = d if n_rounds is None else n_rounds
+    model = resolve_noise(noise, "phenomenological", p, q=q, noise_params=noise_params)
+    task = OnlineTask(d, p, rounds, config, keep_layer_cycles, q, noise=model)
     stats = _run_point(
-        OnlineTask(d, p, rounds, config, keep_layer_cycles, q), shots, rng,
+        task, shots, rng,
         jobs, chunk_size, adaptive, cache,
         make_cache_key=lambda: {
             "experiment": "online", "decoder": "qecool-online",
             "d": d, "p": p, "rounds": rounds, "q": q,
             "config": repr(sorted(vars(config).items())),
-            "keep_layer_cycles": keep_layer_cycles,
+            "keep_layer_cycles": keep_layer_cycles, "noise": model.key,
         },
     )
     return OnlinePoint(

@@ -20,6 +20,32 @@ its Wilson interval is tight, reporting the shots actually spent.  This
 re-allocates budget from easy (high-p) points to the sub-threshold tail
 but does change the per-point shot counts, so seeded outputs differ
 from a fixed-budget run.
+
+Noise scenarios
+---------------
+``--noise NAME`` re-runs any experiment under a registered noise family
+(see :mod:`repro.surface_code.noise`); family parameters ride along as
+``--bias``, ``--ramp`` and ``--q``.  The default keeps the paper's
+models (code-capacity for 2-D points, phenomenological with ``q = p``
+for 3-D/online points).  Examples::
+
+    # Fig. 4(a) under Z-biased noise (dephasing-dominated qubits):
+    python -m repro.experiments.runner --experiment fig4a \
+        --noise biased_z --bias 10
+
+    # Fig. 7 with rates ramping to 3x over the experiment:
+    python -m repro.experiments.runner --experiment fig7 \
+        --noise drift --ramp 3
+
+    # Table IV thresholds under projected depolarizing noise:
+    python -m repro.experiments.runner --experiment table4 \
+        --noise depolarizing
+
+    # Phenomenological with measurement noise decoupled from data noise:
+    python -m repro.experiments.runner --experiment fig4a --q 0.02
+
+Differently-noised points never collide in the on-disk point cache —
+the model's canonical key is part of every cache key.
 """
 
 from __future__ import annotations
@@ -35,6 +61,7 @@ from repro.experiments.table3 import run_table3
 from repro.experiments.table4 import run_table4
 from repro.experiments.table5 import run_table5
 from repro.experiments.tables12 import format_table1, format_table2, headline_numbers
+from repro.surface_code.noise import available_noise_models
 
 __all__ = ["main", "run_experiment"]
 
@@ -50,18 +77,25 @@ def run_experiment(
     out=None,
     jobs: int = 1,
     adaptive: bool = False,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> None:
     """Run one named experiment and print its report to ``out``.
 
     ``out=None`` resolves to the *current* ``sys.stdout`` at call time
     (not import time), so redirection and capture work.  ``jobs`` and
-    ``adaptive`` are forwarded to the Monte-Carlo executor; experiments
-    without a shot loop (``tables12``, ``system``) ignore them.
+    ``adaptive`` are forwarded to the Monte-Carlo executor, ``noise`` /
+    ``noise_params`` to every Monte-Carlo point (re-running the figure
+    under a registered noise family); experiments without a shot loop
+    (``tables12``, ``system``) ignore them.
     """
     if out is None:
         out = sys.stdout
     emit = lambda *parts: print(*parts, file=out)
     stopping = default_adaptive() if adaptive else None
+    scenario = dict(noise=noise, noise_params=noise_params)
+    if noise:
+        emit(f"[noise scenario: {noise} {noise_params or {}}]")
     if name == "tables12":
         emit("== Table I: SFQ cell library ==")
         for line in format_table1():
@@ -76,19 +110,19 @@ def run_experiment(
             emit(f"{key:<22} {value:.4g}")
     elif name == "table3":
         emit("== Table III: per-layer execution cycles ==")
-        for row in run_table3(shots=max(10, shots // 5), jobs=jobs):
+        for row in run_table3(shots=max(10, shots // 5), jobs=jobs, **scenario):
             emit(row.format())
     elif name == "table4":
         emit("== Table IV: decoder thresholds (2-D / 3-D) ==")
-        for row in run_table4(shots=shots, jobs=jobs, adaptive=stopping):
+        for row in run_table4(shots=shots, jobs=jobs, adaptive=stopping, **scenario):
             emit(row.format())
     elif name == "table5":
         emit("== Table V: AQEC vs QECOOL at d=9, p=0.001 ==")
-        for row in run_table5(shots=max(20, shots // 4), jobs=jobs):
+        for row in run_table5(shots=max(20, shots // 4), jobs=jobs, **scenario):
             emit(row.format())
     elif name == "fig4a":
         emit("== Fig. 4(a): batch-QECOOL vs MWPM error-rate scaling ==")
-        result = run_fig4a(shots=shots, jobs=jobs, adaptive=stopping)
+        result = run_fig4a(shots=shots, jobs=jobs, adaptive=stopping, **scenario)
         for line in result.rows():
             emit(line)
         for decoder in result.points:
@@ -97,7 +131,7 @@ def run_experiment(
             emit(f"p_th({decoder}) = {pth}")
     elif name == "fig4b":
         emit("== Fig. 4(b): deep vertical match proportion ==")
-        for point in run_fig4b(shots=shots, jobs=jobs, adaptive=stopping):
+        for point in run_fig4b(shots=shots, jobs=jobs, adaptive=stopping, **scenario):
             emit(
                 f"p={point.p:<7} deep(>= {point.deep_threshold} planes)"
                 f" fraction={point.deep_vertical_fraction:.5f}"
@@ -105,7 +139,7 @@ def run_experiment(
             )
     elif name == "fig7":
         emit("== Fig. 7: online QEC at 500 MHz / 1 GHz / 2 GHz ==")
-        result = run_fig7(shots=shots, jobs=jobs, adaptive=stopping)
+        result = run_fig7(shots=shots, jobs=jobs, adaptive=stopping, **scenario)
         for line in result.rows():
             emit(line)
         for freq in result.points:
@@ -122,19 +156,19 @@ def run_experiment(
 
         budget = max(30, shots // 2)
         emit("== Ablation: vertical look-ahead thv (paper fixes 3) ==")
-        for point in sweep_thv(shots=budget, jobs=jobs, adaptive=stopping):
+        for point in sweep_thv(shots=budget, jobs=jobs, adaptive=stopping, **scenario):
             emit(point.format())
         emit()
         emit("== Ablation: Reg capacity at 500 MHz (paper uses 7 bits) ==")
-        for point in sweep_reg_size(shots=budget, jobs=jobs, adaptive=stopping):
+        for point in sweep_reg_size(shots=budget, jobs=jobs, adaptive=stopping, **scenario):
             emit(point.format())
         emit()
         emit("== Ablation: readout-noise ratio q/p (paper assumes 1) ==")
-        for point in sweep_measurement_noise(shots=budget, jobs=jobs, adaptive=stopping):
+        for point in sweep_measurement_noise(shots=budget, jobs=jobs, adaptive=stopping, **scenario):
             emit(point.format())
         emit()
         emit("== Ablation: matching order (batch, paired noise) ==")
-        for decoder, est in ordering_ablation(shots=shots, jobs=jobs).items():
+        for decoder, est in ordering_ablation(shots=shots, jobs=jobs, **scenario).items():
             emit(f"{decoder:<8} p_L = {est}")
     elif name == "system":
         from repro.sfq.system import system_protectable_logical_qubits
@@ -150,7 +184,9 @@ def run_experiment(
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
-    parser = argparse.ArgumentParser(description=__doc__)
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
     parser.add_argument(
         "--experiment", default="all", choices=EXPERIMENTS + ("all",),
         help="which table/figure to regenerate",
@@ -169,11 +205,39 @@ def main(argv: list[str] | None = None) -> int:
         help="stop each point early once its failure quota / Wilson "
         "interval target is met (reports shots actually spent)",
     )
+    parser.add_argument(
+        "--noise", default=None, choices=available_noise_models(),
+        help="registered noise family to run the experiment under "
+        "(default: the paper's code-capacity/phenomenological models)",
+    )
+    parser.add_argument(
+        "--bias", type=float, default=None,
+        help="bias ratio for --noise biased_x / biased_z (default 10)",
+    )
+    parser.add_argument(
+        "--ramp", type=float, default=None,
+        help="final-round rate multiplier for --noise drift (default 2)",
+    )
+    parser.add_argument(
+        "--q", type=float, default=None,
+        help="measurement-flip probability override (default: the noise "
+        "model's own convention, q = p for the paper's models)",
+    )
     args = parser.parse_args(argv)
+    noise_params = {
+        key: value
+        for key, value in (("bias", args.bias), ("ramp", args.ramp), ("q", args.q))
+        if value is not None
+    }
+    if args.noise is None and set(noise_params) - {"q"}:
+        parser.error("--bias/--ramp require --noise naming the family they configure")
     names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
     for name in names:
         start = time.perf_counter()
-        run_experiment(name, args.shots, jobs=args.jobs, adaptive=args.adaptive)
+        run_experiment(
+            name, args.shots, jobs=args.jobs, adaptive=args.adaptive,
+            noise=args.noise, noise_params=noise_params or None,
+        )
         print(f"[{name} done in {time.perf_counter() - start:.1f}s]\n")
     return 0
 

@@ -88,6 +88,8 @@ def run_table3(
     rounds_per_shot: int = 25,
     seed: int = 333,
     jobs: int = 1,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[Table3Row]:
     """Measure Table III.
 
@@ -107,6 +109,7 @@ def run_table3(
         point = run_online_point(
             d, p, shots, config, rng,
             n_rounds=rounds_per_shot, keep_layer_cycles=True, jobs=jobs,
+            noise=noise, noise_params=noise_params,
         )
         avg, sigma = mean_std(point.layer_cycles)
         rows.append(

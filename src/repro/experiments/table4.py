@@ -100,6 +100,8 @@ def run_table4(
     include_3d: bool = True,
     jobs: int = 1,
     adaptive: AdaptiveConfig | None = None,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[Table4Row]:
     """Measure Table IV's threshold columns.
 
@@ -107,7 +109,9 @@ def run_table4(
     quick 2-D-only comparison, or ``jobs`` / ``adaptive`` to shard and
     early-stop each point (seeded results are identical at any worker
     count).  AQEC is excluded from the 3-D column by construction (see
-    module docstring).
+    module docstring).  ``noise`` / ``noise_params`` re-measure both
+    columns under a registered noise family (the default keeps the
+    paper's code-capacity / phenomenological pairing).
     """
     if decoders is None:
         decoders = default_decoders()
@@ -122,6 +126,7 @@ def run_table4(
             for p in ps_2d:
                 pt = run_code_capacity_point(
                     decoder, d, p, shots, next(rngs), jobs=jobs, adaptive=adaptive,
+                    noise=noise, noise_params=noise_params,
                 )
                 curves_2d.setdefault(d, []).append((p, pt.logical_rate.rate))
         p2 = estimate_threshold(curves_2d).p_th
@@ -133,6 +138,7 @@ def run_table4(
                     pt = run_batch_point(
                         decoder, d, p, shots, next(rngs),
                         jobs=jobs, adaptive=adaptive,
+                        noise=noise, noise_params=noise_params,
                     )
                     curves_3d.setdefault(d, []).append((p, pt.logical_rate.rate))
             p3 = estimate_threshold(curves_3d).p_th

@@ -91,6 +91,8 @@ def run_table5(
     seed: int = 55,
     rounds_per_shot: int = 25,
     jobs: int = 1,
+    noise: str | None = None,
+    noise_params: dict | None = None,
 ) -> list[Table5Row]:
     """Assemble Table V: the AQEC row from published constants, the
     QECOOL row from our hardware model plus measured latency.
@@ -103,6 +105,7 @@ def run_table5(
     point = run_online_point(
         d, p, shots, OnlineConfig(frequency_hz=None), seed,
         n_rounds=rounds_per_shot, keep_layer_cycles=True, jobs=jobs,
+        noise=noise, noise_params=noise_params,
     )
     avg_cycles, _ = mean_std(point.layer_cycles)
     max_cycles = max(point.layer_cycles, default=0)

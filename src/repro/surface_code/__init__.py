@@ -14,15 +14,23 @@ This subpackage provides everything the decoders consume:
 """
 
 from repro.surface_code.lattice import PlanarLattice
-from repro.surface_code.logical import logical_failure
+from repro.surface_code.logical import logical_failure, logical_failures_batch
 from repro.surface_code.memory import MemoryOutcome, run_memory_trial
 from repro.surface_code.noise import (
+    BiasedNoise,
     CodeCapacityNoise,
+    DepolarizingNoise,
+    DriftNoise,
+    NoiseModel,
     PhenomenologicalNoise,
+    available_noise_models,
+    get_noise,
+    register_noise,
     sample_code_capacity,
     sample_phenomenological,
 )
 from repro.surface_code.syndrome import (
+    SyndromeBatch,
     SyndromeHistory,
     detection_events,
     detection_matrix,
@@ -30,14 +38,23 @@ from repro.surface_code.syndrome import (
 )
 
 __all__ = [
+    "BiasedNoise",
     "CodeCapacityNoise",
+    "DepolarizingNoise",
+    "DriftNoise",
     "MemoryOutcome",
+    "NoiseModel",
     "PhenomenologicalNoise",
     "PlanarLattice",
+    "SyndromeBatch",
     "SyndromeHistory",
+    "available_noise_models",
     "detection_events",
     "detection_matrix",
+    "get_noise",
     "logical_failure",
+    "logical_failures_batch",
+    "register_noise",
     "run_memory_trial",
     "sample_code_capacity",
     "sample_phenomenological",

@@ -82,6 +82,21 @@ class PlanarLattice:
             raise ValueError(f"ancilla index {a} out of range")
         return divmod(a, self.cols)
 
+    @property
+    def ancilla_coords_array(self) -> np.ndarray:
+        """All ancilla ``(r, c)`` coordinates, shape ``(n_ancillas, 2)``.
+
+        Row ``a`` is ``ancilla_coords(a)``; cached — do not mutate.
+        """
+        return self._ancilla_coords_array()
+
+    @lru_cache(maxsize=None)
+    def _ancilla_coords_array(self) -> np.ndarray:
+        a = np.arange(self.n_ancillas)
+        coords = np.stack([a // self.cols, a % self.cols], axis=1)
+        coords.setflags(write=False)
+        return coords
+
     def horizontal_index(self, r: int, k: int) -> int:
         """Flat index of horizontal data qubit ``h(r, k)``, ``k`` in ``0..d-1``."""
         if not (0 <= r < self.rows and 0 <= k <= self.cols):
@@ -223,6 +238,29 @@ class PlanarLattice:
         if error.shape != (self.n_data,):
             raise ValueError(f"error must have shape ({self.n_data},), got {error.shape}")
         return (self.parity_matrix @ error) % 2
+
+    def syndrome_of_batch(self, errors: np.ndarray) -> np.ndarray:
+        """Syndromes of a batch of errors, vectorized over leading axes.
+
+        ``errors`` has shape ``(..., n_data)``; the result has shape
+        ``(..., n_ancillas)`` and dtype uint8.  One BLAS matmul for the
+        whole batch — the stabilizer weight is at most 4, so float32
+        accumulation is exact.
+        """
+        errors = np.asarray(errors, dtype=np.uint8)
+        if errors.shape[-1] != self.n_data:
+            raise ValueError(
+                f"errors must have trailing dimension {self.n_data}, got shape {errors.shape}"
+            )
+        flat = errors.reshape(-1, self.n_data)
+        sums = flat.astype(np.float32) @ self._parity_t_f32()
+        return (sums.astype(np.uint8) & 1).reshape(errors.shape[:-1] + (self.n_ancillas,))
+
+    @lru_cache(maxsize=None)
+    def _parity_t_f32(self) -> np.ndarray:
+        h = np.ascontiguousarray(self.parity_matrix.T, dtype=np.float32)
+        h.setflags(write=False)
+        return h
 
     def all_ancillas(self) -> list[tuple[int, int]]:
         """All ancilla coordinates in row-major (token-scan) order."""

@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.surface_code.lattice import PlanarLattice
 
-__all__ = ["logical_failure", "residual_error"]
+__all__ = ["logical_failure", "logical_failures_batch", "residual_error"]
 
 
 def residual_error(error: np.ndarray, correction: np.ndarray) -> np.ndarray:
@@ -46,3 +46,26 @@ def logical_failure(
     if require_clean_syndrome and lattice.syndrome_of(residual).any():
         raise ValueError("residual error has non-zero syndrome: invalid correction")
     return bool(int(residual @ lattice.logical_cut) % 2)
+
+
+def logical_failures_batch(
+    lattice: PlanarLattice,
+    errors: np.ndarray,
+    corrections: np.ndarray,
+    require_clean_syndrome: bool = True,
+) -> np.ndarray:
+    """Per-shot failure indicators for a batch, ``(shots,)`` bool.
+
+    Vectorized :func:`logical_failure`: ``errors`` and ``corrections``
+    have shape ``(shots, n_data)``; the syndrome sanity check and the
+    west-cut parity each run as one batched operation.
+    """
+    residual = residual_error(errors, corrections)
+    if residual.ndim != 2 or residual.shape[1] != lattice.n_data:
+        raise ValueError(
+            f"expected shape (shots, {lattice.n_data}), got {residual.shape}"
+        )
+    if require_clean_syndrome and lattice.syndrome_of_batch(residual).any():
+        raise ValueError("residual error has non-zero syndrome: invalid correction")
+    # West-cut weight is d <= 13, so a uint8 accumulator cannot overflow.
+    return ((residual @ lattice.logical_cut) % 2).astype(bool)

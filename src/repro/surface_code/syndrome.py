@@ -9,9 +9,14 @@ matching picture of Fig. 1(c).
 
 ``SyndromeHistory`` packages a complete noisy experiment: the per-round
 cumulative error state, measured syndromes, and detection events, for the
-*batch* setting (decode after all rounds).  The online setting, where
-corrections feed back between rounds, is driven round-by-round by
-:mod:`repro.core.online` using :func:`syndrome_of` directly.
+*batch* setting (decode after all rounds).  ``SyndromeBatch`` is its
+vectorized counterpart over a leading shots axis: a whole Monte-Carlo
+chunk's cumulative errors, syndromes and events in three numpy calls
+(XOR-accumulate, one batched parity matmul, one shifted XOR) — the hot
+path of :class:`repro.experiments.montecarlo.BatchTask`.  The online
+setting, where corrections feed back between rounds, is driven
+round-by-round by :mod:`repro.core.online` using :func:`syndrome_of`
+directly.
 """
 
 from __future__ import annotations
@@ -23,6 +28,7 @@ import numpy as np
 from repro.surface_code.lattice import PlanarLattice
 
 __all__ = [
+    "SyndromeBatch",
     "SyndromeHistory",
     "detection_events",
     "detection_matrix",
@@ -38,29 +44,72 @@ def syndrome_of(lattice: PlanarLattice, error: np.ndarray) -> np.ndarray:
 def detection_events(measured: np.ndarray) -> np.ndarray:
     """Detection events from a stack of measured syndromes.
 
-    ``measured`` has shape ``(n_layers, n_ancillas)``; row 0 is compared
+    ``measured`` has shape ``(n_layers, n_ancillas)`` — or any leading
+    batch axes, e.g. ``(shots, n_layers, n_ancillas)``; the XOR always
+    runs along the layer axis (second from last).  Layer 0 is compared
     against the all-zero reference (fresh logical qubit), so the result
-    has the same shape: ``events[0] = measured[0]`` and
-    ``events[t] = measured[t] XOR measured[t-1]``.
+    has the same shape: ``events[..., 0, :] = measured[..., 0, :]`` and
+    ``events[..., t, :] = measured[..., t, :] XOR measured[..., t-1, :]``.
     """
     measured = np.asarray(measured, dtype=np.uint8)
-    if measured.ndim != 2:
-        raise ValueError(f"measured must be 2-D, got shape {measured.shape}")
+    if measured.ndim < 2:
+        raise ValueError(f"measured must be at least 2-D, got shape {measured.shape}")
     events = measured.copy()
-    events[1:] ^= measured[:-1]
+    events[..., 1:, :] ^= measured[..., :-1, :]
     return events
 
 
 def detection_matrix(events: np.ndarray, lattice: PlanarLattice) -> list[list[tuple[int, int, int]]]:
-    """Defect coordinates ``(r, c, t)`` per layer, from an event stack."""
-    defects: list[list[tuple[int, int, int]]] = []
-    for t in range(events.shape[0]):
-        layer = []
-        for a in np.flatnonzero(events[t]):
-            r, c = lattice.ancilla_coords(int(a))
-            layer.append((r, c, t))
-        defects.append(layer)
+    """Defect coordinates ``(r, c, t)`` per layer, from an event stack.
+
+    Vectorized: one :func:`numpy.argwhere` over the stack plus a
+    precomputed ancilla-coordinate table, then a Python loop over the
+    *defects only* (sparse below threshold) instead of every
+    layer-ancilla cell.
+    """
+    events = np.asarray(events)
+    if events.ndim != 2:
+        raise ValueError(f"events must be 2-D, got shape {events.shape}")
+    defects: list[list[tuple[int, int, int]]] = [[] for _ in range(events.shape[0])]
+    hits = np.argwhere(events)
+    coords = lattice.ancilla_coords_array[hits[:, 1]]
+    for t, (r, c) in zip(hits[:, 0].tolist(), coords.tolist()):
+        defects[t].append((r, c, t))
     return defects
+
+
+def _accumulate_and_measure(
+    lattice: PlanarLattice,
+    data_flips: np.ndarray,
+    meas_flips: np.ndarray,
+    final_round_perfect: bool,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Shared kernel of :class:`SyndromeHistory` / :class:`SyndromeBatch`.
+
+    ``data_flips`` / ``meas_flips`` have shape ``(..., rounds, n)``;
+    returns ``(cumulative, measured)`` with a trailing perfect round
+    appended when requested.  Vectorized over all leading axes.
+    """
+    cumulative = np.bitwise_xor.accumulate(data_flips, axis=-2)
+    noiseless = lattice.syndrome_of_batch(cumulative)
+    measured = noiseless ^ meas_flips
+    if final_round_perfect:
+        # The perfect terminal round reads the last cumulative state's
+        # true syndrome — already computed as the last noiseless layer.
+        measured = np.concatenate([measured, noiseless[..., -1:, :]], axis=-2)
+        cumulative = np.concatenate([cumulative, cumulative[..., -1:, :]], axis=-2)
+    return cumulative, measured
+
+
+def _check_noise_shapes(
+    lattice: PlanarLattice, data_flips: np.ndarray, meas_flips: np.ndarray
+) -> None:
+    if data_flips.shape[-1] != lattice.n_data:
+        raise ValueError("data_flips has wrong shape")
+    if data_flips.shape[-2] < 1:
+        raise ValueError("need at least one noisy round")
+    if meas_flips.shape != data_flips.shape[:-1] + (lattice.n_ancillas,):
+        raise ValueError("meas_flips has wrong shape")
 
 
 @dataclass(frozen=True)
@@ -109,42 +158,113 @@ class SyndromeHistory:
     ) -> "SyndromeHistory":
         """Execute a batch experiment from pre-sampled noise.
 
-        ``data_flips`` / ``meas_flips`` come from
-        :func:`repro.surface_code.noise.sample_phenomenological` and have
-        one row per noisy round.  When ``final_round_perfect`` is true a
-        trailing perfectly-measured round (no new data errors) is
-        appended — the standard device-independent way to terminate the
-        3-D lattice so every chain is matchable (the paper's batch
-        evaluation decodes a ``d``-round window the same way).
+        ``data_flips`` / ``meas_flips`` come from a noise model's
+        ``sample_rounds`` and have one row per noisy round.  When
+        ``final_round_perfect`` is true a trailing perfectly-measured
+        round (no new data errors) is appended — the standard
+        device-independent way to terminate the 3-D lattice so every
+        chain is matchable (the paper's batch evaluation decodes a
+        ``d``-round window the same way).
         """
         data_flips = np.asarray(data_flips, dtype=np.uint8)
         meas_flips = np.asarray(meas_flips, dtype=np.uint8)
-        if data_flips.ndim != 2 or data_flips.shape[1] != lattice.n_data:
+        if data_flips.ndim != 2:
             raise ValueError("data_flips has wrong shape")
-        if data_flips.shape[0] < 1:
-            raise ValueError("need at least one noisy round")
-        if meas_flips.shape != (data_flips.shape[0], lattice.n_ancillas):
-            raise ValueError("meas_flips has wrong shape")
-        cumulative = np.cumsum(data_flips, axis=0, dtype=np.int64) % 2
-        cumulative = cumulative.astype(np.uint8)
-        measured = (cumulative @ lattice.parity_matrix.T) % 2
-        measured ^= meas_flips
-        if final_round_perfect:
-            last = lattice.syndrome_of(cumulative[-1])
-            measured = np.vstack([measured, last[None, :]])
-            cumulative = np.vstack([cumulative, cumulative[-1][None, :]])
+        _check_noise_shapes(lattice, data_flips, meas_flips)
+        cumulative, measured = _accumulate_and_measure(
+            lattice, data_flips, meas_flips, final_round_perfect
+        )
         return cls(
             lattice=lattice,
             cumulative_error=cumulative,
-            measured=measured.astype(np.uint8),
+            measured=measured,
             events=detection_events(measured),
         )
 
     def defects(self) -> list[tuple[int, int, int]]:
         """All defect coordinates ``(r, c, t)`` in time-major scan order."""
-        out: list[tuple[int, int, int]] = []
-        for t in range(self.n_layers):
-            for a in np.flatnonzero(self.events[t]):
-                r, c = self.lattice.ancilla_coords(int(a))
-                out.append((r, c, t))
-        return out
+        layers = detection_matrix(self.events, self.lattice)
+        return [defect for layer in layers for defect in layer]
+
+
+@dataclass(frozen=True)
+class SyndromeBatch:
+    """A whole batch of experiments, vectorized over a leading shots axis.
+
+    Shape-for-shape the batched :class:`SyndromeHistory`: every array
+    gains a leading ``shots`` axis.  Construction is three vectorized
+    numpy passes for the entire batch — no per-shot Python work — which
+    is what makes :class:`repro.experiments.montecarlo.BatchTask`'s
+    sampling kernel beat the per-shot loop (see
+    ``benchmarks/bench_executor.py``).
+
+    Attributes
+    ----------
+    lattice:
+        Geometry the experiments ran on.
+    cumulative_error:
+        Shape ``(shots, n_layers, n_data)``.
+    measured:
+        Shape ``(shots, n_layers, n_ancillas)``.
+    events:
+        Shape ``(shots, n_layers, n_ancillas)``.
+    """
+
+    lattice: PlanarLattice
+    cumulative_error: np.ndarray
+    measured: np.ndarray
+    events: np.ndarray
+
+    @property
+    def n_shots(self) -> int:
+        """Number of experiments in the batch."""
+        return self.measured.shape[0]
+
+    @property
+    def n_layers(self) -> int:
+        """Number of syndrome-measurement layers per experiment."""
+        return self.measured.shape[1]
+
+    @property
+    def final_errors(self) -> np.ndarray:
+        """Per-shot error state after the final round, ``(shots, n_data)``."""
+        return self.cumulative_error[:, -1, :]
+
+    @classmethod
+    def run(
+        cls,
+        lattice: PlanarLattice,
+        data_flips: np.ndarray,
+        meas_flips: np.ndarray,
+        final_round_perfect: bool = True,
+    ) -> "SyndromeBatch":
+        """Execute a batch of experiments from pre-sampled noise.
+
+        ``data_flips`` / ``meas_flips`` come from a noise model's
+        ``sample_batch`` with shapes ``(shots, rounds, n_data)`` and
+        ``(shots, rounds, n_ancillas)``.  Shot ``i`` of the result is
+        bit-identical to ``SyndromeHistory.run`` on row ``i``.
+        """
+        data_flips = np.asarray(data_flips, dtype=np.uint8)
+        meas_flips = np.asarray(meas_flips, dtype=np.uint8)
+        if data_flips.ndim != 3:
+            raise ValueError("data_flips has wrong shape")
+        _check_noise_shapes(lattice, data_flips, meas_flips)
+        cumulative, measured = _accumulate_and_measure(
+            lattice, data_flips, meas_flips, final_round_perfect
+        )
+        return cls(
+            lattice=lattice,
+            cumulative_error=cumulative,
+            measured=measured,
+            events=detection_events(measured),
+        )
+
+    def shot(self, i: int) -> SyndromeHistory:
+        """Shot ``i`` as a single-experiment :class:`SyndromeHistory` (views)."""
+        return SyndromeHistory(
+            lattice=self.lattice,
+            cumulative_error=self.cumulative_error[i],
+            measured=self.measured[i],
+            events=self.events[i],
+        )

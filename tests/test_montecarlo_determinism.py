@@ -18,6 +18,7 @@ from __future__ import annotations
 from repro.core.decoder import QecoolDecoder
 from repro.core.online import OnlineConfig
 from repro.decoders.mwpm import MwpmDecoder
+from repro.experiments.executor import PointCache
 from repro.experiments.montecarlo import (
     run_batch_point,
     run_code_capacity_point,
@@ -73,3 +74,70 @@ class TestGoldenOnline:
         )
         assert (point.failures, point.overflows) == (1, 0)
         assert sum(point.layer_cycles) == 1068
+
+
+class TestGoldenNoiseScenarios:
+    """Seeded pins for registered non-default noise families.
+
+    These anchor the registry plumbing the same way the pins above
+    anchor the default models: a stream-layout change under ``--noise``
+    must update these constants in the same commit.
+    """
+
+    def test_explicit_default_name_matches_implicit_default(self):
+        implicit = run_batch_point(QecoolDecoder(), 3, 0.05, 30, rng=1234)
+        explicit = run_batch_point(
+            QecoolDecoder(), 3, 0.05, 30, rng=1234, noise="phenomenological",
+        )
+        assert (implicit.failures, implicit.n_matches) == (
+            explicit.failures, explicit.n_matches,
+        )
+
+    def test_biased_z_sees_fewer_failures_than_default(self):
+        # Same seed, same total rate: the Z-biased model hides most
+        # flips from this sector, so it cannot fail more often.
+        default = run_batch_point(QecoolDecoder(), 3, 0.05, 30, rng=1234)
+        biased = run_batch_point(
+            QecoolDecoder(), 3, 0.05, 30, rng=1234,
+            noise="biased_z", noise_params={"bias": 10.0},
+        )
+        assert biased.failures <= default.failures
+        assert biased.n_matches < default.n_matches
+
+    def test_drift_online_is_seed_stable(self):
+        a = run_online_point(
+            3, 0.02, 25, OnlineConfig(), rng=99, n_rounds=5,
+            noise="drift", noise_params={"ramp": 3.0},
+        )
+        b = run_online_point(
+            3, 0.02, 25, OnlineConfig(), rng=99, n_rounds=5,
+            noise="drift", noise_params={"ramp": 3.0}, jobs=2, chunk_size=4,
+        )
+        assert (a.failures, a.overflows) == (b.failures, b.overflows)
+
+    def test_noise_models_get_distinct_cache_keys(self, tmp_path):
+        """Acceptance: biased/drift points never collide with the
+        default model's cache entries at identical coordinates."""
+        cache = PointCache(tmp_path)
+        kwargs = dict(shots=12, rng=7, cache=cache)
+        run_batch_point(QecoolDecoder(), 3, 0.05, **kwargs)
+        run_batch_point(
+            QecoolDecoder(), 3, 0.05,
+            noise="biased_z", noise_params={"bias": 10.0}, **kwargs,
+        )
+        run_batch_point(
+            QecoolDecoder(), 3, 0.05,
+            noise="drift", noise_params={"ramp": 3.0}, **kwargs,
+        )
+        assert len(list(tmp_path.glob("*.json"))) == 3
+
+    def test_cache_roundtrip_under_custom_noise(self, tmp_path):
+        cache = PointCache(tmp_path)
+        kwargs = dict(
+            shots=12, rng=7, cache=cache,
+            noise="biased_z", noise_params={"bias": 10.0},
+        )
+        first = run_batch_point(QecoolDecoder(), 3, 0.05, **kwargs)
+        again = run_batch_point(QecoolDecoder(), 3, 0.05, **kwargs)
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        assert (first.failures, first.n_matches) == (again.failures, again.n_matches)

@@ -32,64 +32,60 @@ from repro.experiments.table5 import run_table5
 
 @pytest.fixture()
 def light_experiments(monkeypatch):
-    """Rebind every heavy generator to a tiny-parameter real run."""
+    """Rebind every heavy generator to a tiny-parameter real run.
+
+    Each stub forwards ``**kwargs`` (``jobs``, ``adaptive``, ``noise``,
+    ``noise_params``) so the runner's full plumbing — including noise
+    scenarios — is exercised against the genuine generators.
+    """
     monkeypatch.setattr(
         runner_mod, "run_fig4a",
-        lambda shots, jobs=1, adaptive=None: run_fig4a(
-            shots=4, distances=(3,), ps=(0.05,), jobs=jobs, adaptive=adaptive,
-        ),
+        lambda shots, **kw: run_fig4a(shots=4, distances=(3,), ps=(0.05,), **kw),
     )
     monkeypatch.setattr(
         runner_mod, "run_fig4b",
-        lambda shots, jobs=1, adaptive=None: run_fig4b(
-            shots=4, d=3, ps=(0.05,), jobs=jobs, adaptive=adaptive,
-        ),
+        lambda shots, **kw: run_fig4b(shots=4, d=3, ps=(0.05,), **kw),
     )
     monkeypatch.setattr(
         runner_mod, "run_fig7",
-        lambda shots, jobs=1, adaptive=None: run_fig7(
-            shots=3, frequencies=(1e9,), distances=(3,), ps=(0.02,),
-            jobs=jobs, adaptive=adaptive,
+        lambda shots, **kw: run_fig7(
+            shots=3, frequencies=(1e9,), distances=(3,), ps=(0.02,), **kw,
         ),
     )
     monkeypatch.setattr(
         runner_mod, "run_table3",
-        lambda shots, jobs=1: run_table3(
-            shots=2, distances=(3,), ps=(0.01,), rounds_per_shot=3, jobs=jobs,
+        lambda shots, **kw: run_table3(
+            shots=2, distances=(3,), ps=(0.01,), rounds_per_shot=3, **kw,
         ),
     )
     monkeypatch.setattr(
         runner_mod, "run_table4",
-        lambda shots, jobs=1, adaptive=None: run_table4(
+        lambda shots, **kw: run_table4(
             shots=8, ps_2d=(0.08, 0.12), distances_2d=(3, 5),
-            include_3d=False, jobs=jobs, adaptive=adaptive,
+            include_3d=False, **kw,
         ),
     )
     monkeypatch.setattr(
         runner_mod, "run_table5",
-        lambda shots, jobs=1: run_table5(shots=2, rounds_per_shot=3, jobs=jobs),
+        lambda shots, **kw: run_table5(shots=2, rounds_per_shot=3, **kw),
     )
     monkeypatch.setattr(
         ablations_mod, "sweep_thv",
-        lambda shots, jobs=1, adaptive=None: sweep_thv(
-            d=3, p=0.03, shots=2, thvs=(0, 1), jobs=jobs, adaptive=adaptive,
-        ),
+        lambda shots, **kw: sweep_thv(d=3, p=0.03, shots=2, thvs=(0, 1), **kw),
     )
     monkeypatch.setattr(
         ablations_mod, "sweep_reg_size",
-        lambda shots, jobs=1, adaptive=None: sweep_reg_size(
-            d=3, p=0.03, shots=2, sizes=(4, 7), jobs=jobs, adaptive=adaptive,
-        ),
+        lambda shots, **kw: sweep_reg_size(d=3, p=0.03, shots=2, sizes=(4, 7), **kw),
     )
     monkeypatch.setattr(
         ablations_mod, "sweep_measurement_noise",
-        lambda shots, jobs=1, adaptive=None: sweep_measurement_noise(
-            d=3, p=0.03, shots=2, q_over_p=(0.0, 1.0), jobs=jobs, adaptive=adaptive,
+        lambda shots, **kw: sweep_measurement_noise(
+            d=3, p=0.03, shots=2, q_over_p=(0.0, 1.0), **kw,
         ),
     )
     monkeypatch.setattr(
         ablations_mod, "ordering_ablation",
-        lambda shots, jobs=1: ordering_ablation(d=3, p=0.05, shots=3, jobs=jobs),
+        lambda shots, **kw: ordering_ablation(d=3, p=0.05, shots=3, **kw),
     )
 
 
@@ -139,3 +135,78 @@ class TestCli:
     def test_bad_jobs_value_rejected(self):
         with pytest.raises(SystemExit):
             main(["--jobs", "not-an-int"])
+
+
+class TestNoiseScenarios:
+    """End-to-end --noise plumbing through the runner CLI."""
+
+    def test_biased_z_runs_end_to_end(self, light_experiments, capsys):
+        assert main(
+            ["--experiment", "fig4a", "--shots", "4",
+             "--noise", "biased_z", "--bias", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[noise scenario: biased_z {'bias': 4.0}]" in out
+        assert "Fig. 4(a)" in out
+
+    def test_drift_runs_end_to_end(self, light_experiments, capsys):
+        assert main(
+            ["--experiment", "fig7", "--shots", "3",
+             "--noise", "drift", "--ramp", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "[noise scenario: drift {'ramp': 3.0}]" in out
+        assert "Fig. 7" in out
+
+    def test_online_experiment_accepts_noise(self, light_experiments, capsys):
+        assert main(
+            ["--experiment", "table3", "--shots", "3", "--noise", "depolarizing"]
+        ) == 0
+        assert "Table III" in capsys.readouterr().out
+
+    def test_unknown_noise_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--noise", "not-a-model"])
+
+    def test_bias_without_noise_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["--bias", "4"])
+
+    def test_global_q_does_not_crash_code_capacity_points(self, light_experiments):
+        # --q rides along to every experiment; the 2-D column's default
+        # code-capacity model (perfect measurement) must ignore it
+        # instead of aborting the run.
+        assert main(["--experiment", "table4", "--shots", "8", "--q", "0.02"]) == 0
+
+    def test_explicit_code_capacity_with_q_still_errors(self):
+        from repro.experiments.montecarlo import resolve_noise
+
+        with pytest.raises(ValueError, match="code_capacity"):
+            resolve_noise("code_capacity", "code_capacity", 0.05,
+                          noise_params={"q": 0.02})
+
+    def test_explicit_q_argument_wins_over_noise_params(self):
+        # The q/p ablation passes its per-point q explicitly while a
+        # global --q arrives via noise_params; the sweep's q must win.
+        from repro.experiments.montecarlo import resolve_noise
+
+        model = resolve_noise(None, "phenomenological", 0.05,
+                              q=0.03, noise_params={"q": 0.01})
+        assert model.measurement_error_rate == 0.03
+
+    def test_ablations_sweep_q_under_global_q(self, light_experiments):
+        # End-to-end: ablations with a global --q must still sweep q/p.
+        out = io.StringIO()
+        run_experiment("ablations", shots=10, out=out, noise_params={"q": 0.01})
+        assert "q/p" in out.getvalue()
+
+    def test_run_experiment_noise_changes_results(self, light_experiments):
+        # A heavily Z-biased scenario hides most flips from this sector,
+        # so the report must differ from the default model's.
+        default_out, biased_out = io.StringIO(), io.StringIO()
+        run_experiment("fig4a", shots=10, out=default_out)
+        run_experiment(
+            "fig4a", shots=10, out=biased_out,
+            noise="biased_z", noise_params={"bias": 50.0},
+        )
+        assert default_out.getvalue() != biased_out.getvalue()

@@ -8,8 +8,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.surface_code.lattice import PlanarLattice
-from repro.surface_code.noise import sample_phenomenological
-from repro.surface_code.syndrome import SyndromeHistory, detection_events
+from repro.surface_code.noise import PhenomenologicalNoise, sample_phenomenological
+from repro.surface_code.syndrome import (
+    SyndromeBatch,
+    SyndromeHistory,
+    detection_events,
+    detection_matrix,
+)
+from repro.util.rng import substream
 
 
 class TestDetectionEvents:
@@ -116,3 +122,122 @@ class TestSyndromeHistory:
         history = SyndromeHistory.run(d3, data, meas)
         times = [t for (_, _, t) in history.defects()]
         assert times == sorted(times)
+
+
+class TestDetectionMatrix:
+    def _reference(self, events, lattice):
+        """The original per-cell double loop, kept as the oracle."""
+        defects = []
+        for t in range(events.shape[0]):
+            layer = []
+            for a in np.flatnonzero(events[t]):
+                r, c = lattice.ancilla_coords(int(a))
+                layer.append((r, c, t))
+            defects.append(layer)
+        return defects
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_reference_loop(self, d5, seed):
+        rng = np.random.default_rng(seed)
+        events = (rng.random((6, d5.n_ancillas)) < 0.2).astype(np.uint8)
+        assert detection_matrix(events, d5) == self._reference(events, d5)
+
+    def test_empty_stack_of_layers(self, d3):
+        events = np.zeros((4, d3.n_ancillas), dtype=np.uint8)
+        assert detection_matrix(events, d3) == [[], [], [], []]
+
+    def test_entries_are_python_ints(self, d3):
+        events = np.zeros((1, d3.n_ancillas), dtype=np.uint8)
+        events[0, 3] = 1
+        [(entry,)] = [detection_matrix(events, d3)[0]]
+        assert all(type(v) is int for v in entry)
+
+    def test_rejects_non_2d(self, d3):
+        with pytest.raises(ValueError):
+            detection_matrix(np.zeros(d3.n_ancillas, dtype=np.uint8), d3)
+
+    def test_coords_array_matches_scalar_lookup(self, d5):
+        for a in range(d5.n_ancillas):
+            assert tuple(d5.ancilla_coords_array[a]) == d5.ancilla_coords(a)
+
+
+class TestBatchedDetectionEvents:
+    def test_leading_batch_axis(self):
+        rng = np.random.default_rng(0)
+        measured = (rng.random((4, 5, 7)) < 0.4).astype(np.uint8)
+        batched = detection_events(measured)
+        for i in range(4):
+            assert np.array_equal(batched[i], detection_events(measured[i]))
+
+
+class TestSyndromeBatch:
+    def _noise(self, lattice, p, rounds, shots, seed):
+        root = np.random.SeedSequence(seed)
+        rngs = [substream(root, i) for i in range(shots)]
+        return PhenomenologicalNoise(p).sample_batch(lattice, rounds, rng=rngs), root
+
+    @pytest.mark.parametrize("perfect", (True, False))
+    def test_each_shot_matches_syndrome_history(self, d3, perfect):
+        (data, meas), _ = self._noise(d3, 0.1, 4, 6, seed=11)
+        batch = SyndromeBatch.run(d3, data, meas, final_round_perfect=perfect)
+        for i in range(6):
+            single = SyndromeHistory.run(
+                d3, data[i], meas[i], final_round_perfect=perfect
+            )
+            assert np.array_equal(batch.cumulative_error[i], single.cumulative_error)
+            assert np.array_equal(batch.measured[i], single.measured)
+            assert np.array_equal(batch.events[i], single.events)
+            assert np.array_equal(batch.final_errors[i], single.final_error)
+
+    def test_shot_view_is_a_real_history(self, d3):
+        (data, meas), _ = self._noise(d3, 0.15, 3, 4, seed=21)
+        batch = SyndromeBatch.run(d3, data, meas)
+        single = batch.shot(2)
+        assert isinstance(single, SyndromeHistory)
+        assert single.n_layers == batch.n_layers
+        assert np.array_equal(single.final_error, batch.final_errors[2])
+        ref = SyndromeHistory.run(d3, data[2], meas[2])
+        assert single.defects() == ref.defects()
+
+    def test_shape_accounting(self, d5):
+        (data, meas), _ = self._noise(d5, 0.05, 5, 3, seed=31)
+        batch = SyndromeBatch.run(d5, data, meas)
+        assert batch.n_shots == 3
+        assert batch.n_layers == 6  # 5 noisy + 1 perfect
+        assert batch.events.shape == (3, 6, d5.n_ancillas)
+
+    def test_events_telescope_per_shot(self, d5):
+        """Batched invariant: the XOR over event layers of every shot
+        equals that shot's final true syndrome."""
+        (data, meas), _ = self._noise(d5, 0.08, 5, 8, seed=41)
+        batch = SyndromeBatch.run(d5, data, meas)
+        totals = np.bitwise_xor.reduce(batch.events, axis=1)
+        expected = d5.syndrome_of_batch(batch.final_errors)
+        assert np.array_equal(totals, expected)
+
+    def test_wrong_shapes_rejected(self, d3):
+        with pytest.raises(ValueError):
+            SyndromeBatch.run(
+                d3,
+                np.zeros((2, d3.n_data), dtype=np.uint8),  # missing shots axis
+                np.zeros((2, d3.n_ancillas), dtype=np.uint8),
+            )
+        with pytest.raises(ValueError):
+            SyndromeBatch.run(
+                d3,
+                np.zeros((2, 0, d3.n_data), dtype=np.uint8),  # zero rounds
+                np.zeros((2, 0, d3.n_ancillas), dtype=np.uint8),
+            )
+        with pytest.raises(ValueError):
+            SyndromeBatch.run(
+                d3,
+                np.zeros((2, 3, d3.n_data), dtype=np.uint8),
+                np.zeros((2, 4, d3.n_ancillas), dtype=np.uint8),  # round mismatch
+            )
+
+    def test_batched_syndrome_matches_scalar(self, d5):
+        rng = np.random.default_rng(3)
+        errors = (rng.random((10, d5.n_data)) < 0.3).astype(np.uint8)
+        batched = d5.syndrome_of_batch(errors)
+        for i in range(10):
+            assert np.array_equal(batched[i], d5.syndrome_of(errors[i]))
