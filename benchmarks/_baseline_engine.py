@@ -1,0 +1,680 @@
+"""Frozen pre-PR QECOOL engine + spike module (bit-exact snapshot).
+
+Verbatim copy of ``repro.core.engine`` / ``repro.core.spike`` as of the
+commit before the array-native engine rewrite, kept self-contained so
+``benchmarks/bench_engine.py`` can measure the rewrite's end-to-end
+speedup against the true pre-PR baseline (the live modules have since
+gained caches the old engine would otherwise silently inherit).  Do not
+optimise this file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.decoders.base import BOUNDARY_EAST, BOUNDARY_WEST, Match
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["IDLE", "QecoolEngine"]
+
+IDLE = -1
+
+# --------------------------------------------------------------------------
+# Pre-PR repro.core.spike
+# --------------------------------------------------------------------------
+
+
+PRIORITY_INTERNAL = 0
+PRIORITY_NORTH = 1
+PRIORITY_EAST = 2
+PRIORITY_SOUTH = 3
+PRIORITY_WEST = 4
+
+BOUNDARY_DELAY = 0.5
+"""Extra (sub-cycle) delay of Boundary Unit spikes, for tie-breaking only."""
+
+
+def incoming_port(sink: tuple[int, int], source: tuple[int, int]) -> int:
+    """Priority rank of the port a spike from ``source`` arrives on.
+
+    Routing is vertical-first, horizontal-last, so a source in a
+    different column arrives horizontally (east/west port) and a source
+    in the same column arrives vertically (north/south port).
+    """
+    (r, c), (r2, c2) = sink, source
+    if (r, c) == (r2, c2):
+        return PRIORITY_INTERNAL
+    if c2 > c:
+        return PRIORITY_EAST
+    if c2 < c:
+        return PRIORITY_WEST
+    return PRIORITY_NORTH if r2 < r else PRIORITY_SOUTH
+
+
+@dataclass(frozen=True)
+class SpikeCandidate:
+    """One spike the sink may receive, with its race key.
+
+    ``arrival`` is the (possibly fractional, for boundary delay) race
+    time; ``hops`` is the integer hop budget the Controller's timeout
+    must allow for the match to complete.  ``key`` orders candidates the
+    way the race logic does: earliest arrival first, then port priority,
+    then shallower source depth, then row-major source order.
+    """
+
+    kind: str  # "pair" | "vertical" | "boundary"
+    arrival: float
+    hops: int
+    port: int
+    t_rel: int
+    source: tuple[int, int] | None = None
+    side: str | None = None
+
+    @property
+    def key(self) -> tuple[float, int, int, tuple[int, int]]:
+        """Deterministic race-resolution sort key."""
+        return (self.arrival, self.port, self.t_rel, self.source or (-1, -1))
+
+
+def pair_candidate(
+    lattice: PlanarLattice,
+    sink: tuple[int, int],
+    source: tuple[int, int],
+    t_rel: int,
+) -> SpikeCandidate:
+    """Spike from another Unit whose first event at/above the base sits
+    ``t_rel`` layers above it."""
+    dist = lattice.manhattan(sink, source)
+    arrival = t_rel + dist
+    return SpikeCandidate(
+        kind="pair",
+        arrival=float(arrival),
+        hops=arrival,
+        port=incoming_port(sink, source),
+        t_rel=t_rel,
+        source=source,
+    )
+
+
+def vertical_candidate(t_rel: int) -> SpikeCandidate:
+    """The sink's own later event ``t_rel`` layers above the base — a
+    measurement-error self-match, detected in the depth scan with no
+    spatial travel."""
+    if t_rel <= 0:
+        raise ValueError(f"vertical candidate needs t_rel >= 1, got {t_rel}")
+    return SpikeCandidate(
+        kind="vertical",
+        arrival=float(t_rel),
+        hops=t_rel,
+        port=PRIORITY_INTERNAL,
+        t_rel=t_rel,
+        source=None,
+    )
+
+
+def boundary_candidate(lattice: PlanarLattice, sink: tuple[int, int]) -> SpikeCandidate:
+    """Spike from the nearest Boundary Unit (ties go west, fixed)."""
+    r, c = sink
+    west = lattice.west_distance(c)
+    east = lattice.east_distance(c)
+    if west <= east:
+        side, dist, port = "west", west, PRIORITY_WEST
+    else:
+        side, dist, port = "east", east, PRIORITY_EAST
+    return SpikeCandidate(
+        kind="boundary",
+        arrival=dist + BOUNDARY_DELAY,
+        hops=dist,
+        port=port,
+        t_rel=0,
+        source=None,
+        side=side,
+    )
+
+
+# --------------------------------------------------------------------------
+# Pre-PR repro.core.engine
+# --------------------------------------------------------------------------
+
+
+IDLE = -1
+"""Yielded by :meth:`QecoolEngine.run` when the engine has nothing to do."""
+
+
+def _lowest_set_bit(mask: int) -> int:
+    """Index of the lowest set bit of a non-zero mask."""
+    return (mask & -mask).bit_length() - 1
+
+
+class QecoolEngine:
+    """The QECOOL decoding machine for one logical-qubit sector.
+
+    Parameters
+    ----------
+    lattice:
+        Geometry (Unit grid shape, boundary distances, correction paths).
+    thv:
+        Vertical look-ahead threshold: a base layer ``b`` is only
+        decodable once ``m - b > thv`` measurements are stored.  ``-1``
+        disables the wait (batch-QECOOL / 2-D); the paper's online
+        configuration uses 3.
+    reg_size:
+        ``Reg`` capacity in bits; ``None`` means unbounded (batch).  The
+        paper's hardware uses 7.  Pushing a layer when full signals
+        overflow (the trial fails).
+    nlimit:
+        Maximum hop budget of the Controller's growing timeout; defaults
+        to the lattice diameter plus ``Reg`` depth, which guarantees any
+        defect can reach a partner or the boundary.
+    """
+
+    def __init__(
+        self,
+        lattice: PlanarLattice,
+        thv: int = -1,
+        reg_size: int | None = None,
+        nlimit: int | None = None,
+    ):
+        if thv < -1:
+            raise ValueError(f"thv must be >= -1, got {thv}")
+        if reg_size is not None and reg_size < 1:
+            raise ValueError(f"reg_size must be >= 1, got {reg_size}")
+        self.lattice = lattice
+        self.thv = thv
+        self.reg_size = reg_size
+        self._depth_hint = reg_size if reg_size is not None else lattice.d + 1
+        self.nlimit = (
+            nlimit
+            if nlimit is not None
+            else lattice.rows + lattice.cols + self._depth_hint + 2
+        )
+        # Unit state: one event bitmask per ancilla (flat row-major index).
+        self.masks: list[int] = [0] * lattice.n_ancillas
+        self.m = 0  # layers currently stored
+        self.popped = 0  # layers shifted out so far (absolute-time offset)
+        # Derived state kept in sync for speed: which Units hold events,
+        # how many such Units per row, and a lazily-validated cache of
+        # race winners (invalidated wholesale on push/pop; stale entries
+        # caused by matches are detected by re-checking the winner's bit).
+        self._nonzero: set[int] = set()
+        self._row_counts: list[int] = [0] * lattice.rows
+        self._winner_cache: dict[tuple[int, int], SpikeCandidate] = {}
+        # Accounting.
+        self.cycles = 0
+        self._cycles_at_last_pop = 0
+        self.layer_cycles: list[int] = []
+        self.matches: list[Match] = []
+        self._drain = False
+
+    # ------------------------------------------------------------------
+    # Measurement interface
+    # ------------------------------------------------------------------
+    def push_layer(self, events_row: np.ndarray) -> bool:
+        """Store one layer of detection events at the back of every Reg.
+
+        Returns ``False`` on overflow (Reg full) — the paper counts the
+        trial as a failure.  The layer is *not* stored in that case.
+        """
+        if self.reg_size is not None and self.m >= self.reg_size:
+            return False
+        events_row = np.asarray(events_row, dtype=np.uint8)
+        if events_row.shape != (self.lattice.n_ancillas,):
+            raise ValueError(
+                f"events_row must have shape ({self.lattice.n_ancillas},),"
+                f" got {events_row.shape}"
+            )
+        bit = 1 << self.m
+        pushed = [int(a) for a in np.flatnonzero(events_row)]
+        for a in pushed:
+            self._set_mask(a, self.masks[a] | bit)
+        t_new = self.m
+        self.m += 1
+        # Selective cache invalidation: a cached winner is only beaten if
+        # one of the *new* events races in faster (exact key comparison;
+        # a new event in a Unit with an earlier event at/above the base
+        # can never beat the already-considered earlier one).
+        if pushed and self._winner_cache:
+            cols = self.lattice.cols
+            stale = []
+            for (idx, b), win in self._winner_cache.items():
+                r, c = divmod(idx, cols)
+                t_rel = t_new - b
+                for a in pushed:
+                    if a == idx:
+                        cand = vertical_candidate(t_rel) if t_rel > 0 else None
+                    else:
+                        r2, c2 = divmod(a, cols)
+                        cand = pair_candidate(self.lattice, (r, c), (r2, c2), t_rel)
+                    if cand is not None and cand.key < win.key:
+                        stale.append((idx, b))
+                        break
+            for key in stale:
+                del self._winner_cache[key]
+        return True
+
+    def begin_drain(self) -> None:
+        """Lift the ``thv`` wait: measurements have ended, decode all
+        remaining layers (end-of-experiment flush)."""
+        self._drain = True
+
+    @property
+    def defects_remaining(self) -> int:
+        """Unmatched detection events currently stored."""
+        return sum(mask.bit_count() for mask in self.masks)
+
+    # ------------------------------------------------------------------
+    # Controller
+    # ------------------------------------------------------------------
+    def run(self, drain: bool = False) -> Iterator[int]:
+        """The Controller loop, as a generator of per-action cycle costs.
+
+        With ``drain=True`` the generator terminates once every stored
+        event is matched and every layer popped (batch decoding).  With
+        ``drain=False`` it runs forever, yielding :data:`IDLE` whenever
+        nothing is matchable or poppable — the caller then feeds more
+        layers via :meth:`push_layer` (online decoding; call
+        :meth:`begin_drain` to flush at the end).
+        """
+        if drain:
+            self._drain = True
+        budget = 1  # the Controller's growing hop budget, C in Algorithm 1
+        stall_guard = 0
+        while True:
+            progressed = False
+            # Shift detection: pop while the oldest layer is clear.
+            while self.m > 0 and not self._layer0_occupied():
+                yield self._pop()
+                budget = 1  # `goto start loop` after SHIFTREG
+                progressed = True
+            if self._drain and self.m == 0:
+                return
+            b_max = self._b_max()
+            sinks = self._collect_sinks(b_max)
+            if not sinks:
+                if self._drain and self.m > 0 and self.defects_remaining == 0:
+                    # Only empty layers above a non-empty layer 0 cannot
+                    # happen: layer 0 occupied implies a defect exists.
+                    raise RuntimeError("drain stalled with no defects but layers left")
+                yield IDLE
+                budget = 1
+                continue
+            # Cheapest match anywhere on the lattice right now.
+            need = min(
+                self._cached_winner(r, c, b).hops for (b, r, c) in sinks
+            )
+            if need > budget:
+                # Analytically account the fruitless sweeps in between.
+                target = min(need, self.nlimit)
+                for cl in range(budget, target):
+                    yield self._sweep_overhead(b_max) + len(sinks) * (2 * cl + 2)
+                budget = target
+            # One real sweep at the current budget.
+            matched, popped_mid_sweep = yield from self._sweep(budget, b_max)
+            progressed = progressed or matched or popped_mid_sweep
+            if popped_mid_sweep:
+                budget = 1  # `goto start loop` after SHIFTREG
+            else:
+                budget = budget + 1 if budget < self.nlimit else 1
+            if progressed:
+                stall_guard = 0
+            else:
+                stall_guard += 1
+                if stall_guard > self.nlimit + self._depth_hint + 4:
+                    raise RuntimeError(
+                        "QECOOL engine made no progress over a full budget"
+                        " cycle — matching policy bug"
+                    )
+
+    def decode_loaded(self) -> None:
+        """Drain synchronously (batch decoding helper): run the Controller
+        to completion, discarding the cycle stream (totals are still
+        accumulated on the instance)."""
+        for _ in self.run(drain=True):
+            pass
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _b_max(self) -> int:
+        """Largest decodable base depth (inclusive); -1 when none."""
+        if self._drain or self.thv < 0:
+            return self.m - 1
+        return min(self.m - 1, self.m - self.thv - 1)
+
+    def _layer0_occupied(self) -> bool:
+        return any(self.masks[a] & 1 for a in self._nonzero)
+
+    def _set_mask(self, idx: int, new: int) -> None:
+        """Write a Unit's Reg mask, keeping the derived state in sync."""
+        old = self.masks[idx]
+        if bool(old) != bool(new):
+            r = idx // self.lattice.cols
+            if new:
+                self._nonzero.add(idx)
+                self._row_counts[r] += 1
+            else:
+                self._nonzero.discard(idx)
+                self._row_counts[r] -= 1
+        self.masks[idx] = new
+
+    def _collect_sinks(self, b_max: int) -> list[tuple[int, int, int]]:
+        """Live sinks ``(b, r, c)`` in Controller scan order."""
+        if b_max < 0:
+            return []
+        sinks = []
+        cutoff = (1 << (b_max + 1)) - 1
+        cols = self.lattice.cols
+        for a in self._nonzero:
+            low = self.masks[a] & cutoff
+            while low:
+                b = _lowest_set_bit(low)
+                low &= low - 1
+                r, c = divmod(a, cols)
+                sinks.append((b, r, c))
+        sinks.sort()
+        return sinks
+
+    def _winner(self, r: int, c: int, b: int) -> SpikeCandidate:
+        """Race winner among all spikes the sink ``(r, c)`` at base ``b``
+        would receive, under the current event state.
+
+        Hot path: the pair scan works on plain key tuples and builds a
+        single :class:`SpikeCandidate` at the end (equivalent to
+        comparing ``pair_candidate(...)`` objects, which the reference
+        implementation does literally).
+        """
+        lattice = self.lattice
+        cols = lattice.cols
+        idx = r * cols + c
+        best = boundary_candidate(lattice, (r, c))
+        higher = self.masks[idx] >> (b + 1)
+        if higher:
+            cand = vertical_candidate(_lowest_set_bit(higher) + 1)
+            if cand.key < best.key:
+                best = cand
+        best_key = best.key
+        best_pair = None  # (r2, c2, t_rel) of the best pair seen so far
+        masks = self.masks
+        for a in self._nonzero:
+            if a == idx:
+                continue
+            rest = masks[a] >> b
+            if not rest:
+                continue
+            t_rel = _lowest_set_bit(rest)
+            r2, c2 = divmod(a, cols)
+            arrival = t_rel + abs(r2 - r) + abs(c2 - c)
+            if arrival > best_key[0]:
+                continue
+            if c2 > c:
+                port = PRIORITY_EAST
+            elif c2 < c:
+                port = PRIORITY_WEST
+            elif r2 < r:
+                port = PRIORITY_NORTH
+            else:
+                port = PRIORITY_SOUTH
+            key = (float(arrival), port, t_rel, (r2, c2))
+            if key < best_key:
+                best_key = key
+                best_pair = (r2, c2, t_rel)
+        if best_pair is None:
+            return best
+        r2, c2, t_rel = best_pair
+        return SpikeCandidate(
+            kind="pair",
+            arrival=best_key[0],
+            hops=int(best_key[0]),
+            port=best_key[1],
+            t_rel=t_rel,
+            source=(r2, c2),
+        )
+
+    def _cached_winner(self, r: int, c: int, b: int) -> SpikeCandidate:
+        """Winner lookup through the lazily-validated cache.
+
+        A cached winner stays optimal as long as the exact event bit it
+        races to is still present: matches only *remove* candidates, so
+        the previous minimum either survives intact or its bit is gone
+        (recompute).  Pushes and pops flush the cache wholesale.
+        """
+        idx = r * self.lattice.cols + c
+        key = (idx, b)
+        win = self._winner_cache.get(key)
+        if win is not None and self._winner_still_valid(win, idx, b):
+            return win
+        win = self._winner(r, c, b)
+        self._winner_cache[key] = win
+        return win
+
+    def _winner_still_valid(self, win: SpikeCandidate, idx: int, b: int) -> bool:
+        if win.kind == "boundary":
+            return True
+        t2 = b + win.t_rel
+        if win.kind == "vertical":
+            return bool((self.masks[idx] >> t2) & 1)
+        r2, c2 = win.source
+        return bool((self.masks[r2 * self.lattice.cols + c2] >> t2) & 1)
+
+    def _row_active(self, r: int) -> bool:
+        """Row Master check: does any Unit in row ``r`` hold an event?"""
+        return self._row_counts[r] > 0
+
+    def _sweep_overhead(self, b_max: int) -> int:
+        """Token-distribution cycles of one full sweep (no sink waits)."""
+        per_row = sum(
+            self.lattice.cols if self._row_active(r) else 1
+            for r in range(self.lattice.rows)
+        )
+        return (b_max + 1) * per_row
+
+    def _sweep(self, budget: int, b_max: int) -> Iterator[int]:
+        """One real Controller sweep at hop ``budget``.
+
+        Yields per-action cycle costs; generator-returns
+        ``(matched, popped)``.  The shift check runs after every
+        base-depth sub-sweep, as in Algorithm 1 (Controller lines
+        18-22); a shift aborts the sweep so the Controller can restart
+        with budget 1.
+        """
+        matched = False
+        lattice = self.lattice
+        for b in range(b_max + 1):
+            bit = 1 << b
+            any_match_this_b = False
+            for r in range(lattice.rows):
+                if not self._row_active(r):
+                    yield self._charge(1)
+                    continue
+                yield self._charge(lattice.cols)
+                for c in range(lattice.cols):
+                    if not self.masks[r * lattice.cols + c] & bit:
+                        continue
+                    winner = self._cached_winner(r, c, b)
+                    if winner.hops <= budget:
+                        self._apply(winner, r, c, b)
+                        matched = True
+                        any_match_this_b = True
+                        if winner.kind == "boundary":
+                            # Boundary Units send no "Finish": the
+                            # Controller waits out the full timeout.
+                            yield self._charge(2 * budget + 2)
+                        else:
+                            yield self._charge(2 * winner.hops + 2)
+                    else:
+                        yield self._charge(2 * budget + 2)
+            if any_match_this_b and self.m > 0 and not self._layer0_occupied():
+                yield self._pop()
+                return matched, True
+        return matched, False
+
+    def _apply(self, winner: SpikeCandidate, r: int, c: int, b: int) -> None:
+        """Commit a match: clear the consumed events, record the Match."""
+        lattice = self.lattice
+        idx = r * lattice.cols + c
+        self._set_mask(idx, self.masks[idx] & ~(1 << b))
+        t_abs = self.popped + b
+        if winner.kind == "boundary":
+            side = BOUNDARY_WEST if winner.side == "west" else BOUNDARY_EAST
+            self.matches.append(Match("boundary", (r, c, t_abs), side=side))
+        elif winner.kind == "vertical":
+            t2 = b + winner.t_rel
+            self._set_mask(idx, self.masks[idx] & ~(1 << t2))
+            self.matches.append(
+                Match("pair", (r, c, t_abs), (r, c, self.popped + t2))
+            )
+        else:
+            r2, c2 = winner.source
+            t2 = b + winner.t_rel
+            jdx = r2 * lattice.cols + c2
+            self._set_mask(jdx, self.masks[jdx] & ~(1 << t2))
+            self.matches.append(
+                Match("pair", (r, c, t_abs), (r2, c2, self.popped + t2))
+            )
+
+    def _pop(self) -> int:
+        """Shift every Reg down one layer; record per-layer cycles."""
+        for a in list(self._nonzero):
+            self._set_mask(a, self.masks[a] >> 1)
+        self.m -= 1
+        self.popped += 1
+        # Reindex the winner cache: every stored depth shifts down by one
+        # (relative times are unchanged, so the winners stay valid).
+        self._winner_cache = {
+            (idx, b - 1): win
+            for (idx, b), win in self._winner_cache.items()
+            if b >= 1
+        }
+        # Shift detection scans the rows once, plus the shift itself.
+        cost = self._charge(
+            1 + sum(
+                self.lattice.cols if self._row_active(r) else 1
+                for r in range(self.lattice.rows)
+            )
+        )
+        self.layer_cycles.append(self.cycles - self._cycles_at_last_pop)
+        self._cycles_at_last_pop = self.cycles
+        return cost
+
+    def _charge(self, cost: int) -> int:
+        """Advance the busy-cycle clock and return the cost."""
+        self.cycles += cost
+        return cost
+
+
+# --------------------------------------------------------------------------
+# Pre-PR online trial path (repro.core.online.run_online_trial as of the
+# commit before this PR), wired to the frozen engine above and to the
+# pre-PR helpers it relied on: the per-element XOR match projection and
+# the uint8-matmul syndrome extraction.  OnlineConfig / OnlineOutcome and
+# the noise-sampling API are unchanged by the PR and imported live.
+# --------------------------------------------------------------------------
+
+import math
+
+from repro.core.online import OnlineConfig, OnlineOutcome
+from repro.surface_code.logical import logical_failure
+from repro.surface_code.noise import NoiseModel, PhenomenologicalNoise
+from repro.util.rng import make_rng
+
+
+def correction_from_matches(lattice: PlanarLattice, matches: list[Match]) -> np.ndarray:
+    correction = np.zeros(lattice.n_data, dtype=np.uint8)
+    for match in matches:
+        r1, c1, _ = match.a
+        if match.kind == "boundary":
+            path = lattice.boundary_path(r1, c1, match.side)
+        else:
+            r2, c2, _ = match.b
+            path = lattice.pair_path((r1, c1), (r2, c2))
+        for q in path:
+            correction[q] ^= 1
+    return correction
+
+
+def _syndrome_of(lattice: PlanarLattice, error: np.ndarray) -> np.ndarray:
+    return (lattice.parity_matrix @ error) % 2
+
+
+def run_online_trial(
+    lattice: PlanarLattice,
+    p: float | NoiseModel,
+    n_rounds: int,
+    config: OnlineConfig = OnlineConfig(),
+    rng: np.random.Generator | int | None = None,
+    q: float | None = None,
+) -> OnlineOutcome:
+    if n_rounds < 1:
+        raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+    rng = make_rng(rng)
+    if isinstance(p, NoiseModel):
+        if q is not None:
+            raise ValueError("q is part of the noise model; pass one or the other")
+        noise = p
+    else:
+        noise = PhenomenologicalNoise(p, q)
+    engine = QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
+    gen = engine.run(drain=False)
+    budget = config.cycles_per_interval
+
+    error = np.zeros(lattice.n_data, dtype=np.uint8)
+    prev_raw = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+    compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+    wall = 0.0
+    consumed_matches = 0
+
+    for k in range(n_rounds + 1):
+        final_round = k == n_rounds
+        if final_round:
+            raw = _syndrome_of(lattice, error)
+        else:
+            data_flips, meas_flips = noise.sample_round(lattice, rng, t=k, n_rounds=n_rounds)
+            error ^= data_flips
+            raw = _syndrome_of(lattice, error) ^ meas_flips
+        events_row = raw ^ prev_raw ^ compensation
+        prev_raw = raw
+        compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+
+        if not engine.push_layer(events_row):
+            return OnlineOutcome(
+                failed=True,
+                overflow=True,
+                layer_cycles=list(engine.layer_cycles),
+                matches=list(engine.matches),
+                n_rounds=k,
+            )
+
+        if math.isinf(budget):
+            arrival, deadline = 0.0, math.inf
+        else:
+            arrival, deadline = k * budget, (k + 1) * budget
+        wall = max(wall, arrival)
+        if final_round:
+            engine.begin_drain()
+            deadline = math.inf
+        for chunk in gen:
+            if chunk == IDLE:
+                break
+            wall += chunk
+            if wall >= deadline:
+                break
+        new_matches = engine.matches[consumed_matches:]
+        consumed_matches = len(engine.matches)
+        if new_matches:
+            window_correction = correction_from_matches(lattice, new_matches)
+            error ^= window_correction
+            compensation = _syndrome_of(lattice, window_correction)
+
+    failed = logical_failure(
+        lattice, error, np.zeros(lattice.n_data, dtype=np.uint8)
+    )
+    return OnlineOutcome(
+        failed=failed,
+        overflow=False,
+        layer_cycles=list(engine.layer_cycles),
+        matches=list(engine.matches),
+        n_rounds=n_rounds,
+    )

@@ -53,6 +53,10 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--shots", type=int, default=400)
     parser.add_argument("--max-d", type=int, default=13, choices=(5, 7, 9, 11, 13))
+    # The array-native engine + batched online chunk path make online
+    # points at d=9..13 a few times cheaper than the original per-shot
+    # simulator (see benchmarks/bench_engine.py and BENCH_engine.json),
+    # so --online with --max-d 13 is now a reasonable laptop run.
     parser.add_argument("--online", action="store_true",
                         help="also run the online (Fig. 7, 2 GHz) sweep")
     parser.add_argument("--jobs", type=int, default=1,

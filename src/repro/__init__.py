@@ -33,6 +33,7 @@ from repro.core import (
     QecoolDecoder,
     QecoolEngine,
     SlidingWindowDecoder,
+    run_online_chunk,
     run_online_trial,
 )
 from repro.decoders import (
@@ -71,5 +72,6 @@ __all__ = [
     "UnionFindDecoder",
     "__version__",
     "logical_failure",
+    "run_online_chunk",
     "run_online_trial",
 ]

@@ -19,7 +19,12 @@
 
 from repro.core.decoder import QecoolDecoder
 from repro.core.engine import IDLE, QecoolEngine
-from repro.core.online import OnlineConfig, OnlineOutcome, run_online_trial
+from repro.core.online import (
+    OnlineConfig,
+    OnlineOutcome,
+    run_online_chunk,
+    run_online_trial,
+)
 from repro.core.reference import reference_greedy_matching
 from repro.core.window import SlidingWindowDecoder
 from repro.core.spike import (
@@ -44,6 +49,7 @@ __all__ = [
     "incoming_port",
     "pair_candidate",
     "reference_greedy_matching",
+    "run_online_chunk",
     "run_online_trial",
     "vertical_candidate",
 ]

@@ -23,6 +23,7 @@ failure if the residual error crosses the west-east cut.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -30,11 +31,11 @@ import numpy as np
 from repro.core.engine import IDLE, QecoolEngine
 from repro.decoders.base import Match, correction_from_matches
 from repro.surface_code.lattice import PlanarLattice
-from repro.surface_code.logical import logical_failure
+from repro.surface_code.logical import logical_failure, logical_failures_batch
 from repro.surface_code.noise import NoiseModel, PhenomenologicalNoise
 from repro.util.rng import make_rng
 
-__all__ = ["OnlineConfig", "OnlineOutcome", "run_online_trial"]
+__all__ = ["OnlineConfig", "OnlineOutcome", "run_online_chunk", "run_online_trial"]
 
 
 @dataclass(frozen=True)
@@ -75,6 +76,14 @@ class OnlineOutcome:
         return self.failed and not self.overflow
 
 
+def _resolve_trial_noise(p: float | NoiseModel, q: float | None) -> NoiseModel:
+    if isinstance(p, NoiseModel):
+        if q is not None:
+            raise ValueError("q is part of the noise model; pass one or the other")
+        return p
+    return PhenomenologicalNoise(p, q)
+
+
 def run_online_trial(
     lattice: PlanarLattice,
     p: float | NoiseModel,
@@ -82,6 +91,7 @@ def run_online_trial(
     config: OnlineConfig = OnlineConfig(),
     rng: np.random.Generator | int | None = None,
     q: float | None = None,
+    engine_factory: Callable[..., QecoolEngine] | None = None,
 ) -> OnlineOutcome:
     """Run one online-QEC trial of ``n_rounds`` noisy measurement rounds.
 
@@ -91,23 +101,35 @@ def run_online_trial(
     models such as ``drift`` are sampled with the trial's round index.
     Returns an :class:`OnlineOutcome`; ``failed`` is True on Reg overflow
     or on a residual logical error after the final drain.
+
+    ``engine_factory`` swaps in an alternative engine implementation
+    with the ``QecoolEngine`` constructor/generator contract — used by
+    ``benchmarks/bench_engine.py`` to race the array-native engine
+    against the frozen pre-rewrite baseline on identical trials.
+
+    Monte-Carlo points batch trials across a chunk with
+    :func:`run_online_chunk` instead (bit-identical outcomes).
     """
     if n_rounds < 1:
         raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
     rng = make_rng(rng)
-    if isinstance(p, NoiseModel):
-        if q is not None:
-            raise ValueError("q is part of the noise model; pass one or the other")
-        noise = p
-    else:
-        noise = PhenomenologicalNoise(p, q)
-    engine = QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
-    gen = engine.run(drain=False)
+    noise = _resolve_trial_noise(p, q)
+    factory = QecoolEngine if engine_factory is None else engine_factory
+    engine = factory(lattice, thv=config.thv, reg_size=config.reg_size)
     budget = config.cycles_per_interval
+    # With no cycle deadline the decode between rounds always runs to
+    # IDLE, so the engine can advance synchronously (no generator); a
+    # finite clock needs run()'s resumable cycle stream.  The baseline
+    # engine hook predates run_to_idle, so it always takes the
+    # generator path.
+    unconstrained = math.isinf(budget) and hasattr(engine, "run_to_idle")
+    gen = None if unconstrained else engine.run(drain=False)
 
+    # Per-trial scratch, allocated once and reused across rounds.
     error = np.zeros(lattice.n_data, dtype=np.uint8)
     prev_raw = np.zeros(lattice.n_ancillas, dtype=np.uint8)
     compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+    events_row = np.empty(lattice.n_ancillas, dtype=np.uint8)
     wall = 0.0  # decoder-cycle wall clock
     consumed_matches = 0
 
@@ -119,9 +141,10 @@ def run_online_trial(
             data_flips, meas_flips = noise.sample_round(lattice, rng, t=k, n_rounds=n_rounds)
             error ^= data_flips
             raw = lattice.syndrome_of(error) ^ meas_flips
-        events_row = raw ^ prev_raw ^ compensation
-        prev_raw = raw
-        compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+        np.bitwise_xor(raw, prev_raw, out=events_row)
+        events_row ^= compensation
+        prev_raw[:] = raw
+        compensation.fill(0)
 
         if not engine.push_layer(events_row):
             return OnlineOutcome(
@@ -140,19 +163,22 @@ def run_online_trial(
         if final_round:
             engine.begin_drain()
             deadline = math.inf
-        for chunk in gen:
-            if chunk == IDLE:
-                break
-            wall += chunk
-            if wall >= deadline:
-                break
+        if unconstrained:
+            engine.run_to_idle()
+        else:
+            for chunk in gen:
+                if chunk == IDLE:
+                    break
+                wall += chunk
+                if wall >= deadline:
+                    break
         # Apply the window's corrections physically before the next round.
         new_matches = engine.matches[consumed_matches:]
         consumed_matches = len(engine.matches)
         if new_matches:
             window_correction = correction_from_matches(lattice, new_matches)
             error ^= window_correction
-            compensation = lattice.syndrome_of(window_correction)
+            compensation[:] = lattice.syndrome_of(window_correction)
 
     failed = logical_failure(
         lattice, error, np.zeros(lattice.n_data, dtype=np.uint8)
@@ -164,3 +190,126 @@ def run_online_trial(
         matches=list(engine.matches),
         n_rounds=n_rounds,
     )
+
+
+def run_online_chunk(
+    lattice: PlanarLattice,
+    p: float | NoiseModel,
+    n_rounds: int,
+    config: OnlineConfig,
+    rngs: Sequence[np.random.Generator],
+    q: float | None = None,
+) -> list[OnlineOutcome]:
+    """Run a chunk of online trials batched across shots.
+
+    **Bit-identical** to calling :func:`run_online_trial` once per
+    generator in ``rngs`` (covered by ``tests/test_online.py``): each
+    shot keeps its own engine, wall clock and noise substream, but the
+    per-round heavy lifting — noise sampling, syndrome extraction and
+    correction-compensation syndromes — runs as one vectorized pass
+    over the still-active shots, reusing the lattice geometry tables
+    and a preallocated state block across the whole chunk.  Shots drop
+    out of the batch when their Reg overflows, exactly where their
+    per-shot trial would return.
+    """
+    if n_rounds < 1:
+        raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+    noise = _resolve_trial_noise(p, q)
+    rngs = list(rngs)
+    n_shots = len(rngs)
+    engines = [
+        QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
+        for _ in range(n_shots)
+    ]
+    budget = config.cycles_per_interval
+    unconstrained = math.isinf(budget)
+    # No deadline -> every between-rounds decode runs to IDLE, so the
+    # engines advance synchronously; a finite clock needs the resumable
+    # generators (decodes freeze mid-sweep at the interval boundary).
+    gens = None if unconstrained else [engine.run(drain=False) for engine in engines]
+
+    # Chunk-wide state blocks (shot-major), allocated once.
+    errors = np.zeros((n_shots, lattice.n_data), dtype=np.uint8)
+    prev_raw = np.zeros((n_shots, lattice.n_ancillas), dtype=np.uint8)
+    compensation = np.zeros((n_shots, lattice.n_ancillas), dtype=np.uint8)
+    walls = [0.0] * n_shots
+    consumed = [0] * n_shots
+    outcomes: list[OnlineOutcome | None] = [None] * n_shots
+    active = list(range(n_shots))
+
+    for k in range(n_rounds + 1):
+        final_round = k == n_rounds
+        if final_round:
+            raws = lattice.syndrome_of_batch(errors[active])
+        else:
+            data_flips, meas_flips = noise.sample_round_batch(
+                lattice, [rngs[i] for i in active], t=k, n_rounds=n_rounds
+            )
+            errors[active] ^= data_flips
+            raws = lattice.syndrome_of_batch(errors[active]) ^ meas_flips
+        still_active: list[int] = []
+        corrected: list[int] = []
+        corrections: list[np.ndarray] = []
+        for j, i in enumerate(active):
+            events_row = raws[j] ^ prev_raw[i] ^ compensation[i]
+            prev_raw[i] = raws[j]
+            compensation[i].fill(0)
+            engine = engines[i]
+            if not engine.push_layer(events_row):
+                outcomes[i] = OnlineOutcome(
+                    failed=True,
+                    overflow=True,
+                    layer_cycles=list(engine.layer_cycles),
+                    matches=list(engine.matches),
+                    n_rounds=k,
+                )
+                continue
+            if unconstrained:
+                deadline = math.inf
+            else:
+                walls[i] = max(walls[i], k * budget)
+                deadline = (k + 1) * budget
+            if final_round:
+                engine.begin_drain()
+                deadline = math.inf
+            if unconstrained:
+                engine.run_to_idle()
+            else:
+                wall = walls[i]
+                for chunk in gens[i]:
+                    if chunk == IDLE:
+                        break
+                    wall += chunk
+                    if wall >= deadline:
+                        break
+                walls[i] = wall
+            new_matches = engine.matches[consumed[i] :]
+            consumed[i] = len(engine.matches)
+            if new_matches:
+                window_correction = correction_from_matches(lattice, new_matches)
+                errors[i] ^= window_correction
+                corrected.append(i)
+                corrections.append(window_correction)
+            still_active.append(i)
+        if corrections:
+            compensation[corrected] = lattice.syndrome_of_batch(
+                np.stack(corrections)
+            )
+        active = still_active
+
+    if active:
+        fails = logical_failures_batch(
+            lattice,
+            errors[active],
+            np.zeros((len(active), lattice.n_data), dtype=np.uint8),
+        )
+        for j, i in enumerate(active):
+            engine = engines[i]
+            outcomes[i] = OnlineOutcome(
+                failed=bool(fails[j]),
+                overflow=False,
+                layer_cycles=list(engine.layer_cycles),
+                matches=list(engine.matches),
+                n_rounds=n_rounds,
+            )
+    return outcomes  # type: ignore[return-value]

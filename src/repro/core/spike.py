@@ -9,7 +9,7 @@ sink and its arrival time equals the 2-D Manhattan distance in unit hops.
 
 In the sink's depth scan (``t = b .. Ndepth``), a source whose event sits
 ``dt`` layers above the base adds ``dt`` wait windows, so the race metric
-is the full 3-D Manhattan distance — see DESIGN.md section 4.
+is the full 3-D Manhattan distance — see ``docs/DESIGN.md`` section 4.
 
 The Prioritization module breaks simultaneous arrivals with race logic;
 we fix the priority order deterministically as
@@ -23,6 +23,9 @@ normal Units win exact ties (the paper's footnote 1).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import cached_property, lru_cache
+
+import numpy as np
 
 from repro.surface_code.lattice import PlanarLattice
 
@@ -35,8 +38,10 @@ __all__ = [
     "PRIORITY_WEST",
     "SpikeCandidate",
     "boundary_candidate",
+    "boundary_spikes",
     "incoming_port",
     "pair_candidate",
+    "port_table",
     "vertical_candidate",
 ]
 
@@ -86,9 +91,10 @@ class SpikeCandidate:
     source: tuple[int, int] | None = None
     side: str | None = None
 
-    @property
+    @cached_property
     def key(self) -> tuple[float, int, int, tuple[int, int]]:
-        """Deterministic race-resolution sort key."""
+        """Deterministic race-resolution sort key (computed once; the
+        dataclass is frozen, so the key can never go stale)."""
         return (self.arrival, self.port, self.t_rel, self.source or (-1, -1))
 
 
@@ -112,10 +118,15 @@ def pair_candidate(
     )
 
 
+@lru_cache(maxsize=None)
 def vertical_candidate(t_rel: int) -> SpikeCandidate:
     """The sink's own later event ``t_rel`` layers above the base — a
     measurement-error self-match, detected in the depth scan with no
-    spatial travel."""
+    spatial travel.
+
+    Cached: the candidate depends on ``t_rel`` alone and the dataclass
+    is frozen, so the engine's hot path shares one instance per depth.
+    """
     if t_rel <= 0:
         raise ValueError(f"vertical candidate needs t_rel >= 1, got {t_rel}")
     return SpikeCandidate(
@@ -129,14 +140,18 @@ def vertical_candidate(t_rel: int) -> SpikeCandidate:
 
 
 def boundary_candidate(lattice: PlanarLattice, sink: tuple[int, int]) -> SpikeCandidate:
-    """Spike from the nearest Boundary Unit (ties go west, fixed)."""
-    r, c = sink
-    west = lattice.west_distance(c)
-    east = lattice.east_distance(c)
-    if west <= east:
-        side, dist, port = "west", west, PRIORITY_WEST
+    """Spike from the nearest Boundary Unit (ties go west, fixed).
+
+    Side and distance come from the lattice's cached boundary tables
+    (:attr:`~repro.surface_code.lattice.PlanarLattice.boundary_hops` /
+    ``boundary_is_west``).
+    """
+    idx = lattice.ancilla_index(*sink)
+    dist = int(lattice.boundary_hops[idx])
+    if lattice.boundary_is_west[idx]:
+        side, port = "west", PRIORITY_WEST
     else:
-        side, dist, port = "east", east, PRIORITY_EAST
+        side, port = "east", PRIORITY_EAST
     return SpikeCandidate(
         kind="boundary",
         arrival=dist + BOUNDARY_DELAY,
@@ -145,4 +160,46 @@ def boundary_candidate(lattice: PlanarLattice, sink: tuple[int, int]) -> SpikeCa
         t_rel=0,
         source=None,
         side=side,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Per-lattice race tables (cached once, shared across engines and shots).
+#
+# ``PlanarLattice`` hashes by code distance, so the caches below are hit
+# by every engine on every shot of a Monte-Carlo point — the tables are
+# built exactly once per distance per process.
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def port_table(lattice: PlanarLattice) -> np.ndarray:
+    """Arrival-port priorities for all sink/source ancilla pairs.
+
+    ``port_table(lattice)[sink, source]`` is :func:`incoming_port` of the
+    flat-indexed pair, shape ``(n_ancillas, n_ancillas)`` uint8 (the
+    diagonal holds :data:`PRIORITY_INTERNAL`).  Read-only.
+    """
+    coords = lattice.ancilla_coords_array
+    r, c = coords[:, 0].astype(np.int64), coords[:, 1].astype(np.int64)
+    sink_r, src_r = r[:, None], r[None, :]
+    sink_c, src_c = c[:, None], c[None, :]
+    table = np.where(src_r < sink_r, PRIORITY_NORTH, PRIORITY_SOUTH)
+    table = np.where(src_c < sink_c, PRIORITY_WEST, table)
+    table = np.where(src_c > sink_c, PRIORITY_EAST, table)
+    same = (src_r == sink_r) & (src_c == sink_c)
+    table = np.where(same, PRIORITY_INTERNAL, table).astype(np.uint8)
+    table.setflags(write=False)
+    return table
+
+
+@lru_cache(maxsize=None)
+def boundary_spikes(lattice: PlanarLattice) -> tuple[SpikeCandidate, ...]:
+    """The nearest-Boundary-Unit candidate of every ancilla, flat-indexed.
+
+    ``boundary_spikes(lattice)[a] == boundary_candidate(lattice,
+    ancilla_coords(a))`` — frozen dataclasses, safely shared.
+    """
+    return tuple(
+        boundary_candidate(lattice, (r, c)) for (r, c) in lattice.all_ancillas()
     )

@@ -108,17 +108,22 @@ def correction_from_matches(lattice: PlanarLattice, matches: list[Match]) -> np.
     need no data correction); the spatial component follows the same
     L-shaped routing the spike/syndrome signals take in hardware.
     """
-    correction = np.zeros(lattice.n_data, dtype=np.uint8)
+    touched: list[int] = []
+    # The memoised tuple variants (one shared tuple per endpoint pair)
+    # skip the defensive list copy of the public path methods — this
+    # projection runs once per decode window on the online hot path.
+    pair_path = lattice._pair_path
+    boundary_path = lattice._boundary_path
     for match in matches:
         r1, c1, _ = match.a
         if match.kind == "boundary":
-            path = lattice.boundary_path(r1, c1, match.side)
+            touched.extend(boundary_path(r1, c1, match.side))
         else:
             r2, c2, _ = match.b
-            path = lattice.pair_path((r1, c1), (r2, c2))
-        for q in path:
-            correction[q] ^= 1
-    return correction
+            touched.extend(pair_path((r1, c1), (r2, c2)))
+    # XOR of all paths == parity of how often each qubit is crossed.
+    counts = np.bincount(touched, minlength=lattice.n_data)
+    return (counts & 1).astype(np.uint8)
 
 
 def defects_of(events: np.ndarray, lattice: PlanarLattice) -> list[Coord]:

@@ -48,7 +48,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.online import OnlineConfig, run_online_trial
+from repro.core.online import OnlineConfig, run_online_chunk
 from repro.decoders.base import Decoder
 from repro.experiments.executor import (
     AdaptiveConfig,
@@ -237,9 +237,12 @@ class BatchTask:
 class OnlineTask:
     """Online setting: streaming QECOOL under a finite decoder clock.
 
-    Inherently sequential (corrections feed back between rounds), so
-    shots stay a Python loop; the noise model is threaded through to
-    :func:`~repro.core.online.run_online_trial` round by round.
+    Each shot's trial is inherently sequential (corrections feed back
+    between rounds), but the chunk's shots advance in lock-step through
+    :func:`~repro.core.online.run_online_chunk`: one engine and noise
+    substream per shot, with per-round sampling, syndrome extraction
+    and compensation batched across the still-active shots — results
+    bit-identical to the former per-shot ``run_online_trial`` loop.
     """
 
     d: int
@@ -252,23 +255,22 @@ class OnlineTask:
 
     def run_chunk(self, chunk: ShotChunk) -> ChunkStats:
         lattice = PlanarLattice(self.d)
-        failures = overflows = 0
+        if self.noise is None:
+            outcomes = run_online_chunk(
+                lattice, self.p, self.rounds, self.config, chunk.rngs(), q=self.q
+            )
+        else:
+            outcomes = run_online_chunk(
+                lattice, self.noise, self.rounds, self.config, chunk.rngs()
+            )
         cycles: list[int] = []
-        for rng in chunk.rngs():
-            if self.noise is None:
-                outcome = run_online_trial(
-                    lattice, self.p, self.rounds, self.config, rng, q=self.q
-                )
-            else:
-                outcome = run_online_trial(
-                    lattice, self.noise, self.rounds, self.config, rng
-                )
-            failures += outcome.failed
-            overflows += outcome.overflow
-            if self.keep_layer_cycles:
+        if self.keep_layer_cycles:
+            for outcome in outcomes:
                 cycles.extend(outcome.layer_cycles)
         return ChunkStats(
-            shots=chunk.shots, failures=failures, overflows=overflows,
+            shots=chunk.shots,
+            failures=sum(o.failed for o in outcomes),
+            overflows=sum(o.overflow for o in outcomes),
             layer_cycles=tuple(cycles),
         )
 

@@ -152,6 +152,51 @@ class PlanarLattice:
         """Unit-grid Manhattan distance — spike hops and data qubits crossed."""
         return abs(a[0] - b[0]) + abs(a[1] - b[1])
 
+    @property
+    def pairwise_manhattan(self) -> np.ndarray:
+        """All-pairs ancilla Manhattan distances, shape ``(n_ancillas,
+        n_ancillas)``, int16.
+
+        ``pairwise_manhattan[a, b] == manhattan(ancilla_coords(a),
+        ancilla_coords(b))``.  Cached per lattice (and shared across
+        equal-``d`` instances via the engine's geometry lookups) — do
+        not mutate.
+        """
+        return self._pairwise_manhattan()
+
+    @lru_cache(maxsize=None)
+    def _pairwise_manhattan(self) -> np.ndarray:
+        coords = self.ancilla_coords_array
+        r, c = coords[:, 0], coords[:, 1]
+        dist = np.abs(r[:, None] - r[None, :]) + np.abs(c[:, None] - c[None, :])
+        dist = dist.astype(np.int16)
+        dist.setflags(write=False)
+        return dist
+
+    @property
+    def boundary_hops(self) -> np.ndarray:
+        """Nearest west/east boundary distance per ancilla, ``(n_ancillas,)``
+        int16 (``boundary_distance`` tabulated; cached, do not mutate)."""
+        return self._boundary_tables()[0]
+
+    @property
+    def boundary_is_west(self) -> np.ndarray:
+        """Per-ancilla nearest-boundary side, ``(n_ancillas,)`` bool: True
+        where the west boundary is nearest (ties go west, like the race
+        logic).  Cached, do not mutate."""
+        return self._boundary_tables()[1]
+
+    @lru_cache(maxsize=None)
+    def _boundary_tables(self) -> tuple[np.ndarray, np.ndarray]:
+        cs = self.ancilla_coords_array[:, 1]
+        west = (cs + 1).astype(np.int16)
+        east = (self.cols - cs).astype(np.int16)
+        hops = np.minimum(west, east)
+        is_west = west <= east
+        hops.setflags(write=False)
+        is_west.setflags(write=False)
+        return hops, is_west
+
     def boundary_distance(self, r: int, c: int) -> int:
         """Data qubits crossed to reach the *nearest* (west/east) boundary."""
         self._check_ancilla(r, c)
@@ -172,8 +217,13 @@ class PlanarLattice:
         the spike first travels vertically from the source ``b`` to the
         sink's row, then horizontally to the sink ``a`` — the syndrome /
         correction signal retraces the same path.  Length equals the
-        Manhattan distance.
+        Manhattan distance.  Paths are memoised per endpoint pair (a
+        fresh list is returned each call).
         """
+        return list(self._pair_path(a, b))
+
+    @lru_cache(maxsize=None)
+    def _pair_path(self, a: tuple[int, int], b: tuple[int, int]) -> tuple[int, ...]:
         (r1, c1), (r2, c2) = a, b
         self._check_ancilla(r1, c1)
         self._check_ancilla(r2, c2)
@@ -184,18 +234,25 @@ class PlanarLattice:
         lo_c, hi_c = sorted((c1, c2))
         for k in range(lo_c + 1, hi_c + 1):
             path.append(self.horizontal_index(r1, k))
-        return path
+        return tuple(path)
 
     def boundary_path(self, r: int, c: int, side: str) -> list[int]:
         """Data qubits from ancilla ``(r, c)`` to the ``side`` boundary.
 
-        ``side`` is ``"west"`` or ``"east"``.
+        ``side`` is ``"west"`` or ``"east"``.  Memoised per call site (a
+        fresh list is returned each call).
         """
+        return list(self._boundary_path(r, c, side))
+
+    @lru_cache(maxsize=None)
+    def _boundary_path(self, r: int, c: int, side: str) -> tuple[int, ...]:
         self._check_ancilla(r, c)
         if side == "west":
-            return [self.horizontal_index(r, k) for k in range(c + 1)]
+            return tuple(self.horizontal_index(r, k) for k in range(c + 1))
         if side == "east":
-            return [self.horizontal_index(r, k) for k in range(c + 1, self.cols + 1)]
+            return tuple(
+                self.horizontal_index(r, k) for k in range(c + 1, self.cols + 1)
+            )
         raise ValueError(f"side must be 'west' or 'east', got {side!r}")
 
     def nearest_boundary_path(self, r: int, c: int) -> list[int]:
@@ -233,11 +290,16 @@ class PlanarLattice:
 
     # ------------------------------------------------------------------
     def syndrome_of(self, error: np.ndarray) -> np.ndarray:
-        """Syndrome ``(H @ error) % 2`` as a flat uint8 vector."""
+        """Syndrome ``(H @ error) % 2`` as a flat uint8 vector.
+
+        Computed through the cached float32 transpose (one BLAS matvec);
+        the stabilizer weight is at most 4, so the accumulation is exact.
+        """
         error = np.asarray(error, dtype=np.uint8)
         if error.shape != (self.n_data,):
             raise ValueError(f"error must have shape ({self.n_data},), got {error.shape}")
-        return (self.parity_matrix @ error) % 2
+        sums = error.astype(np.float32) @ self._parity_t_f32()
+        return sums.astype(np.uint8) & 1
 
     def syndrome_of_batch(self, errors: np.ndarray) -> np.ndarray:
         """Syndromes of a batch of errors, vectorized over leading axes.

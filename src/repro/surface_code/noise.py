@@ -174,6 +174,34 @@ class NoiseModel:
     # ------------------------------------------------------------------
     # Batched sampling (the hot path of the Monte-Carlo tasks)
     # ------------------------------------------------------------------
+    def sample_round_batch(
+        self,
+        lattice: PlanarLattice,
+        rng: RngsLike = None,
+        t: int = 0,
+        n_rounds: int | None = None,
+        shots: int | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """One round's noise for a whole batch of shots.
+
+        The batched form of :meth:`sample_round`: returns ``(data_flips,
+        measurement_flips)`` with shapes ``(shots, n_data)`` and
+        ``(shots, n_ancillas)``.  With a sequence of per-shot generators
+        each shot draws exactly what :meth:`sample_round` would — its
+        data block then its measurement block — so the streaming online
+        simulator can batch a round across shots **bit-identically** to
+        the per-shot loop.
+        """
+        n = (t + 1) if n_rounds is None else n_rounds
+        if not 0 <= t < n:
+            raise ValueError(f"round {t} out of range for n_rounds={n}")
+        u_data, u_meas = _batched_uniforms(
+            shots, [(lattice.n_data,), (lattice.n_ancillas,)], rng
+        )
+        p_t = float(self.data_schedule(n)[t])
+        q_t = float(self.meas_schedule(n)[t])
+        return (u_data < p_t).view(np.uint8), (u_meas < q_t).view(np.uint8)
+
     def sample_data_batch(
         self,
         lattice: PlanarLattice,

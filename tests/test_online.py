@@ -105,3 +105,81 @@ class TestOnlineTrial:
         for match in outcome.matches:
             for (_, _, t) in match.endpoints():
                 assert 0 <= t <= 6  # within the 7 pushed layers
+
+
+class TestOnlineChunk:
+    """run_online_chunk must be bit-identical to per-shot trials."""
+
+    @pytest.mark.parametrize("freq", [None, 2e9, 0.5e9])
+    def test_chunk_matches_per_shot_trials(self, d5, freq):
+        from repro.core.online import run_online_chunk
+        from repro.util.rng import substream
+
+        config = OnlineConfig(frequency_hz=freq)
+        root = np.random.SeedSequence(31)
+        rngs = lambda: [substream(root, i) for i in range(12)]
+        chunk = run_online_chunk(d5, 0.04, 5, config, rngs())
+        singles = [
+            run_online_trial(d5, 0.04, 5, config, rng) for rng in rngs()
+        ]
+        for a, b in zip(chunk, singles):
+            assert a.failed == b.failed
+            assert a.overflow == b.overflow
+            assert a.n_rounds == b.n_rounds
+            assert a.matches == b.matches
+            assert a.layer_cycles == b.layer_cycles
+
+    def test_chunk_overflow_paths_match(self):
+        """A starved clock overflows some shots; the batch must drop
+        them at the identical round with identical partial state."""
+        from repro.core.online import run_online_chunk
+        from repro.util.rng import substream
+
+        lattice = PlanarLattice(5)
+        config = OnlineConfig(frequency_hz=1e6)
+        root = np.random.SeedSequence(77)
+        rngs = lambda: [substream(root, i) for i in range(16)]
+        chunk = run_online_chunk(lattice, 0.05, 10, config, rngs())
+        singles = [
+            run_online_trial(lattice, 0.05, 10, config, rng) for rng in rngs()
+        ]
+        assert any(o.overflow for o in singles), "operating point must overflow"
+        for a, b in zip(chunk, singles):
+            assert (a.failed, a.overflow, a.n_rounds) == (
+                b.failed, b.overflow, b.n_rounds,
+            )
+            assert a.matches == b.matches
+
+    def test_chunk_with_noise_model(self, d5):
+        from repro.core.online import run_online_chunk
+        from repro.surface_code.noise import get_noise
+        from repro.util.rng import substream
+
+        noise = get_noise("drift", p=0.03, ramp=3.0)
+        root = np.random.SeedSequence(13)
+        rngs = lambda: [substream(root, i) for i in range(8)]
+        chunk = run_online_chunk(d5, noise, 5, OnlineConfig(), rngs())
+        singles = [
+            run_online_trial(d5, noise, 5, OnlineConfig(), rng) for rng in rngs()
+        ]
+        for a, b in zip(chunk, singles):
+            assert a.matches == b.matches
+            assert a.failed == b.failed
+
+    def test_engine_factory_hook(self, d5):
+        """run_online_trial accepts a drop-in engine implementation."""
+        from repro.core.engine import QecoolEngine
+
+        calls = []
+
+        def factory(lattice, thv, reg_size):
+            calls.append((thv, reg_size))
+            return QecoolEngine(lattice, thv=thv, reg_size=reg_size)
+
+        base = run_online_trial(d5, 0.02, 4, OnlineConfig(), rng=3)
+        hooked = run_online_trial(
+            d5, 0.02, 4, OnlineConfig(), rng=3, engine_factory=factory
+        )
+        assert calls == [(3, 7)]
+        assert hooked.matches == base.matches
+        assert hooked.layer_cycles == base.layer_cycles
