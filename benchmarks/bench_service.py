@@ -1,0 +1,184 @@
+"""Decode-service load benchmark: micro-batched scheduler vs sequential.
+
+A load generator races the streaming service's micro-batching scheduler
+(:class:`repro.service.scheduler.MicroBatchScheduler`) against the
+naive serving strategy — one sequential
+:func:`repro.core.online.run_online_trial` per session — on identical
+session populations (same seeds, same operating point).  **Bit-identity
+is asserted**: every session's match stream, derived correction and
+per-layer cycle accounting must equal its standalone trial exactly; the
+scheduler is only allowed to be *faster*, never different.
+
+Operating points sit in the sub-threshold serving regime (the paper's
+online decoder exists to keep up with real traffic at p ~ 0.05%-0.5%
+physical error, not threshold-probing noise):
+
+- d=9, p=0.05%, 128 concurrent sessions — the headline ``>= 2x``
+  sessions/sec acceptance point,
+- d=9, p=0.1%, 128 sessions — trajectory point (floor 1.3x),
+- d=9, p=0.5%, 64 sessions — heavier per-round decode load, where
+  Amdahl (the per-session engine advance) caps the batching win.
+
+Every full run rewrites ``BENCH_service.json`` (committed) with the
+throughput numbers and the scheduler's own metrics snapshot, so the
+serving-perf trajectory accumulates next to the code.
+
+Run:  pytest benchmarks/bench_service.py --benchmark-only -s
+
+``BENCH_SMOKE=1`` (CI) shrinks session counts and skips the wall-clock
+floor assertions — shared runners cannot bench — while keeping every
+bit-identity assertion and never overwriting the committed record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+
+SEED0 = 91000
+REPS = 2 if SMOKE else 5
+
+# (name, d, p, rounds, sessions, floor) — floor asserted in full mode.
+POINTS = [
+    ("serve_d9_p0.0005", 9, 0.0005, 9, 32 if SMOKE else 128, 2.0),
+    ("serve_d9_p0.001", 9, 0.001, 9, 32 if SMOKE else 128, 1.3),
+    ("serve_d9_p0.005", 9, 0.005, 9, 16 if SMOKE else 64, 1.1),
+]
+
+_RECORD: dict = {
+    "schema": "bench-service/1",
+    "seed0": SEED0,
+    "smoke": SMOKE,
+    "host": {
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "cpus": os.cpu_count(),
+    },
+    "points": [],
+}
+
+
+def _record(name: str, **fields) -> None:
+    _RECORD["points"].append({"name": name, **fields})
+    if SMOKE:
+        # Smoke budgets measure nothing meaningful; never overwrite the
+        # committed perf-trajectory record with them.
+        return
+    path = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+    path.write_text(json.dumps(_RECORD, indent=2) + "\n")
+
+
+def _specs(d: int, p: float, rounds: int, sessions: int):
+    from repro.service.session import SessionSpec
+
+    return [
+        SessionSpec(d=d, p=p, seed=SEED0 + i, n_rounds=rounds)
+        for i in range(sessions)
+    ]
+
+
+def _make_scheduler(sessions: int):
+    from repro.service.scheduler import MicroBatchScheduler, SchedulerConfig
+
+    return MicroBatchScheduler(
+        SchedulerConfig(max_active=sessions, max_queue=sessions)
+    )
+
+
+def _run_scheduler(scheduler, specs):
+    """One wave of concurrent sessions through a *running* service.
+
+    The scheduler persists across reps (warm engine pool and state
+    slabs), as a long-lived serving process would; only the per-wave
+    work is timed.
+    """
+    start = time.perf_counter()
+    sessions = [scheduler.submit(spec) for spec in specs]
+    scheduler.run_until_idle()
+    elapsed = time.perf_counter() - start
+    return elapsed, [s.result for s in sessions], scheduler.metrics.snapshot()
+
+
+def _run_sequential(specs):
+    """The naive serving strategy: one standalone trial per session."""
+    from repro.core.online import run_online_trial
+    from repro.surface_code.lattice import PlanarLattice
+
+    lattice = PlanarLattice(specs[0].d)
+    start = time.perf_counter()
+    outcomes = [
+        run_online_trial(
+            lattice, spec.p, spec.rounds, spec.online_config(), rng=spec.seed
+        )
+        for spec in specs
+    ]
+    return time.perf_counter() - start, outcomes
+
+
+def _assert_bit_identity(lattice, results, outcomes):
+    from repro.decoders.base import correction_from_matches
+
+    for result, outcome in zip(results, outcomes):
+        assert result.matches == outcome.matches, "match stream diverged"
+        assert result.layer_cycles == list(outcome.layer_cycles), (
+            "cycle accounting diverged"
+        )
+        assert (result.failed, result.overflow, result.n_rounds) == (
+            outcome.failed, outcome.overflow, outcome.n_rounds,
+        )
+        import numpy as np
+
+        assert np.array_equal(
+            correction_from_matches(lattice, result.matches),
+            correction_from_matches(lattice, outcome.matches),
+        ), "derived correction diverged"
+
+
+def test_service_throughput_speedup(benchmark, reporter):
+    from repro.surface_code.lattice import PlanarLattice
+
+    lines = []
+    results = []
+    for name, d, p, rounds, sessions, floor in POINTS:
+        specs = _specs(d, p, rounds, sessions)
+        lattice = PlanarLattice(d)
+        scheduler = _make_scheduler(sessions)
+        sched_s, seq_s = [], []
+        for _ in range(REPS):
+            t, sched_results, snapshot = _run_scheduler(scheduler, specs)
+            sched_s.append(t)
+            t, seq_outcomes = _run_sequential(specs)
+            seq_s.append(t)
+        _assert_bit_identity(lattice, sched_results, seq_outcomes)
+        speedup = min(seq_s) / min(sched_s)
+        results.append((name, floor, speedup))
+        lines.append(
+            f"{name}: {sessions} sessions x {rounds} rounds  "
+            f"sequential {sessions / min(seq_s):7.1f} sess/s  "
+            f"scheduler {sessions / min(sched_s):7.1f} sess/s  "
+            f"speedup {speedup:.2f}x  "
+            f"(batch mean {snapshot['mean_batch_sessions']:.1f}, "
+            f"round p50 {snapshot['round_latency_s']['p50'] * 1e6:.0f}us)"
+        )
+        _record(
+            name, d=d, p=p, rounds=rounds, sessions=sessions,
+            sequential_sessions_per_s=sessions / min(seq_s),
+            scheduler_sessions_per_s=sessions / min(sched_s),
+            speedup=speedup,
+            scheduler_metrics=snapshot,
+        )
+    lines.append(
+        "bit-identical matches/corrections/layer_cycles/outcomes: yes (asserted)"
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reporter(benchmark, "Micro-batched decode service vs sequential trials", lines)
+    if not SMOKE:
+        for name, floor, speedup in results:
+            assert speedup >= floor, (
+                f"{name}: expected >= {floor}x sessions/sec, got {speedup:.2f}x"
+            )

@@ -388,6 +388,108 @@ class QecoolEngine:
         remaining layers (end-of-experiment flush)."""
         self._drain = True
 
+    def idle_layer_fast(self) -> int:
+        """Absorb one *empty* measurement layer while empty and idle.
+
+        Session-granular fast entry for streaming callers: when the
+        engine holds no events, stores no layers, and its Controller is
+        parked at IDLE (or a fresh :meth:`run` generator / the sync
+        path), pushing an all-zero layer and running back to IDLE is a
+        fixed state delta — the layer is popped immediately (``1`` shift
+        cycle plus a ``1``-cycle Row-Master skip per row) and the survey
+        finds no sinks.  This method applies that delta directly —
+        ``popped``, ``cycles`` and ``layer_cycles`` advance exactly as
+        the simulated path would — and returns the charged cost (the
+        caller's wall clock still pays it).  Callers must NOT also call
+        :meth:`push_layer` for the layer.  Raises if the engine is not
+        in the empty-idle state (the caller's dispatch is wrong).
+        """
+        if self._live or self.m or self._drain:
+            raise RuntimeError(
+                "idle_layer_fast requires an empty, non-draining engine"
+            )
+        cost = self._charge(1 + self.lattice.rows)
+        self.popped += 1
+        # Mirror _pop's dead-entry purge so cache growth stays bounded
+        # on long-running sessions regardless of which path their empty
+        # rounds take (contents are a performance detail, never
+        # observable in matches or cycle accounting).
+        if len(self._winner_cache) > 32:
+            cutoff = self.popped
+            self._winner_cache = {
+                k: v for k, v in self._winner_cache.items() if k[1] >= cutoff
+            }
+        self.layer_cycles.append(self.cycles - self._cycles_at_last_pop)
+        self._cycles_at_last_pop = self.cycles
+        return cost
+
+    def try_push_empty_idle(self) -> bool | None:
+        """Try to absorb an *empty* layer while parked at IDLE with
+        events still waiting on the ``thv`` look-ahead.
+
+        Companion fast entry to :meth:`idle_layer_fast` for the other
+        common streaming case: the engine holds events (``m > 0``) but
+        was parked at IDLE — no decodable sink — and the new layer is
+        all zeros.  Pushing it changes nothing except ``m`` *unless*
+        the one newly-exposed base depth (``b_max`` grows by one with
+        ``m``) holds an event; layer 0 stays occupied (else IDLE would
+        have popped it), so no shift fires, no sweep runs, no cycles
+        are charged.  Returns ``True`` when the layer was absorbed
+        (state delta: ``m += 1``), ``False`` on Reg overflow (the layer
+        is *not* stored — the paper fails the trial), and ``None`` when
+        the push would expose a decodable sink and the caller must take
+        the simulated path instead.
+        """
+        if self._drain:
+            return None
+        if self.reg_size is not None and self.m >= self.reg_size:
+            return False
+        if self.m >= MAX_LAYERS:
+            raise ValueError(
+                f"array engine stores at most {MAX_LAYERS} layers; pop or"
+                " drain before pushing more"
+            )
+        if self.thv >= 0:
+            # After the push, b_max = (m + 1) - thv - 1 = m - thv; depths
+            # at or below the old b_max were sink-free at IDLE, so only
+            # the newly-exposed depth needs checking.
+            exposed = self.m - self.thv
+            if exposed >= 0:
+                bit = 1 << exposed
+                mask_ints = self._mask_ints
+                for a in self._live:
+                    if mask_ints[a] & bit:
+                        return None
+        # thv < 0 exposes depth m, beyond any stored event: always clear.
+        self.m += 1
+        return True
+
+    def reset(self) -> "QecoolEngine":
+        """Restore the just-constructed state, keeping geometry tables.
+
+        Session-recycling entry for the decode service's engine pool: a
+        retired session's engine is reset and reused for the next
+        admission with the same ``(lattice, thv, reg_size)`` shape
+        instead of re-running ``__init__`` (array allocation).  Any
+        outstanding :meth:`run` generator must be discarded by the
+        caller.  Returns ``self``.
+        """
+        self._masks.fill(0)
+        self._mask_ints = [0] * self.lattice.n_ancillas
+        self._live.clear()
+        self._live_arr = None
+        self._l0 = 0
+        self.m = 0
+        self.popped = 0
+        self._row_counts = [0] * self.lattice.rows
+        self._winner_cache = {}
+        self.cycles = 0
+        self._cycles_at_last_pop = 0
+        self.layer_cycles = []
+        self.matches = []
+        self._drain = False
+        return self
+
     @property
     def defects_remaining(self) -> int:
         """Unmatched detection events currently stored."""

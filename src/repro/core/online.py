@@ -35,7 +35,16 @@ from repro.surface_code.logical import logical_failure, logical_failures_batch
 from repro.surface_code.noise import NoiseModel, PhenomenologicalNoise
 from repro.util.rng import make_rng
 
-__all__ = ["OnlineConfig", "OnlineOutcome", "run_online_chunk", "run_online_trial"]
+__all__ = [
+    "OnlineConfig",
+    "OnlineOutcome",
+    "OnlineShot",
+    "StreamingBlock",
+    "StreamingShotState",
+    "advance_streaming_round",
+    "run_online_chunk",
+    "run_online_trial",
+]
 
 
 @dataclass(frozen=True)
@@ -192,6 +201,406 @@ def run_online_trial(
     )
 
 
+class StreamingBlock:
+    """Shot-major state slab shared by a batch of streaming shots.
+
+    Holds the per-shot ``error`` / ``prev_raw`` / ``compensation`` rows
+    of every shot in a batch as three contiguous arrays, so
+    :func:`advance_streaming_round` can gather and scatter the whole
+    round's state with single fancy-index operations instead of one
+    Python row copy per shot.  Rows are allocated to shots on admission
+    and recycled on retirement (the decode service's scheduler keeps
+    one block per micro-batch shape group); shots hold *views* into the
+    block, so :meth:`grow` reallocations require :meth:`OnlineShot.rebind`
+    on every live shot — the scheduler owns that bookkeeping.
+    """
+
+    def __init__(self, lattice: PlanarLattice, capacity: int = 64):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.lattice = lattice
+        self.capacity = capacity
+        self.errors = np.zeros((capacity, lattice.n_data), dtype=np.uint8)
+        self.prev = np.zeros((capacity, lattice.n_ancillas), dtype=np.uint8)
+        self.comp = np.zeros((capacity, lattice.n_ancillas), dtype=np.uint8)
+        self._free = list(range(capacity - 1, -1, -1))
+
+    @property
+    def n_free(self) -> int:
+        """Rows currently unallocated."""
+        return len(self._free)
+
+    def alloc(self) -> int:
+        """Claim a zeroed row; grows the block when none are free."""
+        if not self._free:
+            self.grow()
+        row = self._free.pop()
+        self.errors[row] = 0
+        self.prev[row] = 0
+        self.comp[row] = 0
+        return row
+
+    def release(self, row: int) -> None:
+        """Return a retired shot's row to the free list."""
+        self._free.append(row)
+
+    def grow(self) -> None:
+        """Double capacity, preserving live rows.
+
+        Existing views go stale: every live shot must ``rebind``.
+        """
+        old = self.capacity
+        self.capacity = old * 2
+        for name in ("errors", "prev", "comp"):
+            block = getattr(self, name)
+            grown = np.zeros((self.capacity,) + block.shape[1:], dtype=np.uint8)
+            grown[:old] = block
+            setattr(self, name, grown)
+        self._free.extend(range(self.capacity - 1, old - 1, -1))
+
+
+class StreamingShotState:
+    """Shared per-shot state of the streaming-shot protocol.
+
+    The plumbing every shot kind needs — the physical error row, the
+    previous raw syndrome, the pending correction compensation (views
+    into a shared :class:`StreamingBlock` when batched, private arrays
+    otherwise), the noise substream and its python-float rate table,
+    and the round counter.  Concrete shots (:class:`OnlineShot` here,
+    ``WindowShot`` in :mod:`repro.service.session`) add their decode
+    state and implement ``step()``, ``finish_pair()`` and
+    ``finalize()``.
+    """
+
+    __slots__ = (
+        "lattice", "noise", "n_rounds", "rng",
+        "error", "prev_raw", "compensation", "k", "outcome",
+        "block", "row", "_rates",
+    )
+
+    def __init__(
+        self,
+        lattice: PlanarLattice,
+        noise: NoiseModel,
+        n_rounds: int,
+        rng: np.random.Generator | int | None,
+        block: StreamingBlock | None,
+    ):
+        if n_rounds < 1:
+            raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
+        self.lattice = lattice
+        self.noise = noise
+        self.n_rounds = n_rounds
+        self.rng = make_rng(rng)
+        # State rows: views into a shared StreamingBlock when batched
+        # (row released by the owner at retirement), private arrays
+        # otherwise — identical semantics either way.
+        self.block = block
+        if block is None:
+            self.row = -1
+            self.error = np.zeros(lattice.n_data, dtype=np.uint8)
+            self.prev_raw = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+            self.compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
+        else:
+            self.row = block.alloc()
+            self.rebind()
+        self.k = 0
+        self.outcome = None
+        # Python-float rate table: one tuple per round, so the per-round
+        # batch loop never touches numpy scalars.
+        self._rates = [
+            (float(p_t), float(q_t))
+            for p_t, q_t in zip(
+                noise.data_schedule(n_rounds), noise.meas_schedule(n_rounds)
+            )
+        ]
+
+    def rebind(self) -> None:
+        """Refresh the block-row views (after ``StreamingBlock.grow``)."""
+        self.error = self.block.errors[self.row]
+        self.prev_raw = self.block.prev[self.row]
+        self.compensation = self.block.comp[self.row]
+
+    def rates(self) -> tuple[float, float]:
+        """This round's (data, measurement) flip rates — exactly what
+        ``noise.sample_round(..., t=k, n_rounds=n_rounds)`` would use."""
+        return self._rates[self.k]
+
+
+class OnlineShot(StreamingShotState):
+    """Streaming state of one online decode, advanced round by round.
+
+    The session-granular unit under both :func:`run_online_chunk` and
+    the decode service's micro-batching scheduler
+    (:mod:`repro.service.scheduler`): everything one trial owns — the
+    engine, its resumable Controller generator, the physical error
+    state, the previous raw syndrome, the pending correction
+    compensation, the wall clock and the noise substream — bundled so
+    shots can be **added to or removed from a running batch between
+    rounds**.  :func:`advance_streaming_round` advances any set of
+    same-lattice shots one round in lock-step; a shot fed one round at
+    a time evolves bit-identically to :func:`run_online_trial` on the
+    same seed, whatever other shots share its batches.
+    """
+
+    __slots__ = (
+        "config", "engine", "wall",
+        "_budget", "_unconstrained", "_gen", "_at_idle", "_consumed",
+    )
+
+    kind = "online"
+
+    def __init__(
+        self,
+        lattice: PlanarLattice,
+        noise: NoiseModel,
+        n_rounds: int,
+        config: OnlineConfig,
+        rng: np.random.Generator | int | None,
+        engine: QecoolEngine | None = None,
+        block: StreamingBlock | None = None,
+    ):
+        super().__init__(lattice, noise, n_rounds, rng, block)
+        self.config = config
+        # ``engine`` lets the service recycle a pooled (reset) engine of
+        # the same (lattice, thv, reg_size) shape instead of allocating.
+        self.engine = (
+            QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
+            if engine is None
+            else engine
+        )
+        self._budget = config.cycles_per_interval
+        self._unconstrained = math.isinf(self._budget)
+        # A finite clock needs run()'s resumable cycle stream (decodes
+        # freeze mid-sweep at the interval boundary); without a deadline
+        # the engine advances synchronously via run_to_idle().
+        self._gen = None if self._unconstrained else self.engine.run(drain=False)
+        self._at_idle = True
+        self.wall = 0.0
+        self._consumed = 0
+
+    def step(
+        self, events_row: np.ndarray, empty: bool
+    ) -> tuple[str, np.ndarray | None]:
+        """Consume round ``k``'s detection events; decode under the clock.
+
+        ``events_row`` is the round's detection-event layer, already
+        XOR-folded against ``prev_raw``/``compensation`` by the caller
+        (:func:`advance_streaming_round`, which also batch-updates
+        those rows; ``empty`` flags an all-zero layer).  Returns
+        ``(status, correction)`` with status ``"running"``/``"done"``/
+        ``"overflow"``; a non-None correction has been applied to
+        ``error`` and still needs its compensation syndrome (batched by
+        the caller into ``compensation``).
+        """
+        final = self.k == self.n_rounds
+        engine = self.engine
+        # Empty layer into an IDLE-parked engine: the simulated path is
+        # a fixed state delta in two common streaming cases — an empty
+        # engine (immediate pop, no sinks: idle_layer_fast) and events
+        # still waiting on the thv look-ahead with no newly-exposed
+        # sink (try_push_empty_idle).  Both are bit-identical to the
+        # generator path and never touch it.
+        if empty and not final and self._at_idle:
+            if not engine._live and not engine.m:
+                cost = engine.idle_layer_fast()
+                if not self._unconstrained:
+                    self.wall = max(self.wall, self.k * self._budget) + cost
+                self.k += 1
+                return "running", None
+            absorbed = engine.try_push_empty_idle()
+            if absorbed:
+                if not self._unconstrained:
+                    self.wall = max(self.wall, self.k * self._budget)
+                self.k += 1
+                return "running", None
+            if absorbed is False:
+                self.outcome = OnlineOutcome(
+                    failed=True,
+                    overflow=True,
+                    layer_cycles=list(engine.layer_cycles),
+                    matches=list(engine.matches),
+                    n_rounds=self.k,
+                )
+                return "overflow", None
+        if not engine.push_layer(events_row):
+            self.outcome = OnlineOutcome(
+                failed=True,
+                overflow=True,
+                layer_cycles=list(engine.layer_cycles),
+                matches=list(engine.matches),
+                n_rounds=self.k,
+            )
+            return "overflow", None
+        if self._unconstrained:
+            deadline = math.inf
+        else:
+            self.wall = max(self.wall, self.k * self._budget)
+            deadline = (self.k + 1) * self._budget
+        if final:
+            engine.begin_drain()
+            deadline = math.inf
+        if self._unconstrained:
+            engine.run_to_idle()
+        else:
+            wall = self.wall
+            at_idle = True  # generator exhaustion (drain) parks clean too
+            for chunk in self._gen:
+                if chunk == IDLE:
+                    break
+                wall += chunk
+                if wall >= deadline:
+                    at_idle = False
+                    break
+            self.wall = wall
+            self._at_idle = at_idle
+        self.k += 1
+        new_matches = engine.matches[self._consumed :]
+        self._consumed = len(engine.matches)
+        correction = None
+        if new_matches:
+            correction = correction_from_matches(self.lattice, new_matches)
+            self.error ^= correction
+        return ("done" if final else "running"), correction
+
+    def finish_pair(self) -> tuple[np.ndarray, np.ndarray | None]:
+        """(final error, correction) for the batched logical-failure
+        check; ``None`` means the all-zero correction (online shots
+        apply corrections physically as they stream)."""
+        return self.error, None
+
+    def finalize(self, failed: bool) -> None:
+        """Record the end-of-trial outcome after the failure check."""
+        engine = self.engine
+        self.outcome = OnlineOutcome(
+            failed=bool(failed),
+            overflow=False,
+            layer_cycles=list(engine.layer_cycles),
+            matches=list(engine.matches),
+            n_rounds=self.n_rounds,
+        )
+
+
+def advance_streaming_round(
+    lattice: PlanarLattice,
+    shots: Sequence["OnlineShot"],
+    block: StreamingBlock | None = None,
+) -> tuple[list, list]:
+    """Advance every shot one measurement round, batched across shots.
+
+    The micro-batching kernel: per-round noise sampling (each shot's
+    own substream and schedule — shots may sit at *different* round
+    indices, carry different noise models, clocks and round budgets),
+    syndrome extraction, detection-event folding and
+    correction-compensation syndromes each run as one vectorized pass
+    over the batch; only the engine advance is per shot.  Membership is
+    free to change between calls — that is what the decode service's
+    scheduler does — and every shot's evolution is bit-identical to
+    running it alone (``tests/test_online.py``,
+    ``tests/test_service.py``).
+
+    ``shots`` may mix any objects implementing the streaming-shot
+    protocol (see :class:`OnlineShot`) on the same lattice.  When every
+    shot's state rows live in ``block`` (a shared
+    :class:`StreamingBlock`), pass it so the per-round state traffic
+    runs as whole-batch gathers/scatters instead of per-shot row
+    copies.  Returns ``(running, finished)``, each preserving input
+    order; finished shots have ``outcome`` set.
+    """
+    n = len(shots)
+    if not n:
+        return [], []
+    noisy = [i for i, s in enumerate(shots) if s.k < s.n_rounds]
+    if noisy:
+        nn = len(noisy)
+        n_data = lattice.n_data
+        # One contiguous uniform block per shot: filling the joined row
+        # draws the exact same stream as the data block followed by the
+        # measurement block (numpy fills sequentially), which is the
+        # sample_round layout.
+        uniforms = np.empty((nn, n_data + lattice.n_ancillas))
+        rates = []
+        for j, i in enumerate(noisy):
+            shot = shots[i]
+            shot.rng.random(out=uniforms[j])
+            rates.append(shot.rates())
+        pq = np.asarray(rates)
+        data_flips = (uniforms[:, :n_data] < pq[:, 0:1]).view(np.uint8)
+        meas_flips = (uniforms[:, n_data:] < pq[:, 1:2]).view(np.uint8)
+    if block is not None:
+        # Slab path: one fancy-index gather/scatter per array.
+        rows = np.fromiter((s.row for s in shots), np.intp, n)
+        if rows.min() < 0:
+            # A block-less shot carries row == -1, which would silently
+            # alias the slab's last row and corrupt a co-tenant.
+            raise ValueError("every shot must hold a row in the passed block")
+        errors = block.errors[rows]
+        if noisy:
+            errors[noisy] ^= data_flips
+            block.errors[rows] = errors
+        raws = lattice.syndrome_of_batch(errors)
+        if noisy:
+            raws[noisy] ^= meas_flips
+        events = raws ^ block.prev[rows] ^ block.comp[rows]
+        block.prev[rows] = raws
+        block.comp[rows] = 0
+    else:
+        if noisy:
+            for j, i in enumerate(noisy):
+                shot = shots[i]
+                np.bitwise_xor(shot.error, data_flips[j], out=shot.error)
+        errors = np.empty((n, lattice.n_data), dtype=np.uint8)
+        prev = np.empty((n, lattice.n_ancillas), dtype=np.uint8)
+        comp = np.empty((n, lattice.n_ancillas), dtype=np.uint8)
+        for i, shot in enumerate(shots):
+            errors[i] = shot.error
+            prev[i] = shot.prev_raw
+            comp[i] = shot.compensation
+        raws = lattice.syndrome_of_batch(errors)
+        if noisy:
+            raws[noisy] ^= meas_flips
+        events = raws ^ prev ^ comp
+        for i, shot in enumerate(shots):
+            shot.prev_raw[:] = raws[i]
+            shot.compensation.fill(0)
+    nonempty = events.any(axis=1)
+
+    running: list = []
+    done: list = []
+    finished: list = []
+    corrected: list = []
+    corrections: list[np.ndarray] = []
+    for i, shot in enumerate(shots):
+        status, correction = shot.step(events[i], not nonempty[i])
+        if status == "overflow":
+            finished.append(shot)
+            continue
+        if status == "running":
+            if correction is not None:
+                corrected.append(shot)
+                corrections.append(correction)
+            running.append(shot)
+        else:
+            done.append(shot)
+    if corrections:
+        comp_rows = lattice.syndrome_of_batch(np.stack(corrections))
+        for shot, row in zip(corrected, comp_rows):
+            shot.compensation[:] = row
+    if done:
+        final_errors = np.empty((len(done), lattice.n_data), dtype=np.uint8)
+        final_corrections = np.zeros((len(done), lattice.n_data), dtype=np.uint8)
+        for j, shot in enumerate(done):
+            error, correction = shot.finish_pair()
+            final_errors[j] = error
+            if correction is not None:
+                final_corrections[j] = correction
+        fails = logical_failures_batch(lattice, final_errors, final_corrections)
+        for shot, fail in zip(done, fails):
+            shot.finalize(bool(fail))
+        finished.extend(done)
+    return running, finished
+
+
 def run_online_chunk(
     lattice: PlanarLattice,
     p: float | NoiseModel,
@@ -204,112 +613,24 @@ def run_online_chunk(
 
     **Bit-identical** to calling :func:`run_online_trial` once per
     generator in ``rngs`` (covered by ``tests/test_online.py``): each
-    shot keeps its own engine, wall clock and noise substream, but the
-    per-round heavy lifting — noise sampling, syndrome extraction and
-    correction-compensation syndromes — runs as one vectorized pass
-    over the still-active shots, reusing the lattice geometry tables
-    and a preallocated state block across the whole chunk.  Shots drop
-    out of the batch when their Reg overflows, exactly where their
-    per-shot trial would return.
+    shot keeps its own engine, wall clock and noise substream
+    (:class:`OnlineShot`), but the per-round heavy lifting — noise
+    sampling, syndrome extraction, event folding and
+    correction-compensation syndromes — runs as one vectorized
+    :func:`advance_streaming_round` pass over the still-active shots.
+    Shots drop out of the batch when their Reg overflows, exactly where
+    their per-shot trial would return.
     """
     if n_rounds < 1:
         raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
     noise = _resolve_trial_noise(p, q)
     rngs = list(rngs)
-    n_shots = len(rngs)
-    engines = [
-        QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
-        for _ in range(n_shots)
+    block = StreamingBlock(lattice, capacity=max(1, len(rngs)))
+    shots = [
+        OnlineShot(lattice, noise, n_rounds, config, rng, block=block)
+        for rng in rngs
     ]
-    budget = config.cycles_per_interval
-    unconstrained = math.isinf(budget)
-    # No deadline -> every between-rounds decode runs to IDLE, so the
-    # engines advance synchronously; a finite clock needs the resumable
-    # generators (decodes freeze mid-sweep at the interval boundary).
-    gens = None if unconstrained else [engine.run(drain=False) for engine in engines]
-
-    # Chunk-wide state blocks (shot-major), allocated once.
-    errors = np.zeros((n_shots, lattice.n_data), dtype=np.uint8)
-    prev_raw = np.zeros((n_shots, lattice.n_ancillas), dtype=np.uint8)
-    compensation = np.zeros((n_shots, lattice.n_ancillas), dtype=np.uint8)
-    walls = [0.0] * n_shots
-    consumed = [0] * n_shots
-    outcomes: list[OnlineOutcome | None] = [None] * n_shots
-    active = list(range(n_shots))
-
-    for k in range(n_rounds + 1):
-        final_round = k == n_rounds
-        if final_round:
-            raws = lattice.syndrome_of_batch(errors[active])
-        else:
-            data_flips, meas_flips = noise.sample_round_batch(
-                lattice, [rngs[i] for i in active], t=k, n_rounds=n_rounds
-            )
-            errors[active] ^= data_flips
-            raws = lattice.syndrome_of_batch(errors[active]) ^ meas_flips
-        still_active: list[int] = []
-        corrected: list[int] = []
-        corrections: list[np.ndarray] = []
-        for j, i in enumerate(active):
-            events_row = raws[j] ^ prev_raw[i] ^ compensation[i]
-            prev_raw[i] = raws[j]
-            compensation[i].fill(0)
-            engine = engines[i]
-            if not engine.push_layer(events_row):
-                outcomes[i] = OnlineOutcome(
-                    failed=True,
-                    overflow=True,
-                    layer_cycles=list(engine.layer_cycles),
-                    matches=list(engine.matches),
-                    n_rounds=k,
-                )
-                continue
-            if unconstrained:
-                deadline = math.inf
-            else:
-                walls[i] = max(walls[i], k * budget)
-                deadline = (k + 1) * budget
-            if final_round:
-                engine.begin_drain()
-                deadline = math.inf
-            if unconstrained:
-                engine.run_to_idle()
-            else:
-                wall = walls[i]
-                for chunk in gens[i]:
-                    if chunk == IDLE:
-                        break
-                    wall += chunk
-                    if wall >= deadline:
-                        break
-                walls[i] = wall
-            new_matches = engine.matches[consumed[i] :]
-            consumed[i] = len(engine.matches)
-            if new_matches:
-                window_correction = correction_from_matches(lattice, new_matches)
-                errors[i] ^= window_correction
-                corrected.append(i)
-                corrections.append(window_correction)
-            still_active.append(i)
-        if corrections:
-            compensation[corrected] = lattice.syndrome_of_batch(
-                np.stack(corrections)
-            )
-        active = still_active
-
-    if active:
-        fails = logical_failures_batch(
-            lattice,
-            errors[active],
-            np.zeros((len(active), lattice.n_data), dtype=np.uint8),
-        )
-        for j, i in enumerate(active):
-            engine = engines[i]
-            outcomes[i] = OnlineOutcome(
-                failed=bool(fails[j]),
-                overflow=False,
-                layer_cycles=list(engine.layer_cycles),
-                matches=list(engine.matches),
-                n_rounds=n_rounds,
-            )
-    return outcomes  # type: ignore[return-value]
+    active: list = list(shots)
+    for _ in range(n_rounds + 1):
+        active, _ = advance_streaming_round(lattice, active, block=block)
+    return [shot.outcome for shot in shots]  # type: ignore[misc]

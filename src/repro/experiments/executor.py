@@ -35,6 +35,7 @@ where an adaptive run may stop, never the per-shot streams.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import json
 import math
@@ -295,15 +296,32 @@ def _execute_chunk(task: ShotTask, chunk: ShotChunk) -> ChunkStats:
 # on spawn-start platforms).  Keyed by worker count: a sweep uses one
 # ``jobs`` value, so in practice one pool lives for the whole run.
 _shared_pool: tuple[int, ProcessPoolExecutor] | None = None
+_atexit_registered = False
+
+
+def _shutdown_shared_pool() -> None:
+    """Tear the module-global pool down at interpreter exit.
+
+    Registered (once, on first pool creation) so an interrupted run —
+    Ctrl-C mid-sweep, a crashed experiment script — does not leak live
+    worker processes past the parent's lifetime.
+    """
+    global _shared_pool
+    if _shared_pool is not None:
+        _shared_pool[1].shutdown(wait=False, cancel_futures=True)
+        _shared_pool = None
 
 
 def _get_pool(workers: int) -> ProcessPoolExecutor:
-    global _shared_pool
+    global _shared_pool, _atexit_registered
     if _shared_pool is not None and _shared_pool[0] != workers:
         _shared_pool[1].shutdown(wait=False, cancel_futures=True)
         _shared_pool = None
     if _shared_pool is None:
         _shared_pool = (workers, ProcessPoolExecutor(max_workers=workers))
+        if not _atexit_registered:
+            atexit.register(_shutdown_shared_pool)
+            _atexit_registered = True
     return _shared_pool[1]
 
 

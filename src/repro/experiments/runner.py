@@ -6,6 +6,7 @@ Usage::
     python -m repro.experiments.runner --experiment fig4a --shots 1000 --jobs 4
     python -m repro.experiments.runner --experiment table4 --adaptive
     python -m repro.experiments.runner --experiment table3
+    python -m repro.experiments.runner serve --port 7421   # decode service
 
 ``--shots`` trades fidelity for runtime; benchmarks use small budgets,
 ``examples/threshold_study.py`` documents publication-scale runs.
@@ -183,7 +184,19 @@ def run_experiment(
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Besides the experiment flags below, ``repro-runner serve [...]``
+    starts the streaming decode service's TCP front end (see
+    :mod:`repro.service.server` for its flags) — kept as a subcommand
+    so the experiment CLI's flag surface stays unchanged.
+    """
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "serve":
+        from repro.service.server import main as serve_main
+
+        return serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter,
     )

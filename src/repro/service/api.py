@@ -1,0 +1,167 @@
+"""In-process async API over the micro-batching scheduler.
+
+:class:`DecodeService` runs the scheduler as a background asyncio task:
+``await service.submit(spec)`` queues a session and resolves with its
+:class:`~repro.service.session.SessionResult` when the scheduler
+retires it.  Between micro-batch steps the pump yields to the event
+loop, so submissions arriving while a batch is in flight (from other
+coroutines, or from TCP connections in :mod:`repro.service.server`)
+are admitted at the next between-rounds boundary — cross-session
+micro-batching over live traffic.
+
+The scheduler step itself is synchronous CPU work on the loop thread:
+this service scales by *batching* concurrent sessions, not by threading
+the decode.  Use::
+
+    async with DecodeService() as service:
+        result = await service.submit(SessionSpec(d=9, p=0.001, seed=7))
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service.scheduler import MicroBatchScheduler, SchedulerConfig
+from repro.service.session import SessionResult, SessionSpec
+
+__all__ = ["DecodeService"]
+
+
+class DecodeService:
+    """Async facade: submit sessions, await results.
+
+    ``Backpressure`` from the scheduler propagates out of
+    :meth:`submit` unchanged — transports decide how to shed.
+    """
+
+    def __init__(
+        self,
+        scheduler: MicroBatchScheduler | None = None,
+        config: SchedulerConfig | None = None,
+    ):
+        if scheduler is not None and config is not None:
+            raise ValueError("pass a scheduler or a config, not both")
+        self.scheduler = scheduler or MicroBatchScheduler(config)
+        self._waiters: dict[int, asyncio.Future] = {}
+        self._wake: asyncio.Event | None = None
+        self._pump_task: asyncio.Task | None = None
+        self._closed = False
+        self._abort = False
+        self._failure: BaseException | None = None
+
+    async def start(self) -> "DecodeService":
+        """Start the background pump (idempotent)."""
+        if self._pump_task is None:
+            self._wake = asyncio.Event()
+            self._pump_task = asyncio.create_task(
+                self._pump(), name="decode-service-pump"
+            )
+        return self
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the pump.
+
+        With ``drain`` (default) queued and active sessions finish
+        first; with ``drain=False`` the pump stops at the next round
+        boundary and every unresolved waiter gets a ``RuntimeError`` —
+        the abort path for teardown under an exception.
+        """
+        if self._pump_task is None:
+            return
+        self._closed = True
+        if drain:
+            # A dead pump (step exception) can never reduce pending —
+            # don't spin on it.
+            while self.scheduler.pending and not self._pump_task.done():
+                self._wake.set()
+                await asyncio.sleep(0)
+        else:
+            self._abort = True
+        self._wake.set()
+        await self._pump_task
+        self._pump_task = None
+        for future in self._waiters.values():
+            if not future.done():
+                future.set_exception(RuntimeError("decode service closed"))
+        self._waiters.clear()
+
+    async def __aenter__(self) -> "DecodeService":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close(drain=not any(exc))
+
+    async def submit(self, spec: SessionSpec) -> SessionResult:
+        """Queue one session and await its result.
+
+        Raises :class:`~repro.service.scheduler.Backpressure` when the
+        admission queue is full and ``ValueError`` on a bad spec.
+        """
+        if self._pump_task is None:
+            raise RuntimeError("service not started (use 'async with' or start())")
+        if self._failure is not None:
+            raise RuntimeError(
+                f"decode service failed: {self._failure!r}"
+            ) from self._failure
+        if self._closed:
+            raise RuntimeError("decode service closed")
+        session = self.scheduler.submit(spec)  # may raise Backpressure
+        future = asyncio.get_running_loop().create_future()
+        self._waiters[session.id] = future
+        self._wake.set()
+        return await future
+
+    def metrics(self) -> dict:
+        """Live metrics snapshot (see :class:`ServiceMetrics`)."""
+        return self.scheduler.metrics.snapshot()
+
+    async def _pump(self) -> None:
+        while True:
+            if self._abort:
+                return
+            if self.scheduler.pending == 0:
+                if self._closed:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            # Admission coalescing: before each step, yield event-loop
+            # slices (bounded) until submissions quiesce, so a
+            # pipelined burst — e.g. a TCP reader spawning one decode
+            # task per buffered line — lands in *one* admission wave
+            # instead of trickling one session per micro-batch round.
+            # A submission takes a few slices to travel reader ->
+            # decode task -> submit, hence the no-progress grace.
+            last_submitted = self.scheduler.metrics.submitted
+            quiet = 0
+            for _ in range(256):
+                await asyncio.sleep(0)
+                submitted = self.scheduler.metrics.submitted
+                if submitted == last_submitted:
+                    quiet += 1
+                    if quiet >= 4:
+                        break
+                else:
+                    quiet = 0
+                    last_submitted = submitted
+            try:
+                finished = self.scheduler.step()
+            except Exception as exc:
+                # Containment: a step exception (bad session state, a
+                # bug) must not silently kill the pump and hang every
+                # co-tenant waiter.  Fail all waiters, mark the service
+                # failed (subsequent submits raise, close() returns)
+                # and stop.
+                self._failure = exc
+                self._closed = True
+                for future in self._waiters.values():
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError(f"decode service failed: {exc!r}")
+                        )
+                self._waiters.clear()
+                return
+            for session in finished:
+                future = self._waiters.pop(session.id, None)
+                if future is not None and not future.done():
+                    future.set_result(session.result)

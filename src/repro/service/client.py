@@ -1,0 +1,139 @@
+"""Blocking JSON-lines TCP client for the decode service.
+
+The counterpart of :mod:`repro.service.server` for scripts, benchmarks
+and CI: a plain-socket client that can pipeline many decode requests on
+one connection (the server responds in completion order; responses are
+matched back by request id)::
+
+    from repro.service.client import ServiceClient
+    from repro.service.session import SessionSpec
+
+    with ServiceClient(port=7421) as client:
+        result = client.decode(SessionSpec(d=9, p=0.001, seed=7))
+        results = client.decode_many(
+            [SessionSpec(d=9, p=0.001, seed=s) for s in range(64)]
+        )
+        print(client.metrics()["throughput_sessions_per_s"])
+        client.shutdown()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.service.session import SessionSpec
+
+__all__ = ["ServiceClient", "ServiceError"]
+
+
+class ServiceError(RuntimeError):
+    """A response with ``ok: false`` (e.g. backpressure, bad spec)."""
+
+    def __init__(self, error: str, detail: str = ""):
+        super().__init__(f"{error}: {detail}" if detail else error)
+        self.error = error
+        self.detail = detail
+
+
+class ServiceClient:
+    """One TCP connection to a running decode service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7421, timeout: float = 120.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Wire helpers
+    # ------------------------------------------------------------------
+    def _send(self, payload: dict) -> int:
+        request_id = self._next_id
+        self._next_id += 1
+        payload = {"id": request_id, **payload}
+        self._file.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
+        self._file.flush()
+        return request_id
+
+    def _read(self) -> dict:
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def _request(self, payload: dict) -> dict:
+        """Send one request and wait for *its* response (no pipelining)."""
+        request_id = self._send(payload)
+        while True:
+            response = self._read()
+            if response.get("id") == request_id:
+                if not response.get("ok"):
+                    raise ServiceError(
+                        response.get("error", "unknown"), response.get("detail", "")
+                    )
+                return response
+            raise ServiceError(
+                "protocol", f"unexpected response id {response.get('id')}"
+            )
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def decode(self, spec: SessionSpec | dict) -> dict:
+        """Decode one session; returns the result payload."""
+        payload = spec.to_payload() if isinstance(spec, SessionSpec) else dict(spec)
+        return self._request({"op": "decode", "spec": payload})["result"]
+
+    def decode_many(self, specs) -> list[dict]:
+        """Pipeline many decodes on this connection.
+
+        All requests are written up front, so the sessions share the
+        service's micro-batches; responses (which arrive in completion
+        order) are returned in request order.  A rejected or invalid
+        session raises :class:`ServiceError` after all responses are in.
+        """
+        ids = [
+            self._send({
+                "op": "decode",
+                "spec": s.to_payload() if isinstance(s, SessionSpec) else dict(s),
+            })
+            for s in specs
+        ]
+        by_id: dict[int, dict] = {}
+        while len(by_id) < len(ids):
+            response = self._read()
+            by_id[response.get("id")] = response
+        results = []
+        for request_id in ids:
+            response = by_id[request_id]
+            if not response.get("ok"):
+                raise ServiceError(
+                    response.get("error", "unknown"), response.get("detail", "")
+                )
+            results.append(response["result"])
+        return results
+
+    def metrics(self) -> dict:
+        """The service's live metrics snapshot."""
+        return self._request({"op": "metrics"})["metrics"]
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self._request({"op": "ping"}).get("pong"))
+
+    def shutdown(self) -> None:
+        """Ask the server to drain and exit."""
+        self._request({"op": "shutdown"})
+
+    def close(self) -> None:
+        """Close the connection (idempotent)."""
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

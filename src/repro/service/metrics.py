@@ -1,0 +1,174 @@
+"""Service metrics: latency percentiles, throughput, drops, queue depth.
+
+The scheduler feeds two streams: one :meth:`ServiceMetrics.record_step`
+per micro-batch advance (step duration + how many sessions moved one
+round — each active session experiences the whole step as its round
+latency) and one :meth:`ServiceMetrics.record_finish` per retired
+session.  Counters are exact; time-series samples go through a
+stride decimator so month-long services keep bounded, uniformly-thinned
+histories without randomness (snapshots stay reproducible in tests).
+
+``snapshot()`` returns the JSON-safe form persisted through
+:func:`repro.experiments.results.save_service_metrics` and served by
+the TCP front end's ``metrics`` op.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+__all__ = ["ServiceMetrics"]
+
+
+class _Decimated:
+    """Append-only sample series with deterministic stride thinning.
+
+    Keeps at most ``cap`` samples: when full, every other stored sample
+    is dropped and the acceptance stride doubles, so the series stays a
+    uniform 1-in-``stride`` systematic sample of the stream (weights
+    are the stride at admission time).
+    """
+
+    def __init__(self, cap: int = 4096):
+        if cap < 2:
+            raise ValueError(f"cap must be >= 2, got {cap}")
+        self.cap = cap
+        self.stride = 1
+        self._phase = 0
+        self.samples: list[float] = []
+        self.weights: list[float] = []
+        self.n_seen = 0
+
+    def add(self, value: float, weight: float = 1.0) -> None:
+        self.n_seen += 1
+        self._phase += 1
+        if self._phase < self.stride:
+            return
+        self._phase = 0
+        self.samples.append(float(value))
+        self.weights.append(float(weight) * self.stride)
+        if len(self.samples) >= self.cap:
+            # Each survivor stands in for a dropped neighbour too.
+            self.samples = self.samples[1::2]
+            self.weights = [w * 2 for w in self.weights[1::2]]
+            self.stride *= 2
+
+    def percentiles(self, qs: tuple[float, ...]) -> list[float]:
+        """Weighted percentiles of the retained samples (NaN if empty)."""
+        if not self.samples:
+            return [float("nan")] * len(qs)
+        values = np.asarray(self.samples)
+        weights = np.asarray(self.weights)
+        order = np.argsort(values)
+        values = values[order]
+        cum = np.cumsum(weights[order])
+        targets = cum[-1] * np.asarray(qs) / 100.0
+        # side="right": the smallest sample whose cumulative weight
+        # strictly exceeds the target — the q-tail convention (a 99th
+        # percentile above 99% of the mass).
+        idx = np.searchsorted(cum, targets, side="right").clip(0, len(values) - 1)
+        return [float(v) for v in values[idx]]
+
+    def mean(self) -> float:
+        if not self.samples:
+            return float("nan")
+        values = np.asarray(self.samples)
+        weights = np.asarray(self.weights)
+        return float((values * weights).sum() / weights.sum())
+
+
+class ServiceMetrics:
+    """Counters and bounded time series for one scheduler."""
+
+    def __init__(self, clock=time.monotonic, cap: int = 4096):
+        self._clock = clock
+        self.started_at = clock()
+        # Exact counters.
+        self.submitted = 0
+        self.rejected = 0
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.overflowed = 0
+        self.steps = 0
+        self.rounds_advanced = 0
+        # Bounded series.
+        self.round_latency_s = _Decimated(cap)   # weighted by batch size
+        self.step_batch_sessions = _Decimated(cap)
+        self.queue_depth = _Decimated(cap)
+        self.active_sessions = _Decimated(cap)
+        self.wait_s = _Decimated(cap)
+        self.service_s = _Decimated(cap)
+
+    # ------------------------------------------------------------------
+    # Scheduler hooks
+    # ------------------------------------------------------------------
+    def record_submit(self) -> None:
+        self.submitted += 1
+
+    def record_reject(self) -> None:
+        self.rejected += 1
+
+    def record_admit(self) -> None:
+        self.admitted += 1
+
+    def record_step(
+        self, duration_s: float, n_sessions: int, queue_depth: int, n_active: int
+    ) -> None:
+        """One micro-batch advance: every session in it waited the whole
+        step for its round, so the step duration enters the round-latency
+        population once per session (sample weight = batch size)."""
+        self.steps += 1
+        self.rounds_advanced += n_sessions
+        if n_sessions:
+            self.round_latency_s.add(duration_s, weight=n_sessions)
+        self.step_batch_sessions.add(n_sessions)
+        self.queue_depth.add(queue_depth)
+        self.active_sessions.add(n_active)
+
+    def record_finish(self, result) -> None:
+        """One retired session (a :class:`~repro.service.session.SessionResult`)."""
+        self.completed += 1
+        if result.failed:
+            self.failed += 1
+        if result.overflow:
+            self.overflowed += 1
+        self.wait_s.add(result.wait_s)
+        self.service_s.add(result.service_s)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-safe summary of everything above.
+
+        Empty series report ``None`` (never NaN, which strict JSON
+        encoders reject).
+        """
+        num = lambda x: None if x != x else x  # NaN -> None
+        elapsed = max(self._clock() - self.started_at, 1e-12)
+        lat50, lat90, lat99 = (
+            num(v) for v in self.round_latency_s.percentiles((50.0, 90.0, 99.0))
+        )
+        return {
+            "elapsed_s": elapsed,
+            "submitted": self.submitted,
+            "rejected": self.rejected,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "overflowed": self.overflowed,
+            "steps": self.steps,
+            "rounds_advanced": self.rounds_advanced,
+            "throughput_sessions_per_s": self.completed / elapsed,
+            "throughput_rounds_per_s": self.rounds_advanced / elapsed,
+            "drop_rate": self.rejected / self.submitted if self.submitted else 0.0,
+            "round_latency_s": {"p50": lat50, "p90": lat90, "p99": lat99},
+            "mean_batch_sessions": num(self.step_batch_sessions.mean()),
+            "mean_queue_depth": num(self.queue_depth.mean()),
+            "mean_active_sessions": num(self.active_sessions.mean()),
+            "mean_wait_s": num(self.wait_s.mean()),
+            "mean_service_s": num(self.service_s.mean()),
+        }

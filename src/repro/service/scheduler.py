@@ -1,0 +1,266 @@
+"""Cross-session micro-batching: lock-step advances over live traffic.
+
+:class:`MicroBatchScheduler` multiplexes any number of concurrent
+decode sessions onto the batched engine path: sessions of the same
+shape (lattice distance — see :attr:`SessionSpec.shape_key`) form a
+**micro-batch group** advanced one measurement round per
+:meth:`~MicroBatchScheduler.step` through
+:func:`repro.core.online.advance_streaming_round`, with admissions and
+retirements happening **between rounds** — the capability PR 3's
+fixed-membership chunk kernel lacked.  Each session keeps its own
+engine, wall clock, noise substream and state-slab row, so its decode
+is bit-identical to running alone whatever traffic shares its batches.
+
+Capacity control:
+
+- ``max_active`` bounds concurrently-decoding sessions; excess
+  submissions wait in a FIFO admission queue,
+- ``max_queue`` bounds that queue; beyond it :meth:`submit` raises
+  :class:`Backpressure` (the transport layer reports the drop to the
+  client, the metrics core counts it),
+- a session whose Reg overflows retires immediately with the paper's
+  overflow-failure semantics, freeing its capacity slot mid-stream.
+
+Engines are pooled per ``(d, thv, reg_size)`` and recycled through
+:meth:`QecoolEngine.reset` on retirement; state rows live in one
+:class:`~repro.core.online.StreamingBlock` slab per group.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass
+
+from repro.core.engine import QecoolEngine
+from repro.core.online import OnlineShot, StreamingBlock, advance_streaming_round
+from repro.core.window import SlidingWindowDecoder
+from repro.experiments.montecarlo import resolve_noise
+from repro.service.metrics import ServiceMetrics
+from repro.service.session import (
+    DecodeSession,
+    SessionResult,
+    SessionSpec,
+    SessionState,
+    WindowShot,
+)
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["Backpressure", "MicroBatchScheduler", "SchedulerConfig"]
+
+
+class Backpressure(RuntimeError):
+    """Raised by :meth:`MicroBatchScheduler.submit` when the admission
+    queue is full; the caller should shed or retry the session."""
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Capacity envelope of one scheduler."""
+
+    max_active: int = 256
+    max_queue: int = 1024
+    engine_pool_per_shape: int = 256
+
+    def __post_init__(self) -> None:
+        if self.max_active < 1:
+            raise ValueError(f"max_active must be >= 1, got {self.max_active}")
+        if self.max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
+        if self.engine_pool_per_shape < 0:
+            raise ValueError(
+                f"engine_pool_per_shape must be >= 0, got {self.engine_pool_per_shape}"
+            )
+
+
+class _ShapeGroup:
+    """One micro-batch: the active sessions sharing a lattice."""
+
+    __slots__ = ("lattice", "block", "sessions")
+
+    def __init__(self, lattice: PlanarLattice):
+        self.lattice = lattice
+        self.block = StreamingBlock(lattice, capacity=64)
+        self.sessions: list[DecodeSession] = []
+
+
+class MicroBatchScheduler:
+    """Groups same-shape sessions and advances them in lock-step.
+
+    ``clock`` is injectable (tests pass a fake) and only feeds metrics
+    and session timestamps — never decode semantics, which are governed
+    by each session's own decoder-cycle wall clock.
+    """
+
+    def __init__(
+        self,
+        config: SchedulerConfig | None = None,
+        clock=time.monotonic,
+    ):
+        self.config = config or SchedulerConfig()
+        self._clock = clock
+        self.metrics = ServiceMetrics(clock=clock)
+        self._queue: deque[DecodeSession] = deque()
+        self._groups: dict[int, _ShapeGroup] = {}
+        self._lattices: dict[int, PlanarLattice] = {}
+        self._engine_pool: dict[tuple, list[QecoolEngine]] = {}
+        self._n_active = 0
+        self._next_id = 1
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_active(self) -> int:
+        """Sessions currently decoding (occupying capacity)."""
+        return self._n_active
+
+    @property
+    def n_queued(self) -> int:
+        """Sessions waiting for admission."""
+        return len(self._queue)
+
+    @property
+    def pending(self) -> int:
+        """Sessions not yet finished (queued + active)."""
+        return self._n_active + len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def submit(self, spec: SessionSpec) -> DecodeSession:
+        """Accept one session into the admission queue.
+
+        Validates the spec, then either queues it (FIFO) or — when the
+        queue is at ``max_queue`` — counts a drop and raises
+        :class:`Backpressure`.  Admission itself happens on the next
+        :meth:`step`, between micro-batch rounds.
+        """
+        spec.validate()
+        self.metrics.record_submit()
+        if len(self._queue) >= self.config.max_queue:
+            self.metrics.record_reject()
+            raise Backpressure(
+                f"admission queue full ({self.config.max_queue} sessions)"
+            )
+        session = DecodeSession(
+            id=self._next_id, spec=spec, submitted_at=self._clock()
+        )
+        self._next_id += 1
+        self._queue.append(session)
+        return session
+
+    def _lattice(self, d: int) -> PlanarLattice:
+        lattice = self._lattices.get(d)
+        if lattice is None:
+            lattice = self._lattices[d] = PlanarLattice(d)
+        return lattice
+
+    def _engine_for(self, spec: SessionSpec, lattice: PlanarLattice) -> QecoolEngine:
+        pool = self._engine_pool.get((spec.d, spec.thv, spec.reg_size))
+        if pool:
+            return pool.pop()
+        return QecoolEngine(lattice, thv=spec.thv, reg_size=spec.reg_size)
+
+    def _recycle_engine(self, spec: SessionSpec, engine: QecoolEngine) -> None:
+        key = (spec.d, spec.thv, spec.reg_size)
+        pool = self._engine_pool.setdefault(key, [])
+        if len(pool) < self.config.engine_pool_per_shape:
+            pool.append(engine.reset())
+
+    def _admit(self, session: DecodeSession) -> None:
+        spec = session.spec
+        lattice = self._lattice(spec.shape_key)
+        group = self._groups.get(spec.shape_key)
+        if group is None:
+            group = self._groups[spec.shape_key] = _ShapeGroup(lattice)
+        noise = resolve_noise(
+            spec.noise, "phenomenological", spec.p,
+            q=spec.q, noise_params=spec.noise_params,
+        )
+        block = group.block
+        capacity_before = block.capacity
+        if spec.mode == "online":
+            session.shot = OnlineShot(
+                lattice, noise, spec.rounds, spec.online_config(),
+                rng=spec.seed,
+                engine=self._engine_for(spec, lattice),
+                block=block,
+            )
+        else:
+            session.shot = WindowShot(
+                lattice, noise, spec.rounds,
+                SlidingWindowDecoder(window=spec.window, commit=spec.commit),
+                rng=spec.seed,
+                block=block,
+            )
+        if block.capacity != capacity_before:
+            # The alloc grew the slab: refresh every live view.
+            for other in group.sessions:
+                other.shot.rebind()
+        session.state = SessionState.ACTIVE
+        session.admitted_at = self._clock()
+        group.sessions.append(session)
+        self._n_active += 1
+        self.metrics.record_admit()
+
+    # ------------------------------------------------------------------
+    # The micro-batch advance
+    # ------------------------------------------------------------------
+    def step(self) -> list[DecodeSession]:
+        """One scheduler tick: admit, advance every group one round,
+        retire.  Returns the sessions finished during this tick."""
+        started = self._clock()
+        while self._queue and self._n_active < self.config.max_active:
+            self._admit(self._queue.popleft())
+        finished: list[DecodeSession] = []
+        advanced = 0
+        for group in self._groups.values():
+            sessions = group.sessions
+            if not sessions:
+                continue
+            advanced += len(sessions)
+            by_shot = {id(s.shot): s for s in sessions}
+            running, done = advance_streaming_round(
+                group.lattice, [s.shot for s in sessions], block=group.block
+            )
+            group.sessions = [by_shot[id(shot)] for shot in running]
+            for shot in done:
+                session = by_shot[id(shot)]
+                self._retire(session, group)
+                finished.append(session)
+        duration = self._clock() - started
+        self.metrics.record_step(
+            duration, advanced, len(self._queue), self._n_active
+        )
+        return finished
+
+    def _retire(self, session: DecodeSession, group: _ShapeGroup) -> None:
+        result = session.finish(self._clock())
+        shot = session.shot
+        group.block.release(shot.row)
+        if shot.kind == "online":
+            self._recycle_engine(session.spec, shot.engine)
+        session.shot = None  # drop engine/generator/slab references
+        self._n_active -= 1
+        self.metrics.record_finish(result)
+
+    def run_until_idle(self, max_steps: int | None = None) -> list[DecodeSession]:
+        """Step until no session is queued or active (or ``max_steps``).
+
+        The synchronous driver for tests, benchmarks and one-shot batch
+        use; the async service (:mod:`repro.service.api`) instead
+        interleaves steps with transport admissions.
+        """
+        finished: list[DecodeSession] = []
+        steps = 0
+        while self.pending:
+            if max_steps is not None and steps >= max_steps:
+                break
+            finished.extend(self.step())
+            steps += 1
+        return finished
+
+    def results_for(self, sessions) -> list[SessionResult]:
+        """Convenience: results of ``sessions`` in submission order."""
+        return [s.result for s in sessions]

@@ -1,0 +1,211 @@
+"""JSON-lines TCP front end for the decode service.
+
+Protocol: one JSON object per line, in both directions.  Requests carry
+an ``op`` (default ``decode``) and an optional client-chosen ``id``
+echoed back on the response, so clients may pipeline many decodes per
+connection and match responses as sessions retire (responses arrive in
+*completion* order, not request order):
+
+- ``{"op": "decode", "id": 1, "spec": {...}}`` ->
+  ``{"id": 1, "ok": true, "result": {...}}`` or
+  ``{"id": 1, "ok": false, "error": "backpressure", ...}``
+- ``{"op": "metrics"}`` -> ``{"ok": true, "metrics": {...}}``
+- ``{"op": "ping"}`` -> ``{"ok": true, "pong": true}``
+- ``{"op": "shutdown"}`` -> ``{"ok": true}`` and the server drains and
+  exits (used by the CI smoke driver for clean-shutdown checks).
+
+Run it as ``repro-runner serve --port 7421`` or
+``python -m repro.service.server``; drive it with
+:class:`repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+
+from repro.service.api import DecodeService
+from repro.service.scheduler import Backpressure, SchedulerConfig
+from repro.service.session import SessionSpec
+
+__all__ = ["main", "serve"]
+
+
+def _error(payload_id, error: str, **extra) -> dict:
+    return {"id": payload_id, "ok": False, "error": error, **extra}
+
+
+class _Connection:
+    """One client connection: a read loop plus write-serialised responses."""
+
+    def __init__(self, service: DecodeService, reader, writer, shutdown: asyncio.Event):
+        self.service = service
+        self.reader = reader
+        self.writer = writer
+        self.shutdown = shutdown
+        self.write_lock = asyncio.Lock()
+        self.decodes: set[asyncio.Task] = set()
+
+    async def send(self, payload: dict) -> None:
+        data = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        async with self.write_lock:
+            self.writer.write(data)
+            await self.writer.drain()
+
+    async def _decode(self, payload_id, spec_payload) -> None:
+        try:
+            spec = SessionSpec.from_payload(spec_payload)
+            result = await self.service.submit(spec)
+        except Backpressure as exc:
+            await self.send(_error(payload_id, "backpressure", detail=str(exc)))
+        except (TypeError, ValueError) as exc:
+            await self.send(_error(payload_id, "bad-spec", detail=str(exc)))
+        else:
+            await self.send(
+                {"id": payload_id, "ok": True, "result": result.to_payload()}
+            )
+
+    async def _readline_or_shutdown(self) -> bytes:
+        """Next request line, or ``b""`` once shutdown is signalled.
+
+        Racing the read against the shutdown event lets every handler
+        unwind *before* the event loop closes — a connection parked in
+        ``readline`` would otherwise be cancelled at teardown and spray
+        CancelledError tracebacks through the stream callbacks.
+        """
+        read = asyncio.ensure_future(self.reader.readline())
+        stop = asyncio.ensure_future(self.shutdown.wait())
+        done, pending = await asyncio.wait(
+            (read, stop), return_when=asyncio.FIRST_COMPLETED
+        )
+        for task in pending:
+            task.cancel()
+        if read in done:
+            return read.result()
+        return b""
+
+    async def run(self) -> None:
+        try:
+            while True:
+                line = await self._readline_or_shutdown()
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    await self.send(_error(None, "bad-json", detail=str(exc)))
+                    continue
+                payload_id = request.get("id")
+                op = request.get("op", "decode")
+                if op == "decode":
+                    # Spawn so the read loop keeps accepting pipelined
+                    # requests while this session decodes.
+                    task = asyncio.create_task(
+                        self._decode(payload_id, request.get("spec") or {})
+                    )
+                    self.decodes.add(task)
+                    task.add_done_callback(self.decodes.discard)
+                elif op == "metrics":
+                    await self.send(
+                        {"id": payload_id, "ok": True, "metrics": self.service.metrics()}
+                    )
+                elif op == "ping":
+                    await self.send({"id": payload_id, "ok": True, "pong": True})
+                elif op == "shutdown":
+                    await self.send({"id": payload_id, "ok": True})
+                    self.shutdown.set()
+                else:
+                    await self.send(_error(payload_id, f"unknown-op:{op}"))
+        finally:
+            if self.decodes:
+                await asyncio.gather(*self.decodes, return_exceptions=True)
+            self.writer.close()
+            # On the shutdown path the loop is about to tear the
+            # transport down anyway; awaiting the close handshake there
+            # only races teardown (and loses, noisily).
+            if not self.shutdown.is_set():
+                try:
+                    await self.writer.wait_closed()
+                except (ConnectionError, OSError):
+                    pass
+
+
+async def serve(
+    host: str = "127.0.0.1",
+    port: int = 7421,
+    config: SchedulerConfig | None = None,
+    ready=None,
+) -> None:
+    """Run the TCP service until a client sends ``shutdown``.
+
+    ``ready`` (optional callable) receives the actually-bound ``(host,
+    port)`` once listening — lets callers pass ``port=0`` and discover
+    the ephemeral port (the smoke driver and tests do).
+    """
+    shutdown = asyncio.Event()
+    connections: set[asyncio.Task] = set()
+    async with DecodeService(config=config) as service:
+        async def handler(reader, writer):
+            task = asyncio.current_task()
+            connections.add(task)
+            task.add_done_callback(connections.discard)
+            await _Connection(service, reader, writer, shutdown).run()
+
+        server = await asyncio.start_server(handler, host=host, port=port)
+        bound = server.sockets[0].getsockname()[:2]
+        if ready is not None:
+            ready(bound)
+        async with server:
+            await shutdown.wait()
+        # Listener closed.  Explicitly await the connection handlers
+        # (each flushes its in-flight pipelined responses in its
+        # ``finally``) while the service is still pumping — on Python
+        # 3.11 ``Server.wait_closed`` does not cover handler tasks, so
+        # returning here would strand their unsent responses.  The
+        # ``async with`` exit then drains the service itself.
+        if connections:
+            await asyncio.gather(*connections, return_exceptions=True)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``repro-runner serve`` forwards here)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-runner serve",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=7421,
+        help="TCP port (0 = ephemeral, printed once bound)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=256,
+        help="max concurrently-decoding sessions (micro-batch ceiling)",
+    )
+    parser.add_argument(
+        "--max-queue", type=int, default=1024,
+        help="admission queue bound; beyond it decodes are rejected "
+        "with a backpressure error",
+    )
+    args = parser.parse_args(argv)
+    config = SchedulerConfig(max_active=args.capacity, max_queue=args.max_queue)
+
+    def announce(bound):
+        print(f"decode service listening on {bound[0]}:{bound[1]}", flush=True)
+
+    try:
+        asyncio.run(serve(args.host, args.port, config, ready=announce))
+    except KeyboardInterrupt:
+        return 130
+    print("decode service stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

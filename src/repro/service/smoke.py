@@ -1,0 +1,126 @@
+"""End-to-end service smoke: TCP server + client + bit-identity check.
+
+The CI ``service-smoke`` step runs this module: it starts the JSON-lines
+TCP server on an ephemeral port (in a background thread of this
+process), drives a mixed load of online and window sessions through
+:class:`~repro.service.client.ServiceClient` pipelining, verifies every
+online session's match stream and cycle accounting **bit-identically**
+against a standalone :func:`~repro.core.online.run_online_trial`, asks
+the server to shut down, and asserts the clean exit.  Exit code 0 means
+the whole loop — transport, scheduler, engine recycling, drain,
+shutdown — held together::
+
+    python -m repro.service.smoke --sessions 50
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import queue
+import sys
+import threading
+
+from repro.core.online import run_online_trial
+from repro.service.client import ServiceClient
+from repro.service.scheduler import SchedulerConfig
+from repro.service.server import serve
+from repro.service.session import SessionSpec
+from repro.surface_code.lattice import PlanarLattice
+
+__all__ = ["main", "run_smoke"]
+
+
+def _mixed_specs(n_sessions: int, seed0: int = 4000) -> list[SessionSpec]:
+    """A mixed batch: several distances, both thv settings, both modes."""
+    specs = []
+    for i in range(n_sessions):
+        d = (3, 5, 7)[i % 3]
+        if i % 5 == 4:
+            specs.append(
+                SessionSpec(d=d, p=0.02, seed=seed0 + i, mode="window", window=4)
+            )
+        else:
+            specs.append(
+                SessionSpec(
+                    d=d, p=0.02, seed=seed0 + i,
+                    thv=(3, -1)[i % 2],
+                    frequency_hz=(2.0e9, None)[i % 2],
+                )
+            )
+    return specs
+
+
+def run_smoke(n_sessions: int = 50, capacity: int = 16) -> dict:
+    """Drive the full TCP loop; returns the final metrics snapshot.
+
+    Raises ``AssertionError`` on any bit-identity or lifecycle failure.
+    """
+    bound: queue.Queue = queue.Queue()
+    config = SchedulerConfig(max_active=capacity, max_queue=4 * n_sessions)
+
+    def server_thread():
+        asyncio.run(serve("127.0.0.1", 0, config, ready=bound.put))
+
+    thread = threading.Thread(target=server_thread, name="smoke-server", daemon=True)
+    thread.start()
+    host, port = bound.get(timeout=30)
+
+    specs = _mixed_specs(n_sessions)
+    with ServiceClient(host=host, port=port) as client:
+        assert client.ping(), "server did not answer ping"
+        results = client.decode_many(specs)
+        metrics = client.metrics()
+        client.shutdown()
+    thread.join(timeout=30)
+    assert not thread.is_alive(), "server did not shut down cleanly"
+
+    assert len(results) == n_sessions
+    checked = 0
+    for spec, result in zip(specs, results):
+        assert result["d"] == spec.d
+        if spec.mode != "online":
+            continue
+        reference = run_online_trial(
+            PlanarLattice(spec.d), spec.p, spec.rounds,
+            spec.online_config(), rng=spec.seed,
+        )
+        assert result["failed"] == reference.failed, f"failed flag diverged: {spec}"
+        assert result["overflow"] == reference.overflow, f"overflow diverged: {spec}"
+        assert result["n_rounds"] == reference.n_rounds, f"n_rounds diverged: {spec}"
+        assert result["layer_cycles"] == list(reference.layer_cycles), (
+            f"cycle accounting diverged: {spec}"
+        )
+        wire_matches = [
+            [m.kind, list(m.a), None if m.b is None else list(m.b), m.side]
+            for m in reference.matches
+        ]
+        assert result["matches"] == wire_matches, f"match stream diverged: {spec}"
+        checked += 1
+    assert checked > 0, "no online sessions verified"
+    assert metrics["completed"] >= n_sessions
+    assert metrics["rejected"] == 0
+    return metrics
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sessions", type=int, default=50)
+    parser.add_argument(
+        "--capacity", type=int, default=16,
+        help="scheduler max_active (smaller than --sessions exercises queueing)",
+    )
+    args = parser.parse_args(argv)
+    metrics = run_smoke(args.sessions, args.capacity)
+    print(
+        f"service smoke ok: {metrics['completed']} sessions, "
+        f"{metrics['steps']} micro-batch steps, "
+        f"mean batch {metrics['mean_batch_sessions']:.1f} sessions, "
+        f"round-latency p50 {metrics['round_latency_s']['p50'] * 1e6:.0f}us, "
+        f"clean shutdown"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

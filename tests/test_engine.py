@@ -222,3 +222,94 @@ class TestOnlineGating:
                 break
         assert engine.m == 0
         assert engine.popped == 1
+
+
+class TestSessionEntryPoints:
+    """The streaming service's session-granular fast entries."""
+
+    def test_idle_layer_fast_matches_simulated_path(self, d5):
+        """Empty layer onto an empty idle engine: same popped count,
+        cycles and layer_cycles as pushing and running the generator."""
+        simulated = QecoolEngine(d5, thv=3, reg_size=7)
+        gen = simulated.run()
+        fast = QecoolEngine(d5, thv=3, reg_size=7)
+        for _ in range(3):
+            simulated.push_layer(np.zeros(d5.n_ancillas, dtype=np.uint8))
+            for chunk in gen:
+                if chunk == IDLE:
+                    break
+            fast.idle_layer_fast()
+        assert fast.popped == simulated.popped == 3
+        assert fast.cycles == simulated.cycles
+        assert fast.layer_cycles == simulated.layer_cycles
+        assert fast.m == simulated.m == 0
+
+    def test_idle_layer_fast_rejects_nonempty_engine(self, d5):
+        engine = QecoolEngine(d5, thv=3, reg_size=7)
+        engine.push_layer(events_for(d5, [(2, 2, 0)], 1)[0])
+        with pytest.raises(RuntimeError, match="empty"):
+            engine.idle_layer_fast()
+
+    def test_try_push_empty_idle_absorbs_waiting_layers(self, d5):
+        """While events wait on thv, empty layers are absorbed as a pure
+        m increment — same observable state as the generator path."""
+        simulated = QecoolEngine(d5, thv=3, reg_size=7)
+        gen = simulated.run()
+        fast = QecoolEngine(d5, thv=3, reg_size=7)
+        defect = events_for(d5, [(2, 2, 0)], 1)[0]
+        for engine in (simulated, fast):
+            engine.push_layer(defect)
+        for chunk in gen:
+            if chunk == IDLE:
+                break
+        # One empty layer: still below the look-ahead, no sink exposed.
+        simulated.push_layer(np.zeros(d5.n_ancillas, dtype=np.uint8))
+        for chunk in gen:
+            if chunk == IDLE:
+                break
+        assert fast.try_push_empty_idle() is True
+        assert (fast.m, fast.popped, fast.cycles) == (
+            simulated.m, simulated.popped, simulated.cycles,
+        )
+        assert fast.matches == simulated.matches == []
+
+    def test_try_push_empty_idle_defers_when_sink_exposed(self, d5):
+        """The push that lifts the defect layer above thv must take the
+        simulated path (a sink becomes decodable)."""
+        engine = QecoolEngine(d5, thv=3, reg_size=7)
+        engine.push_layer(events_for(d5, [(2, 2, 0)], 1)[0])
+        for _ in range(2):
+            assert engine.try_push_empty_idle() is True
+        # m=3: the next push would lift b_max to 0, exposing the stored
+        # event as a decodable sink — the simulated path must run it.
+        assert engine.try_push_empty_idle() is None
+        assert engine.m == 3
+
+    def test_try_push_empty_idle_signals_overflow(self, d5):
+        engine = QecoolEngine(d5, thv=10, reg_size=3)
+        engine.push_layer(events_for(d5, [(2, 2, 0)], 1)[0])
+        assert engine.try_push_empty_idle() is True
+        assert engine.try_push_empty_idle() is True
+        assert engine.try_push_empty_idle() is False  # Reg full
+        assert engine.m == 3
+
+    def test_reset_restores_fresh_behaviour(self, d5):
+        """A recycled engine decodes a stream bit-identically to a
+        fresh one (the service's engine-pool contract)."""
+        rng = np.random.default_rng(5)
+        stream = (rng.random((6, d5.n_ancillas)) < 0.15).astype(np.uint8)
+        dirty = QecoolEngine(d5, thv=3, reg_size=7)
+        for row in stream:
+            dirty.push_layer(row)
+        drain(dirty)
+        assert dirty.matches  # it did real work
+        recycled = dirty.reset()
+        assert recycled is dirty
+        fresh = QecoolEngine(d5, thv=3, reg_size=7)
+        for engine in (recycled, fresh):
+            for row in stream:
+                engine.push_layer(row)
+            drain(engine)
+        assert recycled.matches == fresh.matches
+        assert recycled.layer_cycles == fresh.layer_cycles
+        assert recycled.cycles == fresh.cycles

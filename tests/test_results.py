@@ -4,11 +4,18 @@ from __future__ import annotations
 
 import pytest
 
+import json
+
+import numpy as np
+
 from repro.experiments.montecarlo import BatchPoint, OnlinePoint
 from repro.experiments.results import (
     load_batch_points,
+    load_meta,
     load_online_points,
+    load_service_metrics,
     save_points,
+    save_service_metrics,
 )
 
 
@@ -56,3 +63,48 @@ class TestRoundTrip:
         path.write_text('{"schema": 99, "kind": "batch", "points": []}')
         with pytest.raises(ValueError, match="schema"):
             load_batch_points(path)
+
+
+class TestSchemaV2:
+    def test_meta_block_written(self, tmp_path):
+        path = tmp_path / "v2.json"
+        save_points(path, [BatchPoint("qecool", 5, 0.01, 10, 1)], noise="ph(p=0.01)")
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 2
+        assert payload["meta"]["numpy"] == np.__version__
+        assert payload["meta"]["noise"] == "ph(p=0.01)"
+        assert "git_describe" in payload["meta"]
+        meta = load_meta(path)
+        assert meta["noise"] == "ph(p=0.01)"
+
+    def test_v1_files_still_load(self, tmp_path):
+        """Files written before the meta block (schema 1) stay readable."""
+        path = tmp_path / "v1.json"
+        point = OnlinePoint(9, 0.01, 2e9, 100, 5, 1, layer_cycles=[3, 4])
+        path.write_text(json.dumps({
+            "schema": 1,
+            "kind": "online",
+            "points": [{
+                "d": 9, "p": 0.01, "frequency_hz": 2e9, "shots": 100,
+                "failures": 5, "overflows": 1, "layer_cycles": [3, 4],
+            }],
+        }))
+        assert load_online_points(path) == [point]
+        assert load_meta(path) == {}
+
+    def test_service_metrics_round_trip(self, tmp_path):
+        snapshot = {
+            "completed": 64, "rejected": 2, "drop_rate": 2 / 66,
+            "round_latency_s": {"p50": 1e-3, "p90": 2e-3, "p99": 5e-3},
+            "throughput_sessions_per_s": 812.5,
+        }
+        path = tmp_path / "service.json"
+        save_service_metrics(path, snapshot, noise="ph(p=0.001,q=0.001)")
+        assert load_service_metrics(path) == snapshot
+        assert load_meta(path)["noise"] == "ph(p=0.001,q=0.001)"
+
+    def test_service_metrics_kind_checked(self, tmp_path):
+        path = tmp_path / "points.json"
+        save_points(path, [BatchPoint("qecool", 5, 0.01, 10, 1)])
+        with pytest.raises(ValueError, match="service_metrics"):
+            load_service_metrics(path)

@@ -1,0 +1,221 @@
+"""Transport-layer tests: in-process async API and JSON-lines TCP.
+
+The transports must preserve the scheduler's bit-identity contract end
+to end (wire-serialized match streams equal the standalone trial's) and
+shut down cleanly — the same loop CI's ``service-smoke`` step drives at
+larger scale via :mod:`repro.service.smoke`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import queue
+import threading
+
+import pytest
+
+from repro.core.online import run_online_trial
+from repro.service import Backpressure, DecodeService, SchedulerConfig, SessionSpec
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import serve
+from repro.surface_code.lattice import PlanarLattice
+
+
+def wire_matches(matches):
+    """A match list as the TCP payload represents it."""
+    return [
+        [m.kind, list(m.a), None if m.b is None else list(m.b), m.side]
+        for m in matches
+    ]
+
+
+class TestDecodeService:
+    def test_concurrent_submissions_batch_and_match_trials(self):
+        async def scenario():
+            specs = [
+                SessionSpec(d=(3, 5)[i % 2], p=0.02, seed=300 + i, thv=(3, -1)[i % 2])
+                for i in range(10)
+            ]
+            async with DecodeService(config=SchedulerConfig(max_active=8)) as service:
+                results = await asyncio.gather(
+                    *(service.submit(spec) for spec in specs)
+                )
+                snapshot = service.metrics()
+            for spec, result in zip(specs, results):
+                reference = run_online_trial(
+                    PlanarLattice(spec.d), spec.p, spec.rounds,
+                    spec.online_config(), rng=spec.seed,
+                )
+                assert result.matches == reference.matches
+                assert result.layer_cycles == list(reference.layer_cycles)
+                assert result.failed == reference.failed
+            # Concurrent submissions actually shared micro-batches.
+            assert snapshot["mean_batch_sessions"] > 1.0
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_backpressure_propagates(self):
+        async def scenario():
+            config = SchedulerConfig(max_active=1, max_queue=2)
+            async with DecodeService(config=config) as service:
+                spec = SessionSpec(d=3, p=0.01, seed=1)
+                # Submissions are synchronous up to the queue; the pump
+                # has not run yet, so the third one must shed.
+                first = asyncio.ensure_future(service.submit(spec))
+                second = asyncio.ensure_future(service.submit(spec))
+                await asyncio.sleep(0)
+                with pytest.raises(Backpressure):
+                    await service.submit(spec)
+                await asyncio.gather(first, second)
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_submit_requires_start(self):
+        async def scenario():
+            service = DecodeService()
+            with pytest.raises(RuntimeError, match="not started"):
+                await service.submit(SessionSpec(d=3, p=0.01, seed=1))
+
+        asyncio.run(scenario())
+
+    def test_step_exception_fails_waiters_instead_of_hanging(self):
+        """Containment: an exception escaping scheduler.step() must fail
+        every in-flight waiter and leave close() able to return — not
+        silently kill the pump and hang the service."""
+
+        async def scenario():
+            service = await DecodeService(
+                config=SchedulerConfig(max_active=4, max_queue=64)
+            ).start()
+            boom = RuntimeError("poisoned step")
+
+            def poisoned_step():
+                raise boom
+
+            service.scheduler.step = poisoned_step
+            with pytest.raises(RuntimeError, match="decode service failed"):
+                await service.submit(SessionSpec(d=3, p=0.01, seed=1))
+            # Subsequent submissions shed immediately with the cause...
+            with pytest.raises(RuntimeError, match="poisoned"):
+                await service.submit(SessionSpec(d=3, p=0.01, seed=2))
+            # ...and teardown returns despite pending sessions.
+            await asyncio.wait_for(service.close(), timeout=5)
+            return True
+
+        assert asyncio.run(scenario())
+
+    def test_close_without_drain_aborts_promptly(self):
+        """close(drain=False) is the teardown path: it must stop the
+        pump at a round boundary and fail the waiters, not silently
+        decode the whole backlog first."""
+
+        async def scenario():
+            service = await DecodeService(
+                config=SchedulerConfig(max_active=2, max_queue=64)
+            ).start()
+            futures = [
+                asyncio.ensure_future(
+                    service.submit(SessionSpec(d=5, p=0.01, seed=i, n_rounds=9))
+                )
+                for i in range(6)
+            ]
+            await asyncio.sleep(0)  # let the submissions queue
+            await service.close(drain=False)
+            results = await asyncio.gather(*futures, return_exceptions=True)
+            assert all(isinstance(r, RuntimeError) for r in results)
+            # The backlog was abandoned, not drained behind our back.
+            assert service.scheduler.pending > 0
+            return True
+
+        assert asyncio.run(scenario())
+
+
+@pytest.fixture()
+def tcp_service():
+    """A live TCP server on an ephemeral port, in a daemon thread."""
+    bound: queue.Queue = queue.Queue()
+    config = SchedulerConfig(max_active=8, max_queue=64)
+    thread = threading.Thread(
+        target=lambda: asyncio.run(serve("127.0.0.1", 0, config, ready=bound.put)),
+        daemon=True,
+    )
+    thread.start()
+    host, port = bound.get(timeout=30)
+    yield host, port, thread
+    if thread.is_alive():
+        try:
+            with ServiceClient(host=host, port=port, timeout=10) as client:
+                client.shutdown()
+        except OSError:
+            pass
+        thread.join(timeout=30)
+
+
+class TestTcpFrontEnd:
+    def test_ping(self, tcp_service):
+        host, port, _ = tcp_service
+        with ServiceClient(host=host, port=port) as client:
+            assert client.ping()
+
+    def test_pipelined_decodes_are_bit_identical(self, tcp_service):
+        host, port, _ = tcp_service
+        specs = [
+            SessionSpec(d=(3, 5, 7)[i % 3], p=0.02, seed=500 + i)
+            for i in range(9)
+        ] + [SessionSpec(d=5, p=0.02, seed=600, mode="window")]
+        with ServiceClient(host=host, port=port) as client:
+            results = client.decode_many(specs)
+            metrics = client.metrics()
+        for spec, result in zip(specs[:9], results):
+            reference = run_online_trial(
+                PlanarLattice(spec.d), spec.p, spec.rounds,
+                spec.online_config(), rng=spec.seed,
+            )
+            assert result["matches"] == wire_matches(reference.matches)
+            assert result["layer_cycles"] == list(reference.layer_cycles)
+            assert result["failed"] == reference.failed
+            assert result["logical_failed"] == reference.logical_failed
+        assert results[-1]["mode"] == "window"
+        assert metrics["completed"] >= 10
+
+    def test_bad_spec_reports_error(self, tcp_service):
+        host, port, _ = tcp_service
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ServiceError, match="bad-spec"):
+                client.decode({"d": 4, "p": 0.01, "seed": 1})
+
+    def test_shutdown_is_clean(self, tcp_service):
+        host, port, thread = tcp_service
+        with ServiceClient(host=host, port=port) as client:
+            client.decode(SessionSpec(d=3, p=0.01, seed=2))
+            client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+
+    def test_shutdown_flushes_inflight_pipelined_decodes(self, tcp_service):
+        """A shutdown op racing pipelined decodes must not strand their
+        responses: the server waits for connection handlers (which
+        flush in-flight sessions) before tearing the loop down — on
+        3.11, Server.wait_closed alone does not cover handler tasks."""
+        host, port, thread = tcp_service
+        with ServiceClient(host=host, port=port) as client:
+            ids = [
+                client._send({
+                    "op": "decode",
+                    "spec": SessionSpec(d=3, p=0.01, seed=900 + i).to_payload(),
+                })
+                for i in range(6)
+            ]
+            shutdown_id = client._send({"op": "shutdown"})
+            responses = {}
+            while len(responses) < 7:
+                response = client._read()
+                responses[response["id"]] = response
+        for request_id in ids:
+            assert responses[request_id]["ok"], responses[request_id]
+            assert "result" in responses[request_id]
+        assert responses[shutdown_id]["ok"]
+        thread.join(timeout=30)
+        assert not thread.is_alive()
