@@ -43,10 +43,11 @@ SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 SEED0 = 91000
 REPS = 2 if SMOKE else 5
 
-# (name, d, p, rounds, sessions, floor) — floor asserted in full mode.
+# (name, d, p, rounds, sessions, floor) — floor asserted in full mode
+# (and re-checked against the committed record by check_floors.py).
 POINTS = [
     ("serve_d9_p0.0005", 9, 0.0005, 9, 32 if SMOKE else 128, 2.0),
-    ("serve_d9_p0.001", 9, 0.001, 9, 32 if SMOKE else 128, 1.3),
+    ("serve_d9_p0.001", 9, 0.001, 9, 32 if SMOKE else 128, 1.5),
     ("serve_d9_p0.005", 9, 0.005, 9, 16 if SMOKE else 64, 1.1),
 ]
 

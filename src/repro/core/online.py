@@ -25,10 +25,15 @@ from __future__ import annotations
 import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
 from repro.core.engine import IDLE, QecoolEngine
+from repro.core.engine_batch import (
+    LANE_SUSPENDED,
+    QecoolEngineBatch,
+)
 from repro.decoders.base import Match, correction_from_matches
 from repro.surface_code.lattice import PlanarLattice
 from repro.surface_code.logical import logical_failure, logical_failures_batch
@@ -36,6 +41,7 @@ from repro.surface_code.noise import NoiseModel, PhenomenologicalNoise
 from repro.util.rng import make_rng
 
 __all__ = [
+    "BATCH_ENGINE_CUTOFF",
     "OnlineConfig",
     "OnlineOutcome",
     "OnlineShot",
@@ -45,6 +51,11 @@ __all__ = [
     "run_online_chunk",
     "run_online_trial",
 ]
+
+BATCH_ENGINE_CUTOFF = 2
+"""Minimum chunk size for the shot-major batch engine; below it the
+scalar engine's per-shot path is cheaper (single-lane batches pay the
+lock-step machinery without amortising it)."""
 
 
 @dataclass(frozen=True)
@@ -201,6 +212,44 @@ def run_online_trial(
     )
 
 
+@lru_cache(maxsize=4096)
+def _shot_entropy(seed: int) -> np.random.SeedSequence:
+    """Memoised entropy mixing for integer-seeded shots (~10 us per
+    ``SeedSequence``, a pure function of the seed — the decode service
+    admits one seeded shot per session).  The cached sequence is only
+    ever *read* into a fresh bit generator; it must never be spawned
+    from (spawning mutates the parent's child counter), which is why
+    this stays private to the streaming-shot constructor rather than
+    living in :func:`repro.util.rng.make_rng`.
+    """
+    return np.random.SeedSequence(seed)
+
+
+def _shot_rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    """The exact ``make_rng`` stream, with integer seeds memoised."""
+    if isinstance(seed, (int, np.integer)):
+        return np.random.Generator(np.random.PCG64(_shot_entropy(int(seed))))
+    return make_rng(seed)
+
+
+@lru_cache(maxsize=512)
+def _rates_table(
+    noise: NoiseModel, n_rounds: int
+) -> list[tuple[float, float]]:
+    """Python-float (data, measurement) rates per round, memoised.
+
+    One tuple per round so the per-round batch loop never touches numpy
+    scalars; keyed by the (frozen, hashed-by-value) noise model, so
+    every admission of the same operating point shares one table.
+    """
+    return [
+        (float(p_t), float(q_t))
+        for p_t, q_t in zip(
+            noise.data_schedule(n_rounds), noise.meas_schedule(n_rounds)
+        )
+    ]
+
+
 class StreamingBlock:
     """Shot-major state slab shared by a batch of streaming shots.
 
@@ -275,7 +324,7 @@ class StreamingShotState:
     __slots__ = (
         "lattice", "noise", "n_rounds", "rng",
         "error", "prev_raw", "compensation", "k", "outcome",
-        "block", "row", "_rates",
+        "block", "row", "_rates", "owner", "_udraws",
     )
 
     def __init__(
@@ -291,7 +340,7 @@ class StreamingShotState:
         self.lattice = lattice
         self.noise = noise
         self.n_rounds = n_rounds
-        self.rng = make_rng(rng)
+        self.rng = _shot_rng(rng)
         # State rows: views into a shared StreamingBlock when batched
         # (row released by the owner at retirement), private arrays
         # otherwise — identical semantics either way.
@@ -306,14 +355,26 @@ class StreamingShotState:
             self.rebind()
         self.k = 0
         self.outcome = None
-        # Python-float rate table: one tuple per round, so the per-round
-        # batch loop never touches numpy scalars.
-        self._rates = [
-            (float(p_t), float(q_t))
-            for p_t, q_t in zip(
-                noise.data_schedule(n_rounds), noise.meas_schedule(n_rounds)
-            )
-        ]
+        self.owner = None  # opaque back-reference for schedulers
+        # The whole stream's uniform draws, taken up front in one call:
+        # numpy fills row-major, so row k holds exactly the doubles
+        # round k's `sample_round` would draw — the same stream, one
+        # generator call instead of one per round.  (A shot that stops
+        # early — Reg overflow — leaves its generator past where the
+        # per-round reference would; nothing reads it afterwards.)
+        # Bounded by *size*, not rounds, so long/large-lattice streams
+        # cannot pin multi-MB buffers per session (a busy scheduler
+        # holds hundreds of shots); oversize streams draw per round.
+        width = lattice.n_data + lattice.n_ancillas
+        self._udraws = (
+            self.rng.random((n_rounds, width))
+            if n_rounds * width <= 16384
+            else None
+        )
+        try:
+            self._rates = _rates_table(noise, n_rounds)
+        except TypeError:  # an unhashable custom model: build directly
+            self._rates = _rates_table.__wrapped__(noise, n_rounds)
 
     def rebind(self) -> None:
         """Refresh the block-row views (after ``StreamingBlock.grow``)."""
@@ -346,6 +407,7 @@ class OnlineShot(StreamingShotState):
     __slots__ = (
         "config", "engine", "wall",
         "_budget", "_unconstrained", "_gen", "_at_idle", "_consumed",
+        "_batch", "_lane",
     )
 
     kind = "online"
@@ -359,25 +421,78 @@ class OnlineShot(StreamingShotState):
         rng: np.random.Generator | int | None,
         engine: QecoolEngine | None = None,
         block: StreamingBlock | None = None,
+        batch: QecoolEngineBatch | None = None,
     ):
         super().__init__(lattice, noise, n_rounds, rng, block)
         self.config = config
-        # ``engine`` lets the service recycle a pooled (reset) engine of
-        # the same (lattice, thv, reg_size) shape instead of allocating.
-        self.engine = (
-            QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
-            if engine is None
-            else engine
-        )
         self._budget = config.cycles_per_interval
         self._unconstrained = math.isinf(self._budget)
-        # A finite clock needs run()'s resumable cycle stream (decodes
-        # freeze mid-sweep at the interval boundary); without a deadline
-        # the engine advances synchronously via run_to_idle().
-        self._gen = None if self._unconstrained else self.engine.run(drain=False)
+        # ``batch`` binds the shot to a lane of a shot-major batch
+        # engine (the fast path of :func:`run_online_chunk` and the
+        # decode service's lane allocator); ``engine`` keeps the scalar
+        # per-shot engine — the oracle and sub-cutoff fallback.
+        self._batch = batch
+        if batch is not None:
+            if engine is not None:
+                raise ValueError("pass a scalar engine or a batch, not both")
+            if (batch.thv, batch.reg_size) != (config.thv, config.reg_size):
+                raise ValueError("batch engine shape does not match config")
+            self._lane = batch.alloc_lane()
+            batch.set_wall_exact(
+                self._lane,
+                self._unconstrained or float(self._budget).is_integer(),
+            )
+            self.engine = None
+            self._gen = None
+        else:
+            self._lane = -1
+            # ``engine`` lets a caller recycle a reset engine of the
+            # same (lattice, thv, reg_size) shape instead of allocating.
+            self.engine = (
+                QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
+                if engine is None
+                else engine
+            )
+            # A finite clock needs run()'s resumable cycle stream
+            # (decodes freeze mid-sweep at the interval boundary);
+            # without a deadline the engine advances synchronously via
+            # run_to_idle().
+            self._gen = (
+                None if self._unconstrained else self.engine.run(drain=False)
+            )
         self._at_idle = True
         self.wall = 0.0
         self._consumed = 0
+
+    def release(self) -> None:
+        """Return the shot's batch lane (after its outcome is built)."""
+        if self._batch is not None and self._lane >= 0:
+            self._batch.free_lane(self._lane)
+            self._lane = -1
+
+    def _engine_matches(self) -> list[Match]:
+        return (
+            self.engine.matches
+            if self._batch is None
+            else self._batch.matches_of(self._lane)
+        )
+
+    def _engine_layer_cycles(self) -> list[int]:
+        return (
+            self.engine.layer_cycles
+            if self._batch is None
+            else self._batch.layer_cycles_of(self._lane)
+        )
+
+    def _overflow_outcome(self) -> OnlineOutcome:
+        self.outcome = OnlineOutcome(
+            failed=True,
+            overflow=True,
+            layer_cycles=list(self._engine_layer_cycles()),
+            matches=list(self._engine_matches()),
+            n_rounds=self.k,
+        )
+        return self.outcome
 
     def step(
         self, events_row: np.ndarray, empty: bool
@@ -393,6 +508,12 @@ class OnlineShot(StreamingShotState):
         ``error`` and still needs its compensation syndrome (batched by
         the caller into ``compensation``).
         """
+        if self._batch is not None:
+            return _advance_batch_group(
+                self._batch, [self],
+                np.asarray(events_row, dtype=np.uint8)[None, :],
+                [empty],
+            )[0]
         final = self.k == self.n_rounds
         engine = self.engine
         # Empty layer into an IDLE-parked engine: the simulated path is
@@ -415,22 +536,10 @@ class OnlineShot(StreamingShotState):
                 self.k += 1
                 return "running", None
             if absorbed is False:
-                self.outcome = OnlineOutcome(
-                    failed=True,
-                    overflow=True,
-                    layer_cycles=list(engine.layer_cycles),
-                    matches=list(engine.matches),
-                    n_rounds=self.k,
-                )
+                self._overflow_outcome()
                 return "overflow", None
         if not engine.push_layer(events_row):
-            self.outcome = OnlineOutcome(
-                failed=True,
-                overflow=True,
-                layer_cycles=list(engine.layer_cycles),
-                matches=list(engine.matches),
-                n_rounds=self.k,
-            )
+            self._overflow_outcome()
             return "overflow", None
         if self._unconstrained:
             deadline = math.inf
@@ -471,14 +580,125 @@ class OnlineShot(StreamingShotState):
 
     def finalize(self, failed: bool) -> None:
         """Record the end-of-trial outcome after the failure check."""
-        engine = self.engine
         self.outcome = OnlineOutcome(
             failed=bool(failed),
             overflow=False,
-            layer_cycles=list(engine.layer_cycles),
-            matches=list(engine.matches),
+            layer_cycles=list(self._engine_layer_cycles()),
+            matches=list(self._engine_matches()),
             n_rounds=self.n_rounds,
         )
+
+
+def _advance_batch_group(
+    batch: QecoolEngineBatch,
+    shots: list["OnlineShot"],
+    events: np.ndarray,
+    empties: Sequence[bool],
+) -> list[tuple[str, np.ndarray | None]]:
+    """One round's :meth:`OnlineShot.step` for every lane of one batch
+    engine, with the per-shot engine work batched.
+
+    Mirrors the scalar ``step`` case for case: the two empty-layer fast
+    entries dispatch vectorized (``empty_layers_fast`` /
+    ``try_push_empty``), pushes land in one slab pass, and the decode —
+    under each shot's own wall clock and interval deadline — runs
+    through the batch engine's lock-step Controller.  Returns the
+    per-shot ``(status, correction)`` pairs in input order.
+    """
+    results: list = [None] * len(shots)
+    fast_idle: list[int] = []
+    fast_try: list[int] = []
+    pushes: list[int] = []
+    # Inlined batch.is_parked / is_empty_idle (this classification runs
+    # once per shot per round — the service's per-session hot path).
+    parked_arr, cursors = batch._parked, batch._cursors
+    m_arr, drain_arr = batch._m, batch._drain
+    for j, shot in enumerate(shots):
+        lane = shot._lane
+        if (
+            empties[j]
+            and shot.k != shot.n_rounds
+            and shot._at_idle
+            and parked_arr[lane]
+            and lane not in cursors
+        ):
+            if not m_arr[lane] and not drain_arr[lane]:
+                fast_idle.append(j)
+            else:
+                fast_try.append(j)
+        else:
+            pushes.append(j)
+    if fast_idle:
+        lanes = np.fromiter(
+            (shots[j]._lane for j in fast_idle), np.int64, len(fast_idle)
+        )
+        costs = batch.empty_layers_fast(lanes).tolist()
+        for j, cost in zip(fast_idle, costs):
+            shot = shots[j]
+            if not shot._unconstrained:
+                shot.wall = max(shot.wall, shot.k * shot._budget) + cost
+            shot.k += 1
+            results[j] = ("running", None)
+    if fast_try:
+        lanes = np.fromiter(
+            (shots[j]._lane for j in fast_try), np.int64, len(fast_try)
+        )
+        for j, res in zip(fast_try, batch.try_push_empty(lanes).tolist()):
+            shot = shots[j]
+            if res == 1:
+                if not shot._unconstrained:
+                    shot.wall = max(shot.wall, shot.k * shot._budget)
+                shot.k += 1
+                results[j] = ("running", None)
+            elif res == 0:
+                shot._overflow_outcome()
+                results[j] = ("overflow", None)
+            else:
+                pushes.append(j)  # a sink would be exposed: simulate
+    if not pushes:
+        return results
+    lanes = np.fromiter((shots[j]._lane for j in pushes), np.int64, len(pushes))
+    ok = batch.push_layers(lanes, events[pushes])
+    decode: list[int] = []
+    for j, okj in zip(pushes, ok.tolist()):
+        if okj:
+            decode.append(j)
+        else:
+            shots[j]._overflow_outcome()
+            results[j] = ("overflow", None)
+    if not decode:
+        return results
+    lanes = np.fromiter((shots[j]._lane for j in decode), np.int64, len(decode))
+    finals = np.fromiter(
+        (shots[j].k == shots[j].n_rounds for j in decode), bool, len(decode)
+    )
+    if finals.any():
+        batch.begin_drain(lanes[finals])
+    wall = np.zeros(len(decode), dtype=np.float64)
+    deadline = np.full(len(decode), math.inf)
+    for jj, j in enumerate(decode):
+        shot = shots[j]
+        if not shot._unconstrained:
+            shot.wall = max(shot.wall, shot.k * shot._budget)
+            wall[jj] = shot.wall
+            if not finals[jj]:
+                deadline[jj] = (shot.k + 1) * shot._budget
+    statuses = batch.decode(lanes, wall, deadline)
+    for jj, j in enumerate(decode):
+        shot = shots[j]
+        if not shot._unconstrained:
+            shot.wall = float(wall[jj])
+        shot._at_idle = statuses[jj] != LANE_SUSPENDED
+        shot.k += 1
+        lane_matches = batch.matches_of(shot._lane)
+        new_matches = lane_matches[shot._consumed :]
+        shot._consumed = len(lane_matches)
+        correction = None
+        if new_matches:
+            correction = correction_from_matches(shot.lattice, new_matches)
+            shot.error ^= correction
+        results[j] = (("done" if finals[jj] else "running"), correction)
+    return results
 
 
 def advance_streaming_round(
@@ -514,16 +734,18 @@ def advance_streaming_round(
     if noisy:
         nn = len(noisy)
         n_data = lattice.n_data
-        # One contiguous uniform block per shot: filling the joined row
-        # draws the exact same stream as the data block followed by the
-        # measurement block (numpy fills sequentially), which is the
-        # sample_round layout.
+        # One contiguous uniform block per shot and round, pre-drawn at
+        # shot construction (`_udraws`): row k is the data block
+        # followed by the measurement block, the sample_round layout.
         uniforms = np.empty((nn, n_data + lattice.n_ancillas))
         rates = []
         for j, i in enumerate(noisy):
             shot = shots[i]
-            shot.rng.random(out=uniforms[j])
-            rates.append(shot.rates())
+            if shot._udraws is not None:
+                uniforms[j] = shot._udraws[shot.k]
+            else:
+                shot.rng.random(out=uniforms[j])
+            rates.append(shot._rates[shot.k])
         pq = np.asarray(rates)
         data_flips = (uniforms[:, :n_data] < pq[:, 0:1]).view(np.uint8)
         meas_flips = (uniforms[:, n_data:] < pq[:, 1:2]).view(np.uint8)
@@ -565,13 +787,34 @@ def advance_streaming_round(
             shot.compensation.fill(0)
     nonempty = events.any(axis=1)
 
+    # Shots bound to a shot-major batch engine advance together, one
+    # batched group step per engine; everything else (scalar-engine
+    # online shots, window shots) takes its per-shot ``step``.
+    batch_results: dict[int, tuple] = {}
+    groups: dict[int, tuple[QecoolEngineBatch, list[int]]] = {}
+    for i, shot in enumerate(shots):
+        batch = getattr(shot, "_batch", None)
+        if batch is not None:
+            groups.setdefault(id(batch), (batch, []))[1].append(i)
+    for batch, idxs in groups.values():
+        group_results = _advance_batch_group(
+            batch,
+            [shots[i] for i in idxs],
+            events[idxs],
+            (~nonempty[idxs]).tolist(),
+        )
+        batch_results.update(zip(idxs, group_results))
+
     running: list = []
     done: list = []
     finished: list = []
     corrected: list = []
     corrections: list[np.ndarray] = []
     for i, shot in enumerate(shots):
-        status, correction = shot.step(events[i], not nonempty[i])
+        if i in batch_results:
+            status, correction = batch_results[i]
+        else:
+            status, correction = shot.step(events[i], not nonempty[i])
         if status == "overflow":
             finished.append(shot)
             continue
@@ -613,21 +856,31 @@ def run_online_chunk(
 
     **Bit-identical** to calling :func:`run_online_trial` once per
     generator in ``rngs`` (covered by ``tests/test_online.py``): each
-    shot keeps its own engine, wall clock and noise substream
+    shot keeps its own wall clock and noise substream
     (:class:`OnlineShot`), but the per-round heavy lifting — noise
-    sampling, syndrome extraction, event folding and
-    correction-compensation syndromes — runs as one vectorized
-    :func:`advance_streaming_round` pass over the still-active shots.
-    Shots drop out of the batch when their Reg overflows, exactly where
-    their per-shot trial would return.
+    sampling, syndrome extraction, event folding, correction
+    compensation *and the engine advance itself* — runs batched over
+    the still-active shots: one :class:`~repro.core.engine_batch.
+    QecoolEngineBatch` lane per shot, decoded in lock-step (chunks
+    below :data:`BATCH_ENGINE_CUTOFF` keep the scalar per-shot
+    engines).  Shots drop out of the batch when their Reg overflows,
+    exactly where their per-shot trial would return.
     """
     if n_rounds < 1:
         raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
     noise = _resolve_trial_noise(p, q)
     rngs = list(rngs)
     block = StreamingBlock(lattice, capacity=max(1, len(rngs)))
+    batch = (
+        QecoolEngineBatch(
+            lattice, thv=config.thv, reg_size=config.reg_size,
+            capacity=len(rngs),
+        )
+        if len(rngs) >= BATCH_ENGINE_CUTOFF
+        else None
+    )
     shots = [
-        OnlineShot(lattice, noise, n_rounds, config, rng, block=block)
+        OnlineShot(lattice, noise, n_rounds, config, rng, block=block, batch=batch)
         for rng in rngs
     ]
     active: list = list(shots)

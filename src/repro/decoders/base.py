@@ -191,3 +191,23 @@ class Decoder(ABC):
     def decode_code_capacity(self, lattice: PlanarLattice, syndrome: np.ndarray) -> DecodeResult:
         """Decode a single perfectly-measured syndrome (2-D setting)."""
         return self.decode(lattice, np.asarray(syndrome, dtype=np.uint8)[None, :])
+
+    def decode_batch(
+        self, lattice: PlanarLattice, events: np.ndarray
+    ) -> list[DecodeResult]:
+        """Decode a whole batch of event stacks.
+
+        ``events`` has shape ``(shots, n_layers, n_ancillas)``; returns
+        one :class:`DecodeResult` per shot, identical to calling
+        :meth:`decode` per stack.  The default is exactly that loop;
+        decoders with a shot-major fast path (the QECOOL batch engine)
+        override it — always bit-identically, which is what lets the
+        Monte-Carlo tasks call it unconditionally.
+        """
+        events = np.asarray(events, dtype=np.uint8)
+        if events.ndim != 3:
+            raise ValueError(
+                f"decode_batch expects (shots, layers, ancillas), got"
+                f" shape {events.shape}"
+            )
+        return [self.decode(lattice, stack) for stack in events]

@@ -247,8 +247,21 @@ def _greedy_two_opt(lattice: PlanarLattice, comp: list[Coord]) -> list[Match]:
     n = len(comp)
     bd = [_boundary(lattice, d) for d in comp]
 
+    # The 2-opt loop evaluates pair weights millions of times on large
+    # components; tabulate them once from the lattice's cached pairwise
+    # Manhattan table (the same table the engine geometry cache builds)
+    # plus the temporal span, instead of recomputing pair_distance.
+    anc = np.fromiter(
+        (r * lattice.cols + c for r, c, _ in comp), np.int64, n
+    )
+    ts = np.fromiter((t for _, _, t in comp), np.int64, n)
+    pair_w = (
+        lattice.pairwise_manhattan[anc[:, None], anc[None, :]].astype(np.int64)
+        + np.abs(ts[:, None] - ts[None, :])
+    ).tolist()
+
     def weight_of(i: int, j: int | None) -> int:
-        return bd[i][0] if j is None else pair_distance(comp[i], comp[j])
+        return bd[i][0] if j is None else pair_w[i][j]
 
     def centroid(group: tuple[int, int | None]) -> tuple[float, float, float]:
         members = [m for m in group if m is not None]

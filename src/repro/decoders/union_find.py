@@ -48,26 +48,48 @@ class _Graph:
             return (r * cols + c) * n_layers + t
 
         self.vid = vid
-        edges: list[tuple[int, int, int]] = []  # (u, v, data_qubit or -1)
-        for t in range(n_layers):
-            for r in range(rows):
-                for c in range(cols):
-                    u = vid(r, c, t)
-                    if c + 1 < cols:
-                        edges.append((u, vid(r, c + 1, t), lattice.horizontal_index(r, c + 1)))
-                    if r + 1 < rows:
-                        edges.append((u, vid(r + 1, c, t), lattice.vertical_index(r, c)))
-                    if t + 1 < n_layers:
-                        edges.append((u, vid(r, c, t + 1), -1))
-                    if c == 0:
-                        edges.append((u, self.boundary_vertex, lattice.horizontal_index(r, 0)))
-                    if c == cols - 1:
-                        edges.append((u, self.boundary_vertex, lattice.horizontal_index(r, cols)))
-        self.edges = edges
+        # Edge arrays via numpy index arithmetic, in the same
+        # (t, r, c) x [east, south, up, west-boundary, east-boundary]
+        # order the former triple Python loop produced: build each edge
+        # family over the full (t, r, c) grid, then interleave them
+        # per-vertex with a stable mask-compress.
+        t = np.arange(n_layers)
+        r = np.arange(rows)
+        c = np.arange(cols)
+        tg, rg, cg = np.meshgrid(t, r, c, indexing="ij")
+        tg, rg, cg = tg.ravel(), rg.ravel(), cg.ravel()
+        u = (rg * cols + cg) * n_layers + tg
+        n_h = rows * (cols + 1)
+        horiz = rg * (cols + 1) + cg  # lattice.horizontal_index(r, c)
+        vert = n_h + rg * cols + cg  # lattice.vertical_index(r, c)
+        families = [
+            # (valid mask, v, data qubit)
+            (cg + 1 < cols, u + n_layers, horiz + 1),
+            (rg + 1 < rows, u + cols * n_layers, vert),
+            (tg + 1 < n_layers, u + 1, np.full_like(u, -1)),
+            (cg == 0, np.full_like(u, self.boundary_vertex), rg * (cols + 1)),
+            (
+                cg == cols - 1,
+                np.full_like(u, self.boundary_vertex),
+                rg * (cols + 1) + cols,
+            ),
+        ]
+        n_fam = len(families)
+        valid = np.stack([f[0] for f in families])  # (5, V)
+        us = np.broadcast_to(u, (n_fam, u.size))
+        vs = np.stack([f[1] for f in families])
+        qs = np.stack([f[2] for f in families])
+        keep = valid.T.ravel()  # vertex-major, family-minor: loop order
+        edge_u = us.T.ravel()[keep]
+        edge_v = vs.T.ravel()[keep]
+        edge_q = qs.T.ravel()[keep]
+        self.edges = list(
+            zip(edge_u.tolist(), edge_v.tolist(), edge_q.tolist())
+        )
         self.adjacency: list[list[tuple[int, int]]] = [[] for _ in range(self.n_vertices)]
-        for eid, (u, v, _) in enumerate(edges):
-            self.adjacency[u].append((eid, v))
-            self.adjacency[v].append((eid, u))
+        for eid, (eu, ev, _) in enumerate(self.edges):
+            self.adjacency[eu].append((eid, ev))
+            self.adjacency[ev].append((eid, eu))
 
 
 _GRAPH_CACHE: dict[tuple[int, int], _Graph] = {}
@@ -92,11 +114,12 @@ class UnionFindDecoder(Decoder):
         if events.ndim == 1:
             events = events[None, :]
         graph = _graph_for(lattice, events.shape[0])
-        defect_vertices = [
-            (int(a) * events.shape[0] + t)
-            for t in range(events.shape[0])
-            for a in np.flatnonzero(events[t])
-        ]
+        # One vectorized pass over the event stack; np.nonzero's
+        # row-major order reproduces the former (t, a) double loop.
+        t_idx, a_idx = np.nonzero(events)
+        defect_vertices = (
+            a_idx.astype(np.int64) * events.shape[0] + t_idx
+        ).tolist()
         erasure = _grow_clusters(graph, defect_vertices)
         correction_edges = _peel(graph, erasure, defect_vertices)
         correction = np.zeros(lattice.n_data, dtype=np.uint8)

@@ -183,8 +183,10 @@ class CodeCapacityTask:
         errors = self.model().sample_data_batch(lattice, rng=chunk.rngs())
         syndromes = lattice.syndrome_of_batch(errors)
         corrections = np.empty_like(errors)
-        for i in range(chunk.shots):
-            result = self.decoder.decode_code_capacity(lattice, syndromes[i])
+        # One single-layer stack per shot; decoders with a shot-major
+        # fast path (QECOOL's batch engine) drain the chunk lock-step.
+        results = self.decoder.decode_batch(lattice, syndromes[:, None, :])
+        for i, result in enumerate(results):
             corrections[i] = result.correction
         failures = int(logical_failures_batch(lattice, errors, corrections).sum())
         return ChunkStats(shots=chunk.shots, failures=failures)
@@ -217,8 +219,12 @@ class BatchTask:
         batch = SyndromeBatch.run(lattice, data, meas)
         n_matches = n_deep = 0
         corrections = np.empty((chunk.shots, lattice.n_data), dtype=np.uint8)
-        for i in range(chunk.shots):
-            result = self.decoder.decode(lattice, batch.events[i])
+        # The whole chunk drains through the decoder's batch entry (the
+        # QECOOL batch engine advances every shot lock-step; baseline
+        # decoders fall back to the per-shot loop) — bit-identical to
+        # decoding stack by stack.
+        results = self.decoder.decode_batch(lattice, batch.events)
+        for i, result in enumerate(results):
             corrections[i] = result.correction
             n_matches += len(result.matches)
             n_deep += sum(

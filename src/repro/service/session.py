@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import asdict, dataclass, field
+from functools import lru_cache
 
 import numpy as np
 
@@ -50,6 +51,21 @@ __all__ = [
     "WindowOutcome",
     "WindowShot",
 ]
+
+
+@lru_cache(maxsize=256)
+def _online_config(
+    frequency_hz: float | None,
+    measurement_interval_s: float,
+    thv: int,
+    reg_size: int | None,
+) -> OnlineConfig:
+    return OnlineConfig(
+        frequency_hz=frequency_hz,
+        measurement_interval_s=measurement_interval_s,
+        thv=thv,
+        reg_size=reg_size,
+    )
 
 
 @dataclass(frozen=True)
@@ -148,12 +164,13 @@ class SessionSpec:
         return self.d
 
     def online_config(self) -> OnlineConfig:
-        """The session's decoder operating point."""
-        return OnlineConfig(
-            frequency_hz=self.frequency_hz,
-            measurement_interval_s=self.measurement_interval_s,
-            thv=self.thv,
-            reg_size=self.reg_size,
+        """The session's decoder operating point (memoised: admissions
+        of one operating point share a config instance)."""
+        return _online_config(
+            self.frequency_hz,
+            self.measurement_interval_s,
+            self.thv,
+            self.reg_size,
         )
 
     def to_payload(self) -> dict:

@@ -142,17 +142,37 @@ class TestSchedulerBitIdentity:
             assert_session_matches_trial(session)
 
     def test_recycled_engines_stay_bit_identical(self):
-        """Back-to-back sessions of one shape reuse pooled engines; the
-        second batch must not see any first-batch residue."""
+        """Back-to-back dense sessions of one shape reuse batch-engine
+        lanes; the second batch must not see any first-batch residue."""
         scheduler = MicroBatchScheduler(SchedulerConfig(max_active=4))
         first = [
             scheduler.submit(SessionSpec(d=5, p=0.05, seed=100 + i))
             for i in range(4)
         ]
         scheduler.run_until_idle()
-        assert scheduler._engine_pool  # engines were recycled
+        assert scheduler._engine_pool  # lanes were recycled in place
         second = [
             scheduler.submit(SessionSpec(d=5, p=0.05, seed=200 + i))
+            for i in range(4)
+        ]
+        scheduler.run_until_idle()
+        for session in first + second:
+            assert_session_matches_trial(session)
+
+    def test_recycled_scalar_engines_stay_bit_identical(self):
+        """Sparse sessions (below BATCH_EVENT_CUTOFF) dispatch to pooled
+        scalar engines; a recycled (reset) engine must show no residue
+        of its previous session."""
+        scheduler = MicroBatchScheduler(SchedulerConfig(max_active=4))
+        first = [
+            scheduler.submit(SessionSpec(d=5, p=0.001, seed=300 + i))
+            for i in range(4)
+        ]
+        scheduler.run_until_idle()
+        assert scheduler._scalar_pool  # scalar engines were recycled
+        assert not scheduler._engine_pool  # ... and no batch engine built
+        second = [
+            scheduler.submit(SessionSpec(d=5, p=0.001, seed=400 + i))
             for i in range(4)
         ]
         scheduler.run_until_idle()
