@@ -42,10 +42,13 @@ ENGINE_FLOORS = {
     "drain_scalar_d9": 2.2,
 }
 
+# Raised after the slab-native session layer (PR 6): recorded speedups
+# moved to 2.41x / 2.11x / 1.41x, so the floors follow them up with a
+# small re-record margin.
 SERVICE_FLOORS = {
-    "serve_d9_p0.0005": 2.0,
-    "serve_d9_p0.001": 1.5,
-    "serve_d9_p0.005": 1.1,
+    "serve_d9_p0.0005": 2.3,
+    "serve_d9_p0.001": 2.0,
+    "serve_d9_p0.005": 1.35,
 }
 
 FLOORS_BY_SCHEMA = {

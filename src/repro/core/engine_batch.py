@@ -249,6 +249,20 @@ class QecoolEngineBatch:
         """The lane's per-layer cycle counts (live object; do not mutate)."""
         return self._layer_cycles[lane]
 
+    def match_counts(self, lanes: np.ndarray) -> np.ndarray:
+        """Per-lane match-list lengths, aligned with ``lanes``.
+
+        The streaming session layer compares these against its
+        consumed-match slab after each decode to find the (rare) lanes
+        that need a correction materialised — the only per-shot Python
+        left on its running path.
+        """
+        matches = self._matches
+        return np.fromiter(
+            (len(matches[lane]) for lane in lanes.tolist()),
+            np.int64, len(lanes),
+        )
+
     def cycles_of(self, lane: int) -> int:
         """The lane's busy-cycle clock."""
         return int(self._cycles[lane])

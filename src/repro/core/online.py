@@ -46,6 +46,7 @@ __all__ = [
     "OnlineOutcome",
     "OnlineShot",
     "StreamingBlock",
+    "StreamingRoster",
     "StreamingShotState",
     "advance_streaming_round",
     "run_online_chunk",
@@ -253,16 +254,37 @@ def _rates_table(
 class StreamingBlock:
     """Shot-major state slab shared by a batch of streaming shots.
 
-    Holds the per-shot ``error`` / ``prev_raw`` / ``compensation`` rows
-    of every shot in a batch as three contiguous arrays, so
-    :func:`advance_streaming_round` can gather and scatter the whole
-    round's state with single fancy-index operations instead of one
-    Python row copy per shot.  Rows are allocated to shots on admission
-    and recycled on retirement (the decode service's scheduler keeps
-    one block per micro-batch shape group); shots hold *views* into the
-    block, so :meth:`grow` reallocations require :meth:`OnlineShot.rebind`
-    on every live shot — the scheduler owns that bookkeeping.
+    Holds every per-shot quantity :func:`advance_streaming_round` needs
+    on its running path as contiguous row-indexed arrays, so a whole
+    round runs as fancy-index gathers/scatters instead of per-shot
+    Python:
+
+    - the physical rows — ``errors`` / ``prev`` / ``comp`` (uint8);
+    - the **session-state** rows — round cursor ``k``, round budget
+      ``rounds``, decoder-cycle ``wall`` clock, per-interval cycle
+      ``budget`` (``inf`` = unconstrained clock, mirrored by the
+      ``finite`` mask so the vector wall arithmetic never multiplies
+      into ``inf``), the engine-idle flag ``at_idle`` and the
+      consumed-match cursor ``consumed``;
+    - the **pre-drawn noise** rows — ``u[row, t]`` holds round ``t``'s
+      uniform draws and ``pq[row, t]`` its (data, measurement) flip
+      rates, for rows flagged ``has_u`` (streams above the per-shot
+      size bound keep drawing per round instead).
+
+    Rows are allocated to shots on admission and recycled on retirement
+    (the decode service's scheduler keeps one block per micro-batch
+    shape group); shots hold *views* into the physical rows, so
+    :meth:`grow` reallocations require :meth:`OnlineShot.rebind` on
+    every live shot — the scheduler owns that bookkeeping.  The
+    session-state rows are only ever indexed, never viewed, so growth
+    cannot strand them.
     """
+
+    _SLABS = (
+        "errors", "prev", "comp",
+        "k", "rounds", "wall", "budget", "finite", "at_idle",
+        "consumed", "has_u", "u", "pq",
+    )
 
     def __init__(self, lattice: PlanarLattice, capacity: int = 64):
         if capacity < 1:
@@ -272,6 +294,19 @@ class StreamingBlock:
         self.errors = np.zeros((capacity, lattice.n_data), dtype=np.uint8)
         self.prev = np.zeros((capacity, lattice.n_ancillas), dtype=np.uint8)
         self.comp = np.zeros((capacity, lattice.n_ancillas), dtype=np.uint8)
+        self.k = np.zeros(capacity, dtype=np.int64)
+        self.rounds = np.zeros(capacity, dtype=np.int64)
+        self.wall = np.zeros(capacity, dtype=np.float64)
+        self.budget = np.full(capacity, math.inf, dtype=np.float64)
+        self.finite = np.zeros(capacity, dtype=bool)
+        self.at_idle = np.ones(capacity, dtype=bool)
+        self.consumed = np.zeros(capacity, dtype=np.int64)
+        self.has_u = np.zeros(capacity, dtype=bool)
+        # Per-round noise slabs, grown along the round axis on demand.
+        width = lattice.n_data + lattice.n_ancillas
+        self.n_rounds_cap = 0
+        self.u = np.zeros((capacity, 0, width), dtype=np.float64)
+        self.pq = np.zeros((capacity, 0, 2), dtype=np.float64)
         self._free = list(range(capacity - 1, -1, -1))
 
     @property
@@ -280,18 +315,44 @@ class StreamingBlock:
         return len(self._free)
 
     def alloc(self) -> int:
-        """Claim a zeroed row; grows the block when none are free."""
+        """Claim a reset row; grows the block when none are free."""
         if not self._free:
             self.grow()
         row = self._free.pop()
         self.errors[row] = 0
         self.prev[row] = 0
         self.comp[row] = 0
+        self.k[row] = 0
+        self.rounds[row] = 0
+        self.wall[row] = 0.0
+        self.budget[row] = math.inf
+        self.finite[row] = False
+        self.at_idle[row] = True
+        self.consumed[row] = 0
+        self.has_u[row] = False
         return row
 
     def release(self, row: int) -> None:
         """Return a retired shot's row to the free list."""
         self._free.append(row)
+
+    def ensure_rounds(self, n_rounds: int) -> None:
+        """Grow the per-round noise slabs to cover ``n_rounds`` rounds.
+
+        Unlike :meth:`grow` this reallocation strands no views — the
+        noise slabs are only ever indexed.
+        """
+        if n_rounds <= self.n_rounds_cap:
+            return
+        new = max(n_rounds, 2 * self.n_rounds_cap)
+        for name in ("u", "pq"):
+            arr = getattr(self, name)
+            grown = np.zeros(
+                (self.capacity, new) + arr.shape[2:], dtype=arr.dtype
+            )
+            grown[:, : self.n_rounds_cap] = arr
+            setattr(self, name, grown)
+        self.n_rounds_cap = new
 
     def grow(self) -> None:
         """Double capacity, preserving live rows.
@@ -300,10 +361,10 @@ class StreamingBlock:
         """
         old = self.capacity
         self.capacity = old * 2
-        for name in ("errors", "prev", "comp"):
-            block = getattr(self, name)
-            grown = np.zeros((self.capacity,) + block.shape[1:], dtype=np.uint8)
-            grown[:old] = block
+        for name in self._SLABS:
+            arr = getattr(self, name)
+            grown = np.zeros((self.capacity,) + arr.shape[1:], dtype=arr.dtype)
+            grown[:old] = arr
             setattr(self, name, grown)
         self._free.extend(range(self.capacity - 1, old - 1, -1))
 
@@ -312,19 +373,23 @@ class StreamingShotState:
     """Shared per-shot state of the streaming-shot protocol.
 
     The plumbing every shot kind needs — the physical error row, the
-    previous raw syndrome, the pending correction compensation (views
-    into a shared :class:`StreamingBlock` when batched, private arrays
-    otherwise), the noise substream and its python-float rate table,
-    and the round counter.  Concrete shots (:class:`OnlineShot` here,
-    ``WindowShot`` in :mod:`repro.service.session`) add their decode
-    state and implement ``step()``, ``finish_pair()`` and
-    ``finalize()``.
+    previous raw syndrome, the pending correction compensation, the
+    noise substream and its python-float rate table, and the round
+    counter.  All of it is **slab-resident**: state lives in the rows
+    of a :class:`StreamingBlock` (a shared one when batched — the
+    decode service allocates one row per admission — or a private
+    single-row block otherwise), and the shot object is a *shim* over
+    its row: attribute access reads/writes the slab, so per-shot and
+    vectorized advances see the same state.  Concrete shots
+    (:class:`OnlineShot` here, ``WindowShot`` in
+    :mod:`repro.service.session`) add their decode state and implement
+    ``step()``, ``finish_pair()`` and ``finalize()``.
     """
 
     __slots__ = (
         "lattice", "noise", "n_rounds", "rng",
-        "error", "prev_raw", "compensation", "k", "outcome",
-        "block", "row", "_rates", "owner", "_udraws",
+        "error", "prev_raw", "compensation", "outcome",
+        "block", "row", "_rates", "owner",
     )
 
     def __init__(
@@ -341,40 +406,51 @@ class StreamingShotState:
         self.noise = noise
         self.n_rounds = n_rounds
         self.rng = _shot_rng(rng)
-        # State rows: views into a shared StreamingBlock when batched
-        # (row released by the owner at retirement), private arrays
-        # otherwise — identical semantics either way.
-        self.block = block
+        # State rows: a shared StreamingBlock when batched (row released
+        # by the owner at retirement), a private single-row block
+        # otherwise — identical layout and semantics either way.
         if block is None:
-            self.row = -1
-            self.error = np.zeros(lattice.n_data, dtype=np.uint8)
-            self.prev_raw = np.zeros(lattice.n_ancillas, dtype=np.uint8)
-            self.compensation = np.zeros(lattice.n_ancillas, dtype=np.uint8)
-        else:
-            self.row = block.alloc()
-            self.rebind()
-        self.k = 0
+            block = StreamingBlock(lattice, capacity=1)
+        self.block = block
+        self.row = block.alloc()
+        self.rebind()
+        block.rounds[self.row] = n_rounds
         self.outcome = None
         self.owner = None  # opaque back-reference for schedulers
-        # The whole stream's uniform draws, taken up front in one call:
-        # numpy fills row-major, so row k holds exactly the doubles
-        # round k's `sample_round` would draw — the same stream, one
-        # generator call instead of one per round.  (A shot that stops
-        # early — Reg overflow — leaves its generator past where the
-        # per-round reference would; nothing reads it afterwards.)
-        # Bounded by *size*, not rounds, so long/large-lattice streams
-        # cannot pin multi-MB buffers per session (a busy scheduler
-        # holds hundreds of shots); oversize streams draw per round.
+        # The whole stream's uniform draws, taken up front in one call
+        # straight into the block's noise slab: numpy fills row-major,
+        # so u[row, k] holds exactly the doubles round k's
+        # `sample_round` would draw — the same stream, one generator
+        # call instead of one per round.  (A shot that stops early —
+        # Reg overflow — leaves its generator past where the per-round
+        # reference would; nothing reads it afterwards.)  Bounded by
+        # *size*, not rounds, so long/large-lattice streams cannot pin
+        # multi-MB slab rows per session (a busy scheduler holds
+        # hundreds of shots); oversize streams draw per round and skip
+        # the vectorized noise gather (``has_u`` stays False).
+        # Drawn into a fresh (n_rounds, width) array — the exact
+        # generator call of the per-round reference, independent of the
+        # slab's round-axis over-allocation — then copied into the slab.
         width = lattice.n_data + lattice.n_ancillas
-        self._udraws = (
-            self.rng.random((n_rounds, width))
-            if n_rounds * width <= 16384
-            else None
-        )
+        if n_rounds * width <= 16384:
+            block.ensure_rounds(n_rounds)
+            block.u[self.row, :n_rounds] = self.rng.random((n_rounds, width))
+            block.has_u[self.row] = True
         try:
             self._rates = _rates_table(noise, n_rounds)
         except TypeError:  # an unhashable custom model: build directly
             self._rates = _rates_table.__wrapped__(noise, n_rounds)
+        if block.has_u[self.row]:
+            block.pq[self.row, :n_rounds] = self._rates
+
+    @property
+    def k(self) -> int:
+        """Current round index (slab-resident)."""
+        return int(self.block.k[self.row])
+
+    @k.setter
+    def k(self, value: int) -> None:
+        self.block.k[self.row] = value
 
     def rebind(self) -> None:
         """Refresh the block-row views (after ``StreamingBlock.grow``)."""
@@ -405,8 +481,8 @@ class OnlineShot(StreamingShotState):
     """
 
     __slots__ = (
-        "config", "engine", "wall",
-        "_budget", "_unconstrained", "_gen", "_at_idle", "_consumed",
+        "config", "engine",
+        "_budget", "_unconstrained", "_gen",
         "_batch", "_lane",
     )
 
@@ -427,6 +503,13 @@ class OnlineShot(StreamingShotState):
         self.config = config
         self._budget = config.cycles_per_interval
         self._unconstrained = math.isinf(self._budget)
+        if not self._unconstrained:
+            # alloc() reset the row to the unconstrained defaults
+            # (budget=inf, finite=False); stamp the finite clock so the
+            # vectorized wall arithmetic can mask on ``finite`` and
+            # never multiply a round index into ``inf``.
+            self.block.budget[self.row] = self._budget
+            self.block.finite[self.row] = True
         # ``batch`` binds the shot to a lane of a shot-major batch
         # engine (the fast path of :func:`run_online_chunk` and the
         # decode service's lane allocator); ``engine`` keeps the scalar
@@ -460,9 +543,37 @@ class OnlineShot(StreamingShotState):
             self._gen = (
                 None if self._unconstrained else self.engine.run(drain=False)
             )
-        self._at_idle = True
-        self.wall = 0.0
-        self._consumed = 0
+
+    # Slab-resident session state: the wall clock, engine-idle flag and
+    # consumed-match cursor live in the shot's StreamingBlock row so
+    # whole-batch advances read/write them as vector gathers/scatters;
+    # these shims keep the per-shot (scalar-engine) paths working on
+    # the same state.
+
+    @property
+    def wall(self) -> float:
+        """Decoder-cycle wall clock (slab-resident)."""
+        return float(self.block.wall[self.row])
+
+    @wall.setter
+    def wall(self, value: float) -> None:
+        self.block.wall[self.row] = value
+
+    @property
+    def _at_idle(self) -> bool:
+        return bool(self.block.at_idle[self.row])
+
+    @_at_idle.setter
+    def _at_idle(self, value: bool) -> None:
+        self.block.at_idle[self.row] = value
+
+    @property
+    def _consumed(self) -> int:
+        return int(self.block.consumed[self.row])
+
+    @_consumed.setter
+    def _consumed(self, value: int) -> None:
+        self.block.consumed[self.row] = value
 
     def release(self) -> None:
         """Return the shot's batch lane (after its outcome is built)."""
@@ -514,7 +625,9 @@ class OnlineShot(StreamingShotState):
                 np.asarray(events_row, dtype=np.uint8)[None, :],
                 [empty],
             )[0]
-        final = self.k == self.n_rounds
+        block, row = self.block, self.row
+        k = int(block.k[row])
+        final = k == self.n_rounds
         engine = self.engine
         # Empty layer into an IDLE-parked engine: the simulated path is
         # a fixed state delta in two common streaming cases — an empty
@@ -522,18 +635,22 @@ class OnlineShot(StreamingShotState):
         # still waiting on the thv look-ahead with no newly-exposed
         # sink (try_push_empty_idle).  Both are bit-identical to the
         # generator path and never touch it.
-        if empty and not final and self._at_idle:
+        if empty and not final and block.at_idle[row]:
             if not engine._live and not engine.m:
                 cost = engine.idle_layer_fast()
                 if not self._unconstrained:
-                    self.wall = max(self.wall, self.k * self._budget) + cost
-                self.k += 1
+                    block.wall[row] = (
+                        max(float(block.wall[row]), k * self._budget) + cost
+                    )
+                block.k[row] = k + 1
                 return "running", None
             absorbed = engine.try_push_empty_idle()
             if absorbed:
                 if not self._unconstrained:
-                    self.wall = max(self.wall, self.k * self._budget)
-                self.k += 1
+                    block.wall[row] = max(
+                        float(block.wall[row]), k * self._budget
+                    )
+                block.k[row] = k + 1
                 return "running", None
             if absorbed is False:
                 self._overflow_outcome()
@@ -544,15 +661,15 @@ class OnlineShot(StreamingShotState):
         if self._unconstrained:
             deadline = math.inf
         else:
-            self.wall = max(self.wall, self.k * self._budget)
-            deadline = (self.k + 1) * self._budget
+            wall = max(float(block.wall[row]), k * self._budget)
+            block.wall[row] = wall
+            deadline = (k + 1) * self._budget
         if final:
             engine.begin_drain()
             deadline = math.inf
         if self._unconstrained:
             engine.run_to_idle()
         else:
-            wall = self.wall
             at_idle = True  # generator exhaustion (drain) parks clean too
             for chunk in self._gen:
                 if chunk == IDLE:
@@ -561,11 +678,12 @@ class OnlineShot(StreamingShotState):
                 if wall >= deadline:
                     at_idle = False
                     break
-            self.wall = wall
-            self._at_idle = at_idle
-        self.k += 1
-        new_matches = engine.matches[self._consumed :]
-        self._consumed = len(engine.matches)
+            block.wall[row] = wall
+            block.at_idle[row] = at_idle
+        block.k[row] = k + 1
+        consumed = int(block.consumed[row])
+        new_matches = engine.matches[consumed:]
+        block.consumed[row] = len(engine.matches)
         correction = None
         if new_matches:
             correction = correction_from_matches(self.lattice, new_matches)
@@ -701,90 +819,351 @@ def _advance_batch_group(
     return results
 
 
+class StreamingRoster:
+    """Precomputed dispatch structure for a fixed set of slab shots.
+
+    Building the per-round dispatch — the row gather index, the
+    batch-engine lane groupings, the per-shot-fallback list — takes a
+    Python pass over the shots.  A roster caches that pass, so a
+    scheduler advancing the same membership round after round pays it
+    once per membership *change* rather than once per round
+    (:func:`advance_streaming_round` builds a throwaway roster when
+    none is passed).  Any membership change — admission, retirement,
+    overflow — invalidates the roster; build a fresh one.
+    """
+
+    __slots__ = ("shots", "rows", "parts", "object_idx")
+
+    def __init__(self, block: StreamingBlock, shots: Sequence) -> None:
+        self.shots = list(shots)
+        for shot in self.shots:
+            if shot.block is not block:
+                # A stray shot's row indexes a *different* block;
+                # advancing it against this one's slabs would silently
+                # read/corrupt a co-tenant's row.
+                raise ValueError(
+                    "every shot must hold a row in the passed block"
+                )
+        self.rows = np.fromiter(
+            (s.row for s in self.shots), np.intp, len(self.shots)
+        )
+        # Shots bound to a shot-major batch engine advance together,
+        # one vectorized group step per engine; everything else
+        # (scalar-engine online shots, window shots) takes its
+        # per-shot ``step``.
+        groups: dict[int, tuple[QecoolEngineBatch, list[int]]] = {}
+        object_idx: list[int] = []
+        for i, shot in enumerate(self.shots):
+            batch = getattr(shot, "_batch", None)
+            if batch is not None:
+                groups.setdefault(id(batch), (batch, []))[1].append(i)
+            else:
+                object_idx.append(i)
+        self.parts = [
+            (
+                batch,
+                np.asarray(idxs, dtype=np.intp),
+                np.fromiter(
+                    (self.shots[i]._lane for i in idxs), np.int64, len(idxs)
+                ),
+            )
+            for batch, idxs in groups.values()
+        ]
+        self.object_idx = object_idx
+
+
+def _advance_batch_rows(
+    batch: QecoolEngineBatch,
+    block: StreamingBlock,
+    shots: list,
+    rows: np.ndarray,
+    kk: np.ndarray,
+    idx: np.ndarray,
+    lanes: np.ndarray,
+    events: np.ndarray,
+    nonempty: np.ndarray,
+    done: list,
+    finished: list,
+    corrected_rows: list[int],
+    corrections: list[np.ndarray],
+) -> None:
+    """One round's engine advance for every lane of one batch engine,
+    with the session state vectorized over the shots' slab rows.
+
+    The slab-native counterpart of :func:`_advance_batch_group`: the
+    same case-for-case mirror of the scalar :meth:`OnlineShot.step` —
+    the two empty-layer fast entries, the slab push, the lock-step
+    decode under each shot's own wall clock and interval deadline —
+    but the wall/round/idle/consumed bookkeeping runs as masked vector
+    arithmetic on the block's session slabs (``finite`` masks every
+    wall product so an unconstrained row never multiplies into
+    ``inf``).  The only per-shot Python left on the running path is
+    correction materialisation for lanes whose match list actually
+    grew, and outcome construction for shots that drop out.
+    """
+    r = rows[idx]
+    k = kk[idx]
+    final = k == block.rounds[r]
+    # Empty-layer fast-entry eligibility, vectorized over the group
+    # (the conditions of the scalar step's ``empty and not final and
+    # at_idle and parked and lane not in cursors`` guard).
+    eligible = (
+        ~nonempty[idx] & ~final & block.at_idle[r] & batch._parked[lanes]
+    )
+    if batch._cursors and eligible.any():
+        eligible &= np.fromiter(
+            (lane not in batch._cursors for lane in lanes.tolist()),
+            bool, lanes.size,
+        )
+    hold = (batch._m[lanes] != 0) | batch._drain[lanes]
+    push = ~eligible
+    fi = np.flatnonzero(eligible & ~hold)
+    if fi.size:
+        costs = batch.empty_layers_fast(lanes[fi])
+        rf = r[fi]
+        fin = block.finite[rf]
+        if fin.any():
+            rff = rf[fin]
+            block.wall[rff] = (
+                np.maximum(block.wall[rff], k[fi][fin] * block.budget[rff])
+                + costs[fin]
+            )
+        block.k[rf] += 1
+    ft = np.flatnonzero(eligible & hold)
+    if ft.size:
+        res = batch.try_push_empty(lanes[ft])
+        absorbed = ft[res == 1]
+        if absorbed.size:
+            ra = r[absorbed]
+            fin = block.finite[ra]
+            if fin.any():
+                raf = ra[fin]
+                block.wall[raf] = np.maximum(
+                    block.wall[raf], k[absorbed][fin] * block.budget[raf]
+                )
+            block.k[ra] += 1
+        for j in ft[res == 0].tolist():
+            shot = shots[idx[j]]
+            shot._overflow_outcome()
+            finished.append(shot)
+        push[ft[res == -1]] = True  # a sink would be exposed: simulate
+    pi = np.flatnonzero(push)
+    if not pi.size:
+        return
+    pl = lanes[pi]
+    ok = batch.push_layers(pl, events[idx[pi]])
+    if not ok.all():
+        for j in pi[~ok].tolist():
+            shot = shots[idx[j]]
+            shot._overflow_outcome()
+            finished.append(shot)
+        pi = pi[ok]
+        if not pi.size:
+            return
+        pl = lanes[pi]
+    rd = r[pi]
+    kd = k[pi]
+    dfinal = final[pi]
+    if dfinal.any():
+        batch.begin_drain(pl[dfinal])
+    wall_in = np.zeros(pi.size, dtype=np.float64)
+    deadline = np.full(pi.size, math.inf)
+    fin = block.finite[rd]
+    if fin.any():
+        rdf = rd[fin]
+        wall_in[fin] = np.maximum(
+            block.wall[rdf], kd[fin] * block.budget[rdf]
+        )
+        ddl = fin & ~dfinal
+        if ddl.any():
+            deadline[ddl] = (kd[ddl] + 1) * block.budget[rd[ddl]]
+    statuses = batch.decode(pl, wall_in, deadline)
+    if fin.any():
+        block.wall[rd[fin]] = wall_in[fin]
+    block.at_idle[rd] = statuses != LANE_SUSPENDED
+    block.k[rd] += 1
+    counts = batch.match_counts(pl)
+    consumed = block.consumed[rd]
+    changed = np.flatnonzero(counts != consumed)
+    for j in changed.tolist():
+        shot = shots[idx[pi[j]]]
+        new_matches = batch.matches_of(int(pl[j]))[int(consumed[j]):]
+        correction = correction_from_matches(shot.lattice, new_matches)
+        row = int(rd[j])
+        np.bitwise_xor(block.errors[row], correction, out=block.errors[row])
+        if not dfinal[j]:
+            corrected_rows.append(row)
+            corrections.append(correction)
+    if changed.size:
+        block.consumed[rd[changed]] = counts[changed]
+    for j in np.flatnonzero(dfinal).tolist():
+        done.append(shots[idx[pi[j]]])
+
+
+def _finalize_done(lattice: PlanarLattice, done: list) -> None:
+    """Batched end-of-stream logical-failure check + outcome build."""
+    final_errors = np.empty((len(done), lattice.n_data), dtype=np.uint8)
+    final_corrections = np.zeros((len(done), lattice.n_data), dtype=np.uint8)
+    for j, shot in enumerate(done):
+        error, correction = shot.finish_pair()
+        final_errors[j] = error
+        if correction is not None:
+            final_corrections[j] = correction
+    fails = logical_failures_batch(lattice, final_errors, final_corrections)
+    for shot, fail in zip(done, fails):
+        shot.finalize(bool(fail))
+
+
 def advance_streaming_round(
     lattice: PlanarLattice,
     shots: Sequence["OnlineShot"],
     block: StreamingBlock | None = None,
+    roster: StreamingRoster | None = None,
 ) -> tuple[list, list]:
     """Advance every shot one measurement round, batched across shots.
 
     The micro-batching kernel: per-round noise sampling (each shot's
     own substream and schedule — shots may sit at *different* round
     indices, carry different noise models, clocks and round budgets),
-    syndrome extraction, detection-event folding and
-    correction-compensation syndromes each run as one vectorized pass
-    over the batch; only the engine advance is per shot.  Membership is
-    free to change between calls — that is what the decode service's
-    scheduler does — and every shot's evolution is bit-identical to
-    running it alone (``tests/test_online.py``,
-    ``tests/test_service.py``).
+    syndrome extraction, detection-event folding,
+    correction-compensation syndromes *and the per-session state
+    bookkeeping* (round cursors, wall clocks, idle flags,
+    consumed-match cursors) each run as one vectorized pass over the
+    batch's slab rows.  Membership is free to change between calls —
+    that is what the decode service's scheduler does — and every
+    shot's evolution is bit-identical to running it alone
+    (``tests/test_online.py``, ``tests/test_service.py``).
 
     ``shots`` may mix any objects implementing the streaming-shot
-    protocol (see :class:`OnlineShot`) on the same lattice.  When every
-    shot's state rows live in ``block`` (a shared
-    :class:`StreamingBlock`), pass it so the per-round state traffic
-    runs as whole-batch gathers/scatters instead of per-shot row
-    copies.  Returns ``(running, finished)``, each preserving input
-    order; finished shots have ``outcome`` set.
+    protocol (see :class:`OnlineShot`) on the same lattice.  When
+    every shot's state rows live in ``block`` (a shared
+    :class:`StreamingBlock`), pass it — and, for repeated same-
+    membership rounds, a cached :class:`StreamingRoster` — so the
+    per-round state traffic runs as whole-batch gathers/scatters
+    instead of per-shot row copies.  Returns ``(running, finished)``;
+    ``running`` preserves input order and finished shots have
+    ``outcome`` set.
     """
+    if roster is not None:
+        shots = roster.shots
     n = len(shots)
     if not n:
         return [], []
+    if block is None:
+        return _advance_round_views(lattice, shots)
+    if roster is None:
+        roster = StreamingRoster(block, shots)
+    rows = roster.rows
+    kk = block.k[rows]
+    n_data = lattice.n_data
+    errors = block.errors[rows]
+    nidx = np.flatnonzero(kk < block.rounds[rows])
+    if nidx.size:
+        # Per-round noise, gathered straight from the block's pre-drawn
+        # uniform/rate slabs (rows above the pre-draw size bound fall
+        # back to their own substream, drawn here in round order).
+        sel = rows[nidx]
+        ksel = kk[nidx]
+        hasu = block.has_u[sel]
+        if hasu.all():
+            uniforms = block.u[sel, ksel]
+            pq = block.pq[sel, ksel]
+        else:
+            uniforms = np.empty((nidx.size, n_data + lattice.n_ancillas))
+            pq = np.empty((nidx.size, 2))
+            hj = np.flatnonzero(hasu)
+            if hj.size:
+                uniforms[hj] = block.u[sel[hj], ksel[hj]]
+                pq[hj] = block.pq[sel[hj], ksel[hj]]
+            for j in np.flatnonzero(~hasu).tolist():
+                shot = shots[int(nidx[j])]
+                shot.rng.random(out=uniforms[j])
+                pq[j] = shot._rates[int(ksel[j])]
+        data_flips = (uniforms[:, :n_data] < pq[:, 0:1]).view(np.uint8)
+        meas_flips = (uniforms[:, n_data:] < pq[:, 1:2]).view(np.uint8)
+        errors[nidx] ^= data_flips
+        block.errors[sel] = errors[nidx]
+    raws = lattice.syndrome_of_batch(errors)
+    if nidx.size:
+        raws[nidx] ^= meas_flips
+    events = raws ^ block.prev[rows] ^ block.comp[rows]
+    block.prev[rows] = raws
+    block.comp[rows] = 0
+    nonempty = events.any(axis=1)
+
+    done: list = []
+    finished: list = []
+    corrected_rows: list[int] = []
+    corrections: list[np.ndarray] = []
+    for batch, idx, lanes in roster.parts:
+        _advance_batch_rows(
+            batch, block, shots, rows, kk, idx, lanes, events, nonempty,
+            done, finished, corrected_rows, corrections,
+        )
+    for i in roster.object_idx:
+        shot = shots[i]
+        status, correction = shot.step(events[i], not nonempty[i])
+        if status == "overflow":
+            finished.append(shot)
+            continue
+        if correction is not None and status == "running":
+            corrected_rows.append(shot.row)
+            corrections.append(correction)
+        if status == "done":
+            done.append(shot)
+    if corrections:
+        comp_rows = lattice.syndrome_of_batch(np.stack(corrections))
+        block.comp[np.asarray(corrected_rows, dtype=np.intp)] = comp_rows
+    if done:
+        _finalize_done(lattice, done)
+        finished.extend(done)
+    if not finished:
+        return list(shots), []
+    drop = set(map(id, finished))
+    return [s for s in shots if id(s) not in drop], finished
+
+
+def _advance_round_views(
+    lattice: PlanarLattice, shots: Sequence["OnlineShot"]
+) -> tuple[list, list]:
+    """Blockless advance: shots whose state rows live in *different*
+    blocks (private single-row blocks, typically) advance through
+    their per-shot views — the pre-slab object path, kept as the
+    bit-identity oracle and for direct step-by-step drivers."""
+    n = len(shots)
     noisy = [i for i, s in enumerate(shots) if s.k < s.n_rounds]
     if noisy:
         nn = len(noisy)
         n_data = lattice.n_data
-        # One contiguous uniform block per shot and round, pre-drawn at
-        # shot construction (`_udraws`): row k is the data block
-        # followed by the measurement block, the sample_round layout.
         uniforms = np.empty((nn, n_data + lattice.n_ancillas))
         rates = []
         for j, i in enumerate(noisy):
             shot = shots[i]
-            if shot._udraws is not None:
-                uniforms[j] = shot._udraws[shot.k]
+            if shot.block.has_u[shot.row]:
+                uniforms[j] = shot.block.u[shot.row, shot.k]
             else:
                 shot.rng.random(out=uniforms[j])
             rates.append(shot._rates[shot.k])
         pq = np.asarray(rates)
         data_flips = (uniforms[:, :n_data] < pq[:, 0:1]).view(np.uint8)
         meas_flips = (uniforms[:, n_data:] < pq[:, 1:2]).view(np.uint8)
-    if block is not None:
-        # Slab path: one fancy-index gather/scatter per array.
-        rows = np.fromiter((s.row for s in shots), np.intp, n)
-        if rows.min() < 0:
-            # A block-less shot carries row == -1, which would silently
-            # alias the slab's last row and corrupt a co-tenant.
-            raise ValueError("every shot must hold a row in the passed block")
-        errors = block.errors[rows]
-        if noisy:
-            errors[noisy] ^= data_flips
-            block.errors[rows] = errors
-        raws = lattice.syndrome_of_batch(errors)
-        if noisy:
-            raws[noisy] ^= meas_flips
-        events = raws ^ block.prev[rows] ^ block.comp[rows]
-        block.prev[rows] = raws
-        block.comp[rows] = 0
-    else:
-        if noisy:
-            for j, i in enumerate(noisy):
-                shot = shots[i]
-                np.bitwise_xor(shot.error, data_flips[j], out=shot.error)
-        errors = np.empty((n, lattice.n_data), dtype=np.uint8)
-        prev = np.empty((n, lattice.n_ancillas), dtype=np.uint8)
-        comp = np.empty((n, lattice.n_ancillas), dtype=np.uint8)
-        for i, shot in enumerate(shots):
-            errors[i] = shot.error
-            prev[i] = shot.prev_raw
-            comp[i] = shot.compensation
-        raws = lattice.syndrome_of_batch(errors)
-        if noisy:
-            raws[noisy] ^= meas_flips
-        events = raws ^ prev ^ comp
-        for i, shot in enumerate(shots):
-            shot.prev_raw[:] = raws[i]
-            shot.compensation.fill(0)
+        for j, i in enumerate(noisy):
+            shot = shots[i]
+            np.bitwise_xor(shot.error, data_flips[j], out=shot.error)
+    errors = np.empty((n, lattice.n_data), dtype=np.uint8)
+    prev = np.empty((n, lattice.n_ancillas), dtype=np.uint8)
+    comp = np.empty((n, lattice.n_ancillas), dtype=np.uint8)
+    for i, shot in enumerate(shots):
+        errors[i] = shot.error
+        prev[i] = shot.prev_raw
+        comp[i] = shot.compensation
+    raws = lattice.syndrome_of_batch(errors)
+    if noisy:
+        raws[noisy] ^= meas_flips
+    events = raws ^ prev ^ comp
+    for i, shot in enumerate(shots):
+        shot.prev_raw[:] = raws[i]
+        shot.compensation.fill(0)
     nonempty = events.any(axis=1)
 
     # Shots bound to a shot-major batch engine advance together, one
@@ -830,16 +1209,7 @@ def advance_streaming_round(
         for shot, row in zip(corrected, comp_rows):
             shot.compensation[:] = row
     if done:
-        final_errors = np.empty((len(done), lattice.n_data), dtype=np.uint8)
-        final_corrections = np.zeros((len(done), lattice.n_data), dtype=np.uint8)
-        for j, shot in enumerate(done):
-            error, correction = shot.finish_pair()
-            final_errors[j] = error
-            if correction is not None:
-                final_corrections[j] = correction
-        fails = logical_failures_batch(lattice, final_errors, final_corrections)
-        for shot, fail in zip(done, fails):
-            shot.finalize(bool(fail))
+        _finalize_done(lattice, done)
         finished.extend(done)
     return running, finished
 

@@ -48,7 +48,12 @@ from dataclasses import dataclass
 
 from repro.core.engine import QecoolEngine
 from repro.core.engine_batch import QecoolEngineBatch
-from repro.core.online import OnlineShot, StreamingBlock, advance_streaming_round
+from repro.core.online import (
+    OnlineShot,
+    StreamingBlock,
+    StreamingRoster,
+    advance_streaming_round,
+)
 from repro.core.window import SlidingWindowDecoder
 from repro.experiments.montecarlo import resolve_noise
 from repro.service.metrics import ServiceMetrics
@@ -69,11 +74,16 @@ __all__ = [
 ]
 
 BATCH_EVENT_CUTOFF = 0.5
-"""Expected detection events per round above which a session decodes on
-a batch-engine lane instead of a pooled scalar engine.  A heuristic
-dispatch only — both paths are bit-identical — tuned on the d=9 serving
-benchmarks: near-idle Regs are cheapest through the scalar engine's
-O(1) empty-round fast entries, busy ones through the lock-step slabs."""
+"""Expected detection events per round **at or above which** (dispatch
+compares with ``>=``, so at-cutoff sessions are dense) a session decodes
+on a batch-engine lane instead of a pooled scalar engine.  A heuristic
+dispatch only — both paths are bit-identical.  Re-measured after the
+session layer went slab-native: the lock-step lanes now win from ~0.6
+expected events/round upward (d=9, p>=0.00075), but at near-idle
+densities the scalar engine's O(1) empty-round fast entries still beat
+the batch engine's fixed per-decode slab cost, so sparse traffic keeps
+pooled scalar engines — whose session state, noise draws, and syndrome
+passes ride the same slabs either way."""
 
 
 class Backpressure(RuntimeError):
@@ -88,6 +98,7 @@ class SchedulerConfig:
     max_active: int = 256
     max_queue: int = 1024
     engine_pool_per_shape: int = 256  # initial lanes per batch engine
+    max_idle_shapes: int = 8  # drained shape groups kept warm (LRU)
 
     def __post_init__(self) -> None:
         if self.max_active < 1:
@@ -98,17 +109,28 @@ class SchedulerConfig:
             raise ValueError(
                 f"engine_pool_per_shape must be >= 0, got {self.engine_pool_per_shape}"
             )
+        if self.max_idle_shapes < 0:
+            raise ValueError(
+                f"max_idle_shapes must be >= 0, got {self.max_idle_shapes}"
+            )
 
 
 class _ShapeGroup:
-    """One micro-batch: the active sessions sharing a lattice."""
+    """One micro-batch: the active sessions sharing a lattice.
 
-    __slots__ = ("lattice", "block", "sessions")
+    ``roster`` caches the batch's per-round dispatch structure
+    (:class:`~repro.core.online.StreamingRoster`); it is dropped on any
+    membership change (admission, retirement) and lazily rebuilt on the
+    next :meth:`MicroBatchScheduler.step`.
+    """
+
+    __slots__ = ("lattice", "block", "sessions", "roster")
 
     def __init__(self, lattice: PlanarLattice):
         self.lattice = lattice
         self.block = StreamingBlock(lattice, capacity=64)
         self.sessions: list[DecodeSession] = []
+        self.roster: StreamingRoster | None = None
 
 
 class MicroBatchScheduler:
@@ -137,6 +159,10 @@ class MicroBatchScheduler:
         self._scalar_pool: dict[tuple, list[QecoolEngine]] = {}
         self._noise_cache: dict[tuple, object] = {}
         self._rate_cache: dict[tuple, float] = {}
+        # Insertion-ordered set of shape keys whose groups have fully
+        # drained, oldest first — the LRU over which `max_idle_shapes`
+        # bounds the slabs/lattices/engine pools kept warm.
+        self._idle: dict[int, None] = {}
         self._n_active = 0
         self._next_id = 1
 
@@ -168,9 +194,26 @@ class MicroBatchScheduler:
         queue is at ``max_queue`` — counts a drop and raises
         :class:`Backpressure`.  Admission itself happens on the next
         :meth:`step`, between micro-batch rounds.
+
+        ``max_queue=0`` means "no waiting", not "no service": a spec is
+        admitted directly into a free ``max_active`` slot (submission
+        and admission coincide) and only sheds once capacity is full.
         """
         spec.validate()
         self.metrics.record_submit()
+        if self.config.max_queue == 0:
+            if self._n_active >= self.config.max_active:
+                self.metrics.record_reject()
+                raise Backpressure(
+                    f"no free capacity ({self.config.max_active} active) "
+                    f"and no admission queue (max_queue=0)"
+                )
+            session = DecodeSession(
+                id=self._next_id, spec=spec, submitted_at=self._clock()
+            )
+            self._next_id += 1
+            self._admit(session)
+            return session
         if len(self._queue) >= self.config.max_queue:
             self.metrics.record_reject()
             raise Backpressure(
@@ -300,6 +343,8 @@ class MicroBatchScheduler:
         session.state = SessionState.ACTIVE
         session.admitted_at = self._clock()
         group.sessions.append(session)
+        group.roster = None  # membership changed
+        self._idle.pop(spec.shape_key, None)
         self._n_active += 1
         self.metrics.record_admit()
 
@@ -319,14 +364,23 @@ class MicroBatchScheduler:
             if not sessions:
                 continue
             advanced += len(sessions)
+            roster = group.roster
+            if roster is None:
+                roster = group.roster = StreamingRoster(
+                    group.block, [s.shot for s in sessions]
+                )
             running, done = advance_streaming_round(
-                group.lattice, [s.shot for s in sessions], block=group.block
+                group.lattice, roster.shots, block=group.block, roster=roster
             )
-            group.sessions = [shot.owner for shot in running]
-            for shot in done:
-                session = shot.owner
-                self._retire(session, group)
-                finished.append(session)
+            if done:
+                group.sessions = [shot.owner for shot in running]
+                group.roster = None  # membership changed
+                for shot in done:
+                    session = shot.owner
+                    self._retire(session, group)
+                    finished.append(session)
+        if finished:
+            self._prune_idle()
         duration = self._clock() - started
         self.metrics.record_step(
             duration, advanced, len(self._queue), self._n_active
@@ -345,6 +399,34 @@ class MicroBatchScheduler:
         session.shot = None  # drop lane/slab references
         self._n_active -= 1
         self.metrics.record_finish(result)
+
+    def _prune_idle(self) -> None:
+        """LRU-bound the fully-drained shape groups.
+
+        A long-running service sweeping many distinct ``d`` values
+        would otherwise accumulate empty groups — their state slabs,
+        cached lattices and engine pools — forever.  Keep the
+        ``max_idle_shapes`` most recently drained shapes warm for
+        re-admission; evict the rest wholesale (a re-admission simply
+        rebuilds the shape from scratch — dispatch state is
+        per-session, so eviction never affects decode semantics).
+        """
+        for d, group in self._groups.items():
+            if group.sessions:
+                self._idle.pop(d, None)
+            elif d not in self._idle:
+                self._idle[d] = None
+        while len(self._idle) > self.config.max_idle_shapes:
+            d = next(iter(self._idle))
+            del self._idle[d]
+            self._drop_shape(d)
+
+    def _drop_shape(self, d: int) -> None:
+        self._groups.pop(d, None)
+        self._lattices.pop(d, None)
+        for pool in (self._engine_pool, self._scalar_pool):
+            for key in [k for k in pool if k[0] == d]:
+                del pool[key]
 
     def run_until_idle(self, max_steps: int | None = None) -> list[DecodeSession]:
         """Step until no session is queued or active (or ``max_steps``).

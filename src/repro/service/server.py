@@ -51,8 +51,15 @@ class _Connection:
     async def send(self, payload: dict) -> None:
         data = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
         async with self.write_lock:
-            self.writer.write(data)
-            await self.writer.drain()
+            try:
+                self.writer.write(data)
+                await self.writer.drain()
+            except (ConnectionError, OSError):
+                # The client vanished mid-response (reset, broken
+                # pipe).  Its session already ran; there is no one left
+                # to report to — drop the payload and let the read loop
+                # observe EOF.
+                pass
 
     async def _decode(self, payload_id, spec_payload) -> None:
         try:
@@ -83,44 +90,21 @@ class _Connection:
         for task in pending:
             task.cancel()
         if read in done:
-            return read.result()
+            try:
+                return read.result()
+            except (ConnectionError, OSError):
+                # An abrupt disconnect (e.g. RST) surfaces here as
+                # ConnectionResetError; treat it as EOF so the handler
+                # unwinds quietly instead of leaving an unretrieved
+                # task exception behind.
+                return b""
         return b""
 
     async def run(self) -> None:
         try:
-            while True:
-                line = await self._readline_or_shutdown()
-                if not line:
-                    break
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    request = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    await self.send(_error(None, "bad-json", detail=str(exc)))
-                    continue
-                payload_id = request.get("id")
-                op = request.get("op", "decode")
-                if op == "decode":
-                    # Spawn so the read loop keeps accepting pipelined
-                    # requests while this session decodes.
-                    task = asyncio.create_task(
-                        self._decode(payload_id, request.get("spec") or {})
-                    )
-                    self.decodes.add(task)
-                    task.add_done_callback(self.decodes.discard)
-                elif op == "metrics":
-                    await self.send(
-                        {"id": payload_id, "ok": True, "metrics": self.service.metrics()}
-                    )
-                elif op == "ping":
-                    await self.send({"id": payload_id, "ok": True, "pong": True})
-                elif op == "shutdown":
-                    await self.send({"id": payload_id, "ok": True})
-                    self.shutdown.set()
-                else:
-                    await self.send(_error(payload_id, f"unknown-op:{op}"))
+            await self._serve_requests()
+        except (ConnectionError, OSError):
+            pass  # abrupt disconnect anywhere in the loop: close quietly
         finally:
             if self.decodes:
                 await asyncio.gather(*self.decodes, return_exceptions=True)
@@ -133,6 +117,41 @@ class _Connection:
                     await self.writer.wait_closed()
                 except (ConnectionError, OSError):
                     pass
+
+    async def _serve_requests(self) -> None:
+        while True:
+            line = await self._readline_or_shutdown()
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                request = json.loads(line)
+            except json.JSONDecodeError as exc:
+                await self.send(_error(None, "bad-json", detail=str(exc)))
+                continue
+            payload_id = request.get("id")
+            op = request.get("op", "decode")
+            if op == "decode":
+                # Spawn so the read loop keeps accepting pipelined
+                # requests while this session decodes.
+                task = asyncio.create_task(
+                    self._decode(payload_id, request.get("spec") or {})
+                )
+                self.decodes.add(task)
+                task.add_done_callback(self.decodes.discard)
+            elif op == "metrics":
+                await self.send(
+                    {"id": payload_id, "ok": True, "metrics": self.service.metrics()}
+                )
+            elif op == "ping":
+                await self.send({"id": payload_id, "ok": True, "pong": True})
+            elif op == "shutdown":
+                await self.send({"id": payload_id, "ok": True})
+                self.shutdown.set()
+            else:
+                await self.send(_error(payload_id, f"unknown-op:{op}"))
 
 
 async def serve(

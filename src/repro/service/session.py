@@ -145,6 +145,32 @@ class SessionSpec:
                 f"window decoding loads up to `window` layers at once; need "
                 f"window <= {MAX_LAYERS}, got {self.window}"
             )
+        if self.q is not None and not 0.0 <= self.q <= 1.0:
+            raise ValueError(f"q must be a probability or None, got {self.q}")
+        if self.noise_params is not None and not isinstance(
+            self.noise_params, dict
+        ):
+            raise ValueError(
+                f"noise_params must be a dict, got "
+                f"{type(self.noise_params).__name__}"
+            )
+        if self.noise is not None or self.noise_params is not None:
+            # Resolve the noise model *now*: the scheduler tick is
+            # shared across tenants, so a spec whose noise factory
+            # would raise inside `_admit()` (unknown family, bad
+            # parameters) must be rejected at the transport instead of
+            # killing everyone's step().
+            from repro.experiments.montecarlo import resolve_noise
+
+            try:
+                resolve_noise(
+                    self.noise, "phenomenological", self.p,
+                    q=self.q, noise_params=self.noise_params,
+                )
+            except ValueError:
+                raise
+            except (TypeError, KeyError) as exc:
+                raise ValueError(f"unusable noise spec: {exc}") from exc
 
     @property
     def rounds(self) -> int:

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import argparse
 import asyncio
+import gc
+import logging
 import queue
 import sys
 import threading
@@ -59,6 +61,18 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16) -> dict:
     bound: queue.Queue = queue.Queue()
     config = SchedulerConfig(max_active=capacity, max_queue=4 * n_sessions)
 
+    # A healthy run is *silent*: no unretrieved task exceptions, no
+    # event-loop error reports.  asyncio funnels both through the
+    # "asyncio" logger at ERROR, so capture it and fail on any record.
+    loop_errors: list[logging.LogRecord] = []
+
+    class _Capture(logging.Handler):
+        def emit(self, record: logging.LogRecord) -> None:
+            loop_errors.append(record)
+
+    capture = _Capture(level=logging.ERROR)
+    logging.getLogger("asyncio").addHandler(capture)
+
     def server_thread():
         asyncio.run(serve("127.0.0.1", 0, config, ready=bound.put))
 
@@ -67,13 +81,21 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16) -> dict:
     host, port = bound.get(timeout=30)
 
     specs = _mixed_specs(n_sessions)
-    with ServiceClient(host=host, port=port) as client:
-        assert client.ping(), "server did not answer ping"
-        results = client.decode_many(specs)
-        metrics = client.metrics()
-        client.shutdown()
-    thread.join(timeout=30)
-    assert not thread.is_alive(), "server did not shut down cleanly"
+    try:
+        with ServiceClient(host=host, port=port) as client:
+            assert client.ping(), "server did not answer ping"
+            results = client.decode_many(specs)
+            metrics = client.metrics()
+            client.shutdown()
+        thread.join(timeout=30)
+        assert not thread.is_alive(), "server did not shut down cleanly"
+        gc.collect()  # dropped tasks report unretrieved exceptions here
+    finally:
+        logging.getLogger("asyncio").removeHandler(capture)
+    assert not loop_errors, (
+        "event loop reported errors: "
+        + "; ".join(r.getMessage() for r in loop_errors)
+    )
 
     assert len(results) == n_sessions
     checked = 0

@@ -79,6 +79,12 @@ class TestSessionSpec:
         # the engine's MAX_LAYERS cap inside a shared scheduler step.
         dict(reg_size=None, n_rounds=80),
         dict(mode="window", window=80, commit=1),
+        dict(q=1.5),
+        # The scheduler tick is shared: a noise spec that would blow up
+        # inside _admit() must be rejected at validation instead.
+        dict(noise="bogus"),
+        dict(noise="drift", noise_params={"no_such_param": 1}),
+        dict(noise_params="not-a-dict"),
     ])
     def test_validation(self, bad):
         spec = SessionSpec(**{"d": 5, "p": 0.01, "seed": 1, **bad})
@@ -159,10 +165,14 @@ class TestSchedulerBitIdentity:
         for session in first + second:
             assert_session_matches_trial(session)
 
-    def test_recycled_scalar_engines_stay_bit_identical(self):
-        """Sparse sessions (below BATCH_EVENT_CUTOFF) dispatch to pooled
-        scalar engines; a recycled (reset) engine must show no residue
-        of its previous session."""
+    def test_recycled_scalar_engines_stay_bit_identical(self, monkeypatch):
+        """Sessions below BATCH_EVENT_CUTOFF dispatch to pooled scalar
+        engines; a recycled (reset) engine must show no residue of its
+        previous session.  The production cutoff is 0 (everything rides
+        the batch engine), so pin it high to force the scalar path."""
+        import repro.service.scheduler as scheduler_module
+
+        monkeypatch.setattr(scheduler_module, "BATCH_EVENT_CUTOFF", 1e9)
         scheduler = MicroBatchScheduler(SchedulerConfig(max_active=4))
         first = [
             scheduler.submit(SessionSpec(d=5, p=0.001, seed=300 + i))
@@ -191,6 +201,60 @@ class TestSchedulerLifecycle:
         assert scheduler.metrics.rejected == 1
         assert scheduler.metrics.submitted == 3
         assert scheduler.metrics.snapshot()["drop_rate"] == pytest.approx(1 / 3)
+
+    def test_max_queue_zero_means_no_waiting_not_no_service(self):
+        """``max_queue=0`` admits straight into free capacity (submission
+        and admission coincide); it only sheds once ``max_active`` fills."""
+        scheduler = MicroBatchScheduler(SchedulerConfig(max_active=2, max_queue=0))
+        a = scheduler.submit(SessionSpec(d=3, p=0.01, seed=21))
+        b = scheduler.submit(SessionSpec(d=3, p=0.01, seed=22))
+        assert a.state is SessionState.ACTIVE
+        assert b.state is SessionState.ACTIVE
+        assert scheduler.n_active == 2
+        assert scheduler.n_queued == 0
+        with pytest.raises(Backpressure, match="max_queue=0"):
+            scheduler.submit(SessionSpec(d=3, p=0.01, seed=23))
+        assert scheduler.metrics.rejected == 1
+        scheduler.run_until_idle()
+        for session in (a, b):
+            assert_session_matches_trial(session)
+        # Capacity freed: submission works again.
+        c = scheduler.submit(SessionSpec(d=3, p=0.01, seed=24))
+        scheduler.run_until_idle()
+        assert_session_matches_trial(c)
+
+    def test_drained_shape_groups_are_lru_bounded(self):
+        """Retired shapes must not leak: beyond ``max_idle_shapes`` the
+        oldest drained group — its state slab, cached lattice and engine
+        pools — is dropped wholesale."""
+        scheduler = MicroBatchScheduler(
+            SchedulerConfig(max_active=8, max_queue=64, max_idle_shapes=1)
+        )
+        for d in (3, 5, 7):
+            scheduler.submit(SessionSpec(d=d, p=0.01, seed=30 + d))
+            scheduler.run_until_idle()
+        # Only the most recently drained shape stays warm.
+        assert set(scheduler._groups) == {7}
+        assert set(scheduler._lattices) == {7}
+        assert all(key[0] == 7 for key in scheduler._engine_pool)
+        assert all(key[0] == 7 for key in scheduler._scalar_pool)
+        # An evicted shape re-admits from scratch, bit-identically.
+        revisit = scheduler.submit(SessionSpec(d=3, p=0.01, seed=33))
+        scheduler.run_until_idle()
+        assert_session_matches_trial(revisit)
+        # A shape with live sessions is never evicted, however stale.
+        long_lived = scheduler.submit(
+            SessionSpec(d=9, p=0.01, seed=39, n_rounds=40)
+        )
+        for d in (3, 5):
+            scheduler.submit(SessionSpec(d=d, p=0.01, seed=50 + d))
+        for _ in range(20):  # d=3/d=5 retire and prune; d=9 still live
+            scheduler.step()
+        assert 9 in scheduler._groups
+        assert scheduler._groups[9].sessions
+        assert len(scheduler._groups) <= 3  # 9 plus <=1 idle + in-flight
+        scheduler.run_until_idle()
+        assert_session_matches_trial(long_lived)
 
     def test_capacity_bounds_active_sessions(self):
         scheduler = MicroBatchScheduler(SchedulerConfig(max_active=2, max_queue=64))

@@ -9,8 +9,14 @@ larger scale via :mod:`repro.service.smoke`.
 from __future__ import annotations
 
 import asyncio
+import gc
+import json
+import logging
 import queue
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
@@ -185,6 +191,72 @@ class TestTcpFrontEnd:
         with ServiceClient(host=host, port=port) as client:
             with pytest.raises(ServiceError, match="bad-spec"):
                 client.decode({"d": 4, "p": 0.01, "seed": 1})
+
+    def test_bogus_noise_is_rejected_and_scheduler_survives(self, tcp_service):
+        """A noise spec that only blows up at noise-model resolution must
+        be shed as ``bad-spec`` at validation — before it reaches the
+        shared scheduler tick — leaving co-tenant sessions undisturbed."""
+        host, port, _ = tcp_service
+        with ServiceClient(host=host, port=port) as client:
+            with pytest.raises(ServiceError, match="bad-spec"):
+                client.decode({"d": 3, "p": 0.01, "seed": 1, "noise": "bogus"})
+            with pytest.raises(ServiceError, match="bad-spec"):
+                client.decode({
+                    "d": 3, "p": 0.01, "seed": 1,
+                    "noise": "drift", "noise_params": {"no_such_param": 1},
+                })
+            # Same connection, same scheduler: still serving, still exact.
+            spec = SessionSpec(d=3, p=0.02, seed=314)
+            result = client.decode(spec)
+        reference = run_online_trial(
+            PlanarLattice(spec.d), spec.p, spec.rounds,
+            spec.online_config(), rng=spec.seed,
+        )
+        assert result["matches"] == wire_matches(reference.matches)
+        assert result["failed"] == reference.failed
+
+    def test_abrupt_disconnect_mid_pipeline_is_quiet(self, tcp_service):
+        """A client that dies mid-pipeline (RST, not FIN) must not leave
+        'Task exception was never retrieved' noise behind — the handler
+        treats connection errors as EOF — and the service keeps serving."""
+        host, port, _ = tcp_service
+        records: list[logging.LogRecord] = []
+
+        class _Capture(logging.Handler):
+            def emit(self, record):
+                records.append(record)
+
+        logger = logging.getLogger("asyncio")
+        handler = _Capture(level=logging.ERROR)
+        logger.addHandler(handler)
+        try:
+            rude = socket.create_connection((host, port), timeout=10)
+            for i in range(4):
+                payload = {
+                    "op": "decode", "id": i,
+                    "spec": SessionSpec(d=5, p=0.02, seed=700 + i).to_payload(),
+                }
+                rude.sendall(json.dumps(payload).encode() + b"\n")
+            # SO_LINGER(on, 0): close sends RST, so the server-side
+            # readline raises ConnectionResetError instead of seeing EOF.
+            rude.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            rude.close()
+            # The service must still be healthy for the next client.
+            spec = SessionSpec(d=3, p=0.02, seed=777)
+            with ServiceClient(host=host, port=port) as client:
+                result = client.decode(spec)
+            reference = run_online_trial(
+                PlanarLattice(spec.d), spec.p, spec.rounds,
+                spec.online_config(), rng=spec.seed,
+            )
+            assert result["matches"] == wire_matches(reference.matches)
+            time.sleep(0.2)  # let the dead connection's handler unwind
+            gc.collect()  # a dropped task reports unretrieved exceptions here
+        finally:
+            logger.removeHandler(handler)
+        assert not records, [r.getMessage() for r in records]
 
     def test_shutdown_is_clean(self, tcp_service):
         host, port, thread = tcp_service
