@@ -19,6 +19,18 @@ physical error, not threshold-probing noise):
 - d=9, p=0.5%, 64 sessions — heavier per-round decode load, where
   Amdahl (the per-session engine advance) caps the batching win.
 
+A second benchmark drives the **sharded multi-process service**
+(:class:`repro.service.shard.ShardRouter`) under **open-loop traffic**:
+a Poisson arrival process (seeded, with a 3x burst phase in the middle)
+offers a mixed d/p/thv session population at a rate calibrated above
+service capacity, so completed-sessions/s measures *saturation
+throughput* and per-session submit-to-result times give the
+admission-to-retire latency distribution (p50/p99) — realistic traffic,
+not closed-loop 128-session waves.  The same offered schedule runs
+against 1, 2 and 4 worker shards to record the scaling curve; every
+completed session is again asserted bit-identical to single-process
+serving (`run_online_trial`).
+
 Every full run rewrites ``BENCH_service.json`` (committed) with the
 throughput numbers and the scheduler's own metrics snapshot, so the
 serving-perf trajectory accumulates next to the code.
@@ -28,10 +40,16 @@ Run:  pytest benchmarks/bench_service.py --benchmark-only -s
 ``BENCH_SMOKE=1`` (CI) shrinks session counts and skips the wall-clock
 floor assertions — shared runners cannot bench — while keeping every
 bit-identity assertion and never overwriting the committed record.
+The shard-scaling floor (>= 1.6x sessions/s from 1 to 4 shards at the
+dense d=9 point) is additionally skipped on hosts with fewer than 4
+CPUs — a single-core box cannot exhibit multi-process scaling —
+mirroring ``check_floors.py``, which only arms that floor for records
+taken on >= 4-CPU hosts.
 """
 
 from __future__ import annotations
 
+import asyncio
 import json
 import os
 import platform
@@ -43,6 +61,13 @@ SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 SEED0 = 91000
 REPS = 2 if SMOKE else 5
 
+# Open-loop traffic benchmark (the sharded service).
+SHARD_COUNTS = (1, 2) if SMOKE else (1, 2, 4)
+OPENLOOP_SESSIONS = 48 if SMOKE else 256
+OPENLOOP_OVERDRIVE = 1.5     # offered rate vs estimated max capacity
+OPENLOOP_BURST = (0.4, 0.6, 3.0)  # middle arrival fraction, rate multiplier
+SCALING_FLOOR = 1.6          # 1 -> max shards, full mode, >= 4 CPUs only
+
 # (name, d, p, rounds, sessions, floor) — floor asserted in full mode
 # (and re-checked against the committed record by check_floors.py).
 POINTS = [
@@ -52,7 +77,7 @@ POINTS = [
 ]
 
 _RECORD: dict = {
-    "schema": "bench-service/1",
+    "schema": "bench-service/2",
     "seed0": SEED0,
     "smoke": SMOKE,
     "host": {
@@ -183,3 +208,219 @@ def test_service_throughput_speedup(benchmark, reporter):
             assert speedup >= floor, (
                 f"{name}: expected >= {floor}x sessions/sec, got {speedup:.2f}x"
             )
+
+
+# ----------------------------------------------------------------------
+# Open-loop traffic against the sharded multi-process service
+# ----------------------------------------------------------------------
+def _mixed_population(n: int):
+    """Mixed d/p/thv online sessions — the open-loop traffic mix."""
+    from repro.service.session import SessionSpec
+
+    return [
+        SessionSpec(
+            d=(9, 7, 9, 9)[i % 4],
+            p=(0.005, 0.001)[i % 2],
+            seed=SEED0 + 5000 + i,
+            n_rounds=9,
+            thv=(3, 3, -1)[i % 3],
+        )
+        for i in range(n)
+    ]
+
+
+def _dense_population(n: int):
+    """The dense d=9 point (p=0.005: well above BATCH_EVENT_CUTOFF)."""
+    from repro.service.session import SessionSpec
+
+    return [
+        SessionSpec(d=9, p=0.005, seed=SEED0 + 20000 + i, n_rounds=9)
+        for i in range(n)
+    ]
+
+
+def _references(specs):
+    """Single-process serving of the population (per-spec lattices);
+    returns (elapsed_s, outcomes) — the bit-identity oracle *and* the
+    capacity estimate the offered rate is calibrated from."""
+    from repro.core.online import run_online_trial
+    from repro.surface_code.lattice import PlanarLattice
+
+    lattices: dict = {}
+    start = time.perf_counter()
+    outcomes = [
+        run_online_trial(
+            lattices.setdefault(spec.d, PlanarLattice(spec.d)),
+            spec.p, spec.rounds, spec.online_config(), rng=spec.seed,
+        )
+        for spec in specs
+    ]
+    return time.perf_counter() - start, outcomes
+
+
+def _poisson_arrivals(n: int, rate_per_s: float, seed: int):
+    """Seeded Poisson arrival times with a burst phase: the middle
+    span of arrivals (fractions ``OPENLOOP_BURST[:2]``) comes
+    ``OPENLOOP_BURST[2]``x faster."""
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(1.0 / rate_per_s, size=n)
+    lo, hi = int(n * OPENLOOP_BURST[0]), int(n * OPENLOOP_BURST[1])
+    gaps[lo:hi] /= OPENLOOP_BURST[2]
+    return np.cumsum(gaps)
+
+
+def _run_open_loop(n_shards: int, specs, arrivals, capacity: int = 64):
+    """Offer ``specs`` at the scheduled ``arrivals`` to an
+    ``n_shards``-worker router; arrivals never wait for completions
+    (open loop).  The queue bound admits the whole backlog so the
+    measurement saturates without shedding — offered rate sits above
+    capacity, so completed/elapsed is saturation sessions/s and each
+    session's submit-to-result time is its admission-to-retire latency.
+    """
+    from repro.service.scheduler import SchedulerConfig
+    from repro.service.shard import ShardRouter
+
+    async def drive():
+        config = SchedulerConfig(max_active=capacity, max_queue=len(specs))
+        async with ShardRouter(n_shards=n_shards, config=config) as router:
+            loop = asyncio.get_running_loop()
+            results = [None] * len(specs)
+            latencies = [0.0] * len(specs)
+            t0 = loop.time()
+
+            async def offer(i):
+                delay = (t0 + arrivals[i]) - loop.time()
+                if delay > 0:
+                    await asyncio.sleep(delay)
+                started = loop.time()
+                results[i] = await router.submit(specs[i])
+                latencies[i] = loop.time() - started
+
+            await asyncio.gather(*(offer(i) for i in range(len(specs))))
+            elapsed = loop.time() - t0
+            snapshot = await router.metrics()
+        return elapsed, results, latencies, snapshot
+
+    return asyncio.run(drive())
+
+
+def _assert_open_loop_identity(specs, results, references) -> None:
+    """Routed results must equal single-process serving, session for
+    session — the shard boundary may never show in decodes."""
+    for spec, result, reference in zip(specs, results, references):
+        assert result.matches == reference.matches, (
+            f"match stream diverged across the shard boundary: {spec}"
+        )
+        assert result.layer_cycles == list(reference.layer_cycles), (
+            f"cycle accounting diverged across the shard boundary: {spec}"
+        )
+        assert (result.failed, result.overflow, result.n_rounds) == (
+            reference.failed, reference.overflow, reference.n_rounds,
+        ), f"outcome diverged across the shard boundary: {spec}"
+
+
+def _latency_summary(latencies):
+    import numpy as np
+
+    p50, p99 = np.percentile(np.asarray(latencies), (50.0, 99.0))
+    return {"p50": float(p50), "p99": float(p99)}
+
+
+def test_shard_scaling_open_loop(benchmark, reporter):
+    """Open-loop saturation throughput and latency, 1 -> N worker shards."""
+    lines = []
+    max_shards = max(SHARD_COUNTS)
+
+    # --- mixed-population point: traffic realism at the full fleet ----
+    mixed = _mixed_population(OPENLOOP_SESSIONS)
+    sequential_s, mixed_refs = _references(mixed)
+    per_session_s = sequential_s / len(mixed)
+    rate = OPENLOOP_OVERDRIVE * max_shards / per_session_s
+    arrivals = _poisson_arrivals(len(mixed), rate, SEED0 + 1)
+    elapsed, results, latencies, snapshot = _run_open_loop(
+        max_shards, mixed, arrivals
+    )
+    _assert_open_loop_identity(mixed, results, mixed_refs)
+    assert snapshot["rejected"] == 0 and snapshot["worker_deaths"] == 0
+    latency = _latency_summary(latencies)
+    lines.append(
+        f"openloop_mixed: {len(mixed)} sessions (d7/d9, p0.001/0.005, "
+        f"thv 3/-1) at {rate:7.0f}/s offered ({OPENLOOP_BURST[2]}x burst) "
+        f"over {max_shards} shards  "
+        f"{len(mixed) / elapsed:7.1f} sess/s  "
+        f"latency p50 {latency['p50'] * 1e3:.1f}ms p99 {latency['p99'] * 1e3:.1f}ms"
+    )
+    _record(
+        "openloop_mixed",
+        shards=max_shards,
+        sessions=len(mixed),
+        offered_rate_per_s=rate,
+        burst=list(OPENLOOP_BURST),
+        sessions_per_s=len(mixed) / elapsed,
+        latency_s=latency,
+        router_metrics={
+            k: snapshot[k]
+            for k in ("completed", "rejected", "requeued", "worker_deaths",
+                      "steps", "mean_batch_sessions", "session_latency_s")
+        },
+    )
+
+    # --- dense-point scaling curve over worker count ------------------
+    dense = _dense_population(OPENLOOP_SESSIONS)
+    sequential_s, dense_refs = _references(dense)
+    rate = OPENLOOP_OVERDRIVE * max_shards / (sequential_s / len(dense))
+    arrivals = _poisson_arrivals(len(dense), rate, SEED0 + 2)
+    curve = []
+    for n_shards in SHARD_COUNTS:
+        elapsed, results, latencies, snapshot = _run_open_loop(
+            n_shards, dense, arrivals
+        )
+        _assert_open_loop_identity(dense, results, dense_refs)
+        assert snapshot["rejected"] == 0 and snapshot["worker_deaths"] == 0
+        latency = _latency_summary(latencies)
+        curve.append({
+            "shards": n_shards,
+            "sessions_per_s": len(dense) / elapsed,
+            "latency_s": latency,
+            "completed": snapshot["completed"],
+        })
+        lines.append(
+            f"shard_scaling_d9: {n_shards} shard(s)  "
+            f"{curve[-1]['sessions_per_s']:7.1f} sess/s  "
+            f"latency p50 {latency['p50'] * 1e3:.1f}ms "
+            f"p99 {latency['p99'] * 1e3:.1f}ms"
+        )
+    speedup = curve[-1]["sessions_per_s"] / curve[0]["sessions_per_s"]
+    cpus = os.cpu_count() or 1
+    lines.append(
+        f"shard_scaling_d9: {SHARD_COUNTS[0]} -> {max_shards} shards "
+        f"{speedup:.2f}x sessions/s on a {cpus}-CPU host"
+    )
+    if cpus < 4:
+        lines.append(
+            f"scaling floor skipped: host has {cpus} CPU(s); multi-process "
+            f"scaling needs >= 4 (check_floors.py gates on the same)"
+        )
+    lines.append(
+        "bit-identical to single-process serving per session: yes (asserted)"
+    )
+    _record(
+        "shard_scaling_d9",
+        d=9, p=0.005, rounds=9,
+        sessions=len(dense),
+        offered_rate_per_s=rate,
+        burst=list(OPENLOOP_BURST),
+        shard_counts=list(SHARD_COUNTS),
+        curve=curve,
+        speedup=speedup,
+        host_cpus=cpus,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reporter(benchmark, "Open-loop traffic: sharded service scaling", lines)
+    if not SMOKE and cpus >= 4:
+        assert speedup >= SCALING_FLOOR, (
+            f"shard scaling {SHARD_COUNTS[0]} -> {max_shards} expected >= "
+            f"{SCALING_FLOOR}x sessions/s, got {speedup:.2f}x"
+        )

@@ -56,6 +56,20 @@ FLOORS_BY_SCHEMA = {
     "bench-service": SERVICE_FLOORS,
 }
 
+# Floors that only make sense on hosts that can express them: the
+# multi-process shard-scaling speedup needs real cores.  Records from
+# smaller boxes must still carry the point (the open-loop benchmark and
+# its bit-identity assertions ran), but the speedup floor itself is
+# waived — mirroring the in-bench gate in ``bench_service.py``.
+SCALING_MIN_CPUS = 4
+SERVICE_SCALING_FLOORS = {
+    "shard_scaling_d9": 1.6,
+}
+
+# Service points that must exist in every committed record even though
+# they carry no scalar speedup (schema bench-service/2+).
+SERVICE_REQUIRED_POINTS = ("openloop_mixed",)
+
 
 def check(path: Path) -> list[str]:
     record = json.loads(path.read_text())
@@ -82,6 +96,24 @@ def check(path: Path) -> list[str]:
                 f"{path}: {name} speedup {speedup!r} regressed below the"
                 f" committed floor {floor}x"
             )
+    if schema == "bench-service":
+        for name in SERVICE_REQUIRED_POINTS:
+            if name not in seen:
+                errors.append(f"{path}: required bench point {name!r} missing")
+        cpus = record.get("host", {}).get("cpus")
+        for name, floor in SERVICE_SCALING_FLOORS.items():
+            point = seen.get(name)
+            if point is None:
+                errors.append(f"{path}: required bench point {name!r} missing")
+                continue
+            if not isinstance(cpus, int) or cpus < SCALING_MIN_CPUS:
+                continue  # floor waived on small hosts; presence still held
+            speedup = point.get("speedup")
+            if not isinstance(speedup, (int, float)) or speedup < floor:
+                errors.append(
+                    f"{path}: {name} speedup {speedup!r} regressed below the"
+                    f" committed floor {floor}x (host has {cpus} CPUs)"
+                )
     return errors
 
 

@@ -12,7 +12,7 @@ We re-implement the agreement matching behaviourally to measure its 2-D
 accuracy (Table IV lists ~5%); the hardware constants of the NISQ+ paper
 that Table V consumes are published here as reference data — we cannot
 re-run their SPICE flow, so those numbers are carried, not re-derived
-(see DESIGN.md section 5).
+(same substitution rationale as :mod:`repro.sfq.netlist`).
 """
 
 from __future__ import annotations

@@ -8,7 +8,11 @@ wall clock, the paper's Reg-overflow drop-out semantics); the
 lock-step batched engine advances, admitting and retiring sessions
 between rounds with backpressure; the **transport** is an in-process
 async API plus a JSON-lines TCP front end (``repro-runner serve`` /
-:mod:`repro.service.client`); the **metrics core** tracks per-round
+:mod:`repro.service.client`); the **shard router**
+(:mod:`repro.service.shard`, ``repro-runner serve --shards N``) scales
+sessions/s with cores by consistent-hashing sessions across worker
+processes that each own a full scheduler, requeueing or shedding a dead
+worker's in-flight sessions; the **metrics core** tracks per-round
 latency percentiles, throughput, drop rate and queue depth, persisted
 through :mod:`repro.experiments.results`.
 
@@ -29,17 +33,21 @@ from repro.service.session import (
     WindowOutcome,
     WindowShot,
 )
+from repro.service.shard import HashRing, ShardFailure, ShardRouter
 
 __all__ = [
     "Backpressure",
     "DecodeService",
     "DecodeSession",
+    "HashRing",
     "MicroBatchScheduler",
     "SchedulerConfig",
     "ServiceMetrics",
     "SessionResult",
     "SessionSpec",
     "SessionState",
+    "ShardFailure",
+    "ShardRouter",
     "WindowOutcome",
     "WindowShot",
 ]

@@ -16,19 +16,26 @@ connection and match responses as sessions retire (responses arrive in
 
 Run it as ``repro-runner serve --port 7421`` or
 ``python -m repro.service.server``; drive it with
-:class:`repro.service.client.ServiceClient`.
+:class:`repro.service.client.ServiceClient`.  ``--shards N`` puts the
+sharded multi-process back end (:class:`repro.service.shard.ShardRouter`,
+one full scheduler per worker process) behind the same protocol —
+``--capacity``/``--max-queue`` then apply per worker, a dead worker's
+unrescued sessions report an extra ``shard-failure`` error kind, and
+the ``metrics`` op returns the cross-shard aggregate.
 """
 
 from __future__ import annotations
 
 import argparse
 import asyncio
+import inspect
 import json
 import sys
 
 from repro.service.api import DecodeService
 from repro.service.scheduler import Backpressure, SchedulerConfig
 from repro.service.session import SessionSpec
+from repro.service.shard import ShardFailure, ShardRouter
 
 __all__ = ["main", "serve"]
 
@@ -67,6 +74,8 @@ class _Connection:
             result = await self.service.submit(spec)
         except Backpressure as exc:
             await self.send(_error(payload_id, "backpressure", detail=str(exc)))
+        except ShardFailure as exc:
+            await self.send(_error(payload_id, "shard-failure", detail=str(exc)))
         except (TypeError, ValueError) as exc:
             await self.send(_error(payload_id, "bad-spec", detail=str(exc)))
         else:
@@ -142,8 +151,13 @@ class _Connection:
                 self.decodes.add(task)
                 task.add_done_callback(self.decodes.discard)
             elif op == "metrics":
+                # DecodeService.metrics is sync; ShardRouter's is a
+                # coroutine (the numbers live in the workers).
+                snapshot = self.service.metrics()
+                if inspect.isawaitable(snapshot):
+                    snapshot = await snapshot
                 await self.send(
-                    {"id": payload_id, "ok": True, "metrics": self.service.metrics()}
+                    {"id": payload_id, "ok": True, "metrics": snapshot}
                 )
             elif op == "ping":
                 await self.send({"id": payload_id, "ok": True, "pong": True})
@@ -159,16 +173,26 @@ async def serve(
     port: int = 7421,
     config: SchedulerConfig | None = None,
     ready=None,
+    shards: int = 0,
 ) -> None:
     """Run the TCP service until a client sends ``shutdown``.
 
     ``ready`` (optional callable) receives the actually-bound ``(host,
     port)`` once listening — lets callers pass ``port=0`` and discover
-    the ephemeral port (the smoke driver and tests do).
+    the ephemeral port (the smoke driver and tests do).  ``shards=0``
+    (default) serves from one in-process scheduler; ``shards >= 1``
+    serves from that many worker processes behind a
+    :class:`~repro.service.shard.ShardRouter` (``config`` then applies
+    per worker).
     """
     shutdown = asyncio.Event()
     connections: set[asyncio.Task] = set()
-    async with DecodeService(config=config) as service:
+    backend = (
+        ShardRouter(n_shards=shards, config=config)
+        if shards
+        else DecodeService(config=config)
+    )
+    async with backend as service:
         async def handler(reader, writer):
             task = asyncio.current_task()
             connections.add(task)
@@ -212,14 +236,26 @@ def main(argv: list[str] | None = None) -> int:
         help="admission queue bound; beyond it decodes are rejected "
         "with a backpressure error",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="worker processes to shard the scheduler across "
+        "(0 = single in-process scheduler; --capacity/--max-queue "
+        "apply per worker)",
+    )
     args = parser.parse_args(argv)
     config = SchedulerConfig(max_active=args.capacity, max_queue=args.max_queue)
 
     def announce(bound):
-        print(f"decode service listening on {bound[0]}:{bound[1]}", flush=True)
+        print(
+            f"decode service listening on {bound[0]}:{bound[1]}"
+            + (f" ({args.shards} worker shards)" if args.shards else ""),
+            flush=True,
+        )
 
     try:
-        asyncio.run(serve(args.host, args.port, config, ready=announce))
+        asyncio.run(
+            serve(args.host, args.port, config, ready=announce, shards=args.shards)
+        )
     except KeyboardInterrupt:
         return 130
     print("decode service stopped", flush=True)

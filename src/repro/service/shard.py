@@ -1,0 +1,621 @@
+"""Sharded multi-process decode service: scale sessions/s with cores.
+
+Everything below :class:`~repro.service.scheduler.MicroBatchScheduler`
+is single-process Python: the committed service headline is
+per-session-Python-bound on one CPU, not engine-bound.  This module
+shards the scheduler across **worker processes** behind the existing
+async/TCP front end:
+
+- a :class:`ShardRouter` spawns ``n_shards`` worker processes, each
+  owning a *full* ``MicroBatchScheduler`` (engine pools, state slabs,
+  metrics) and running the synchronous admit/step/retire loop of
+  :func:`_shard_worker`;
+- sessions route to workers by **consistent hash** on the router-issued
+  session id (``routing="hash"``, the default — uniform spread) or on
+  the lattice shape (``routing="shape"`` — same-``d`` sessions
+  co-locate so each worker sees bigger micro-batches);
+- specs travel to workers and results travel back over per-worker
+  duplex pipes, pumped by one writer and one reader thread per shard so
+  the event loop never blocks on a pipe;
+- :meth:`ShardRouter.metrics` aggregates per-worker
+  :class:`~repro.service.metrics.ServiceMetrics` snapshots under
+  router-exact top-level counters (which survive worker death);
+- a worker that **dies mid-stream** (crash, kill -9) is detected by its
+  reader thread seeing EOF: the shard leaves the ring, its in-flight
+  sessions are **requeued once** onto surviving shards (decode state is
+  a pure function of the spec, so a replayed session is bit-identical)
+  or — when requeueing is disabled, exhausted, or no shard survives —
+  **shed** with :class:`ShardFailure`.  Co-tenant shards are unaffected.
+
+Routing is a pure *placement* decision: every session decodes
+bit-identically to single-process serving (and hence to a standalone
+:func:`repro.core.online.run_online_trial`) whichever worker it lands
+on — enforced by ``tests/test_service_shard.py`` across 1-vs-4-shard
+populations and by the open-loop benchmark in
+``benchmarks/bench_service.py``.
+
+Use it like :class:`~repro.service.api.DecodeService`::
+
+    async with ShardRouter(n_shards=4) as router:
+        result = await router.submit(SessionSpec(d=9, p=0.001, seed=7))
+        snapshot = await router.metrics()   # async: asks the workers
+
+or over TCP: ``repro-runner serve --shards 4``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import multiprocessing
+import queue
+import threading
+import time
+from dataclasses import dataclass, replace
+
+from repro.service.metrics import _Decimated
+from repro.service.scheduler import (
+    Backpressure,
+    MicroBatchScheduler,
+    SchedulerConfig,
+)
+from repro.service.session import SessionResult, SessionSpec
+
+__all__ = ["HashRing", "ShardFailure", "ShardRouter"]
+
+
+class ShardFailure(RuntimeError):
+    """A session was shed because its worker shard died mid-stream."""
+
+
+# ----------------------------------------------------------------------
+# Consistent-hash ring
+# ----------------------------------------------------------------------
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Points come from ``blake2b`` (stable across processes and Python
+    runs, unlike the salted builtin ``hash``), so placement of a fixed
+    key set over a fixed shard set is fully deterministic.  Removing a
+    shard only remaps the keys that lived on it — the property that
+    makes worker death cheap: survivors keep their sessions.
+    """
+
+    def __init__(self, replicas: int = 64):
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = replicas
+        self._points: list[tuple[int, int]] = []  # sorted (point, shard)
+
+    @staticmethod
+    def _hash(key: str) -> int:
+        digest = hashlib.blake2b(key.encode(), digest_size=8).digest()
+        return int.from_bytes(digest, "big")
+
+    def add(self, shard: int) -> None:
+        for v in range(self.replicas):
+            bisect.insort(self._points, (self._hash(f"shard:{shard}:{v}"), shard))
+
+    def remove(self, shard: int) -> None:
+        self._points = [p for p in self._points if p[1] != shard]
+
+    def route(self, key: str) -> int:
+        """The shard owning ``key``: first ring point at or after its hash."""
+        if not self._points:
+            raise LookupError("empty hash ring")
+        i = bisect.bisect_left(self._points, (self._hash(key), -1))
+        return self._points[i % len(self._points)][1]
+
+    @property
+    def shards(self) -> list[int]:
+        return sorted({shard for _, shard in self._points})
+
+    def __len__(self) -> int:
+        return len(self.shards)
+
+
+# ----------------------------------------------------------------------
+# The worker process
+# ----------------------------------------------------------------------
+_COALESCE_S = 0.005  # admission-coalescing grace after an idle wakeup
+
+
+def _shard_worker(conn, config: SchedulerConfig | None) -> None:
+    """One worker: a full scheduler pumped by messages on ``conn``.
+
+    Protocol (tuples over the pipe, pickled):
+
+    - in: ``("submit", ticket, spec_payload)`` / ``("metrics", token)``
+      / ``("stop",)``
+    - out: ``("result", ticket, SessionResult)`` /
+      ``("reject", ticket, kind, detail)`` /
+      ``("metrics", token, snapshot)`` / ``("crashed", repr)`` /
+      ``("stopped",)``
+
+    The loop blocks on the pipe while idle, drains every buffered
+    message before each step (so a pipelined burst lands in one
+    admission wave — the process analogue of the async pump's
+    coalescing), and steps the scheduler while any session is pending.
+    On ``stop`` it finishes the backlog, reports ``stopped`` and exits;
+    a vanished router (EOF on the pipe) exits quietly.
+    """
+    scheduler = MicroBatchScheduler(config)
+    tickets: dict[int, int] = {}  # scheduler session id -> router ticket
+    stop = False
+
+    def handle(message) -> None:
+        nonlocal stop
+        op = message[0]
+        if op == "submit":
+            _, ticket, payload = message
+            try:
+                session = scheduler.submit(SessionSpec.from_payload(payload))
+            except Backpressure as exc:
+                conn.send(("reject", ticket, "backpressure", str(exc)))
+            except (TypeError, ValueError) as exc:
+                conn.send(("reject", ticket, "bad-spec", str(exc)))
+            else:
+                tickets[session.id] = ticket
+        elif op == "metrics":
+            conn.send(("metrics", message[1], scheduler.metrics.snapshot()))
+        elif op == "stop":
+            stop = True
+
+    def drain_pipe() -> None:
+        while conn.poll(0.0):
+            handle(conn.recv())
+
+    try:
+        while True:
+            if stop and not scheduler.pending:
+                break
+            idle = not scheduler.pending
+            if conn.poll(None if idle else 0.0):
+                handle(conn.recv())
+                drain_pipe()
+                if idle and scheduler.pending and not stop:
+                    # Woken from idle by a submission: give the rest of
+                    # the burst a moment to arrive so it shares the
+                    # first micro-batch rounds.
+                    deadline = time.monotonic() + _COALESCE_S
+                    while time.monotonic() < deadline:
+                        if conn.poll(0.001):
+                            handle(conn.recv())
+                            drain_pipe()
+            if scheduler.pending:
+                for session in scheduler.step():
+                    conn.send(("result", tickets.pop(session.id), session.result))
+        conn.send(("stopped",))
+    except (EOFError, ConnectionError, OSError):
+        return  # the router vanished; nothing left to report to
+    except BaseException as exc:
+        # Best-effort forensics before the process dies: the router
+        # treats the subsequent EOF as worker death either way.
+        try:
+            conn.send(("crashed", repr(exc)))
+        except (ConnectionError, OSError):
+            pass
+        raise
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
+
+
+# ----------------------------------------------------------------------
+# The router
+# ----------------------------------------------------------------------
+@dataclass
+class _Inflight:
+    """One routed session awaiting its worker's result."""
+
+    ticket: int
+    spec: SessionSpec
+    future: asyncio.Future
+    submitted_at: float
+    requeues: int = 0
+
+
+_CLOSE = object()  # writer-thread sentinel
+
+
+class _Shard:
+    """Router-side handle of one worker process."""
+
+    __slots__ = (
+        "index", "process", "conn", "outbox", "inflight",
+        "alive", "stopping", "done", "exited", "reader", "writer",
+    )
+
+    def __init__(self, index: int, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.outbox: queue.Queue = queue.Queue()
+        self.inflight: dict[int, _Inflight] = {}
+        self.alive = True       # routable (ring membership mirrors this)
+        self.stopping = False   # clean stop requested
+        self.done = False       # exit already processed (idempotence)
+        self.exited: asyncio.Event | None = None  # set on the loop thread
+        self.reader: threading.Thread | None = None
+        self.writer: threading.Thread | None = None
+
+
+class ShardRouter:
+    """Route decode sessions across worker-process schedulers.
+
+    Drop-in async facade next to :class:`~repro.service.api.DecodeService`
+    (``submit`` awaits the :class:`SessionResult`; ``async with``
+    starts/stops the workers) with one deliberate difference:
+    :meth:`metrics` is a *coroutine* — the numbers live in the workers.
+
+    ``config`` is the **per-worker** :class:`SchedulerConfig`: total
+    capacity is ``n_shards * max_active``.  ``requeue`` (default on)
+    replays a dead worker's in-flight sessions once on survivors;
+    replays are exact because a session's decode depends only on its
+    spec (seeded noise stream included).
+    """
+
+    def __init__(
+        self,
+        n_shards: int = 2,
+        config: SchedulerConfig | None = None,
+        routing: str = "hash",
+        requeue: bool = True,
+        start_method: str | None = None,
+        replicas: int = 64,
+    ):
+        if n_shards < 1:
+            raise ValueError(f"n_shards must be >= 1, got {n_shards}")
+        if routing not in ("hash", "shape"):
+            raise ValueError(f"routing must be 'hash' or 'shape', got {routing!r}")
+        self.n_shards = n_shards
+        self.config = config or SchedulerConfig()
+        self.routing = routing
+        self.requeue = requeue
+        if start_method is None:
+            # fork shares the parent's warm imports (numpy, repro) —
+            # orders of magnitude cheaper than spawn; fall back where
+            # the platform lacks it.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._ctx = multiprocessing.get_context(start_method)
+        self._ring = HashRing(replicas)
+        self._shards: dict[int, _Shard] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._closed = False
+        self._next_ticket = 1
+        self._next_token = 1
+        self._metric_waiters: dict[int, tuple[int, asyncio.Future]] = {}
+        self._started_at = time.monotonic()
+        self._latency = _Decimated()  # submit -> result, router-observed
+        self.counters = {
+            "submitted": 0, "rejected": 0, "completed": 0,
+            "failed": 0, "overflowed": 0,
+            "shed": 0, "requeued": 0, "worker_deaths": 0,
+        }
+        self.last_crash: str | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "ShardRouter":
+        """Spawn the worker fleet (idempotent)."""
+        if self._shards:
+            return self
+        self._loop = asyncio.get_running_loop()
+        self._started_at = time.monotonic()
+        for index in range(self.n_shards):
+            self._spawn(index)
+        return self
+
+    def _spawn(self, index: int) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, self.config),
+            name=f"decode-shard-{index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()  # the worker owns its end now
+        shard = _Shard(index, process, parent_conn)
+        shard.exited = asyncio.Event()
+        shard.reader = threading.Thread(
+            target=self._read_loop, args=(shard,),
+            name=f"shard-{index}-reader", daemon=True,
+        )
+        shard.writer = threading.Thread(
+            target=self._write_loop, args=(shard,),
+            name=f"shard-{index}-writer", daemon=True,
+        )
+        shard.reader.start()
+        shard.writer.start()
+        self._shards[index] = shard
+        self._ring.add(index)
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop the fleet.
+
+        With ``drain`` (default) every worker finishes its backlog
+        first; with ``drain=False`` workers are terminated and their
+        in-flight sessions shed (:class:`ShardFailure` on the waiters).
+        """
+        if self._loop is None or self._closed:
+            self._closed = True
+            return
+        self._closed = True
+        for shard in self._shards.values():
+            if not shard.alive:
+                continue
+            shard.stopping = True
+            if drain:
+                shard.outbox.put(("stop",))
+            else:
+                shard.process.terminate()
+        for shard in self._shards.values():
+            try:
+                await asyncio.wait_for(shard.exited.wait(), timeout=60)
+            except asyncio.TimeoutError:
+                shard.process.kill()
+                await shard.exited.wait()
+            shard.outbox.put(_CLOSE)
+            await self._loop.run_in_executor(None, shard.process.join, 10)
+            await self._loop.run_in_executor(None, shard.writer.join, 10)
+            await self._loop.run_in_executor(None, shard.reader.join, 10)
+
+    async def __aenter__(self) -> "ShardRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.close(drain=not any(exc))
+
+    # ------------------------------------------------------------------
+    # Pipe pump threads (all state mutation is marshalled to the loop)
+    # ------------------------------------------------------------------
+    def _write_loop(self, shard: _Shard) -> None:
+        while True:
+            message = shard.outbox.get()
+            if message is _CLOSE:
+                return
+            try:
+                shard.conn.send(message)
+            except (ConnectionError, OSError):
+                # The reader sees the matching EOF and runs the death
+                # path; this thread just stops pushing.
+                return
+
+    def _read_loop(self, shard: _Shard) -> None:
+        try:
+            while True:
+                message = shard.conn.recv()
+                self._post(self._on_message, shard, message)
+                if message[0] == "stopped":
+                    break
+        except (EOFError, ConnectionError, OSError):
+            pass
+        self._post(self._on_worker_exit, shard)
+
+    def _post(self, callback, *args) -> None:
+        try:
+            self._loop.call_soon_threadsafe(callback, *args)
+        except RuntimeError:
+            pass  # loop already closed (late teardown message)
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def _route_key(self, ticket: int, spec: SessionSpec) -> str:
+        if self.routing == "shape":
+            return f"shape:{spec.shape_key}"
+        return f"session:{ticket}"
+
+    def placement(self, ticket: int, spec: SessionSpec | None = None) -> int:
+        """The shard index the ring currently assigns (pure, no I/O)."""
+        return self._ring.route(self._route_key(ticket, spec))
+
+    def _pick(self, ticket: int, spec: SessionSpec) -> _Shard | None:
+        key = self._route_key(ticket, spec)
+        while len(self._ring):
+            index = self._ring.route(key)
+            shard = self._shards.get(index)
+            if shard is not None and shard.alive:
+                return shard
+            self._ring.remove(index)  # stale ring entry
+        return None
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, spec: SessionSpec) -> SessionResult:
+        """Route one session and await its result.
+
+        Raises :class:`Backpressure` when the target worker's admission
+        queue is full (or no worker survives), ``ValueError`` on a bad
+        spec, and :class:`ShardFailure` when the session's worker died
+        and the session could not be requeued.
+        """
+        if self._loop is None:
+            raise RuntimeError("router not started (use 'async with' or start())")
+        if self._closed:
+            raise RuntimeError("shard router closed")
+        spec.validate()  # shed bad specs here, not in a shared worker
+        ticket = self._next_ticket
+        self._next_ticket += 1
+        self.counters["submitted"] += 1
+        shard = self._pick(ticket, spec)
+        if shard is None:
+            self.counters["rejected"] += 1
+            raise Backpressure("no live worker shards")
+        future = self._loop.create_future()
+        shard.inflight[ticket] = _Inflight(
+            ticket, spec, future, submitted_at=time.monotonic()
+        )
+        shard.outbox.put(("submit", ticket, spec.to_payload()))
+        return await future
+
+    # ------------------------------------------------------------------
+    # Worker messages (loop thread)
+    # ------------------------------------------------------------------
+    def _on_message(self, shard: _Shard, message) -> None:
+        op = message[0]
+        if op == "result":
+            _, ticket, result = message
+            entry = shard.inflight.pop(ticket, None)
+            if entry is None:
+                return  # session was requeued elsewhere before the kill
+            self.counters["completed"] += 1
+            if result.failed:
+                self.counters["failed"] += 1
+            if result.overflow:
+                self.counters["overflowed"] += 1
+            self._latency.add(time.monotonic() - entry.submitted_at)
+            if not entry.future.done():
+                # Workers number sessions locally; the router's ticket
+                # is the service-wide session id clients saw.
+                entry.future.set_result(replace(result, session_id=ticket))
+        elif op == "reject":
+            _, ticket, kind, detail = message
+            entry = shard.inflight.pop(ticket, None)
+            self.counters["rejected"] += 1
+            if entry is not None and not entry.future.done():
+                exc = (
+                    Backpressure(detail) if kind == "backpressure"
+                    else ValueError(detail)
+                )
+                entry.future.set_exception(exc)
+        elif op == "metrics":
+            _, token, snapshot = message
+            waiter = self._metric_waiters.pop(token, None)
+            if waiter is not None and not waiter[1].done():
+                waiter[1].set_result(snapshot)
+        elif op == "crashed":
+            self.last_crash = message[1]
+
+    def _on_worker_exit(self, shard: _Shard) -> None:
+        if shard.done:
+            return
+        shard.done = True
+        shard.alive = False
+        self._ring.remove(shard.index)
+        shard.exited.set()
+        if not shard.stopping:
+            # Neither a drain nor a deliberate terminate: the worker died.
+            self.counters["worker_deaths"] += 1
+        # Shed or requeue the shard's in-flight sessions, oldest first.
+        entries = [shard.inflight.pop(t) for t in sorted(shard.inflight)]
+        for entry in entries:
+            target = None
+            if self.requeue and entry.requeues == 0 and not self._closed:
+                target = self._pick(entry.ticket, entry.spec)
+            if target is not None:
+                entry.requeues += 1
+                self.counters["requeued"] += 1
+                target.inflight[entry.ticket] = entry
+                target.outbox.put(("submit", entry.ticket, entry.spec.to_payload()))
+            else:
+                self.counters["shed"] += 1
+                if not entry.future.done():
+                    entry.future.set_exception(ShardFailure(
+                        f"worker shard {shard.index} died mid-stream; "
+                        f"session {entry.ticket} shed"
+                        + (f" (last crash: {self.last_crash})"
+                           if self.last_crash else "")
+                    ))
+        # Outstanding metrics requests against this shard resolve empty.
+        for token in [
+            t for t, (idx, _) in self._metric_waiters.items()
+            if idx == shard.index
+        ]:
+            _, future = self._metric_waiters.pop(token)
+            if not future.done():
+                future.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Metrics
+    # ------------------------------------------------------------------
+    async def metrics(self) -> dict:
+        """Cross-shard snapshot (coroutine — asks every live worker).
+
+        Top-level counters are **router-exact** (they count at the
+        router and survive worker death); worker-side series (steps,
+        batch sizes, round latency) are aggregated over the live
+        shards' snapshots, which ride along under ``"shards"``.
+        Percentiles cannot be merged exactly without raw samples, so
+        cross-shard ``round_latency_s`` reports the per-percentile
+        **max** — a conservative bound.
+        """
+        if self._loop is None:
+            raise RuntimeError("router not started (use 'async with' or start())")
+        waiters = []
+        for shard in self._shards.values():
+            if not shard.alive:
+                continue
+            token = self._next_token
+            self._next_token += 1
+            future = self._loop.create_future()
+            self._metric_waiters[token] = (shard.index, future)
+            shard.outbox.put(("metrics", token))
+            waiters.append((shard.index, future))
+        snapshots = {}
+        for index, future in waiters:
+            try:
+                snapshot = await asyncio.wait_for(future, timeout=30)
+            except asyncio.TimeoutError:
+                snapshot = None
+            if snapshot is not None:
+                snapshots[index] = snapshot
+        return self._aggregate(snapshots)
+
+    def _aggregate(self, snapshots: dict[int, dict]) -> dict:
+        def wmean(pairs):
+            """Weighted mean over (value, weight), None-safe."""
+            pairs = [(v, w) for v, w in pairs if v is not None and w]
+            total = sum(w for _, w in pairs)
+            return sum(v * w for v, w in pairs) / total if total else None
+
+        elapsed = max(time.monotonic() - self._started_at, 1e-12)
+        live = list(snapshots.values())
+        latency = self._latency.percentiles((50.0, 90.0, 99.0))
+        num = lambda x: None if x != x else x  # NaN -> None
+        counters = dict(self.counters)
+        return {
+            **counters,
+            "admitted": sum(s["admitted"] for s in live),
+            "elapsed_s": elapsed,
+            "n_shards": self.n_shards,
+            "live_shards": len([s for s in self._shards.values() if s.alive]),
+            "throughput_sessions_per_s": counters["completed"] / elapsed,
+            "drop_rate": (
+                counters["rejected"] / counters["submitted"]
+                if counters["submitted"] else 0.0
+            ),
+            "steps": sum(s["steps"] for s in live),
+            "rounds_advanced": sum(s["rounds_advanced"] for s in live),
+            "mean_batch_sessions": wmean(
+                (s["mean_batch_sessions"], s["steps"]) for s in live
+            ),
+            "mean_wait_s": wmean((s["mean_wait_s"], s["completed"]) for s in live),
+            "mean_service_s": wmean(
+                (s["mean_service_s"], s["completed"]) for s in live
+            ),
+            "round_latency_s": {
+                p: max(
+                    (s["round_latency_s"][p] for s in live
+                     if s["round_latency_s"][p] is not None),
+                    default=None,
+                )
+                for p in ("p50", "p90", "p99")
+            },
+            # Admission-to-retire as the router observes it: submit()
+            # to result, pipe transit included.
+            "session_latency_s": dict(
+                zip(("p50", "p90", "p99"), (num(v) for v in latency))
+            ),
+            "shards": [
+                {"shard": index, **snapshot}
+                for index, snapshot in sorted(snapshots.items())
+            ],
+        }

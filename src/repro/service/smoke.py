@@ -53,10 +53,14 @@ def _mixed_specs(n_sessions: int, seed0: int = 4000) -> list[SessionSpec]:
     return specs
 
 
-def run_smoke(n_sessions: int = 50, capacity: int = 16) -> dict:
+def run_smoke(n_sessions: int = 50, capacity: int = 16, shards: int = 0) -> dict:
     """Drive the full TCP loop; returns the final metrics snapshot.
 
-    Raises ``AssertionError`` on any bit-identity or lifecycle failure.
+    ``shards > 0`` serves from that many worker processes behind the
+    :class:`~repro.service.shard.ShardRouter` (``capacity`` applies per
+    worker) — same protocol, same bit-identity assertions, so the exact
+    same checks cover the shard boundary.  Raises ``AssertionError`` on
+    any bit-identity or lifecycle failure.
     """
     bound: queue.Queue = queue.Queue()
     config = SchedulerConfig(max_active=capacity, max_queue=4 * n_sessions)
@@ -74,7 +78,7 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16) -> dict:
     logging.getLogger("asyncio").addHandler(capture)
 
     def server_thread():
-        asyncio.run(serve("127.0.0.1", 0, config, ready=bound.put))
+        asyncio.run(serve("127.0.0.1", 0, config, ready=bound.put, shards=shards))
 
     thread = threading.Thread(target=server_thread, name="smoke-server", daemon=True)
     thread.start()
@@ -122,6 +126,14 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16) -> dict:
     assert checked > 0, "no online sessions verified"
     assert metrics["completed"] >= n_sessions
     assert metrics["rejected"] == 0
+    if shards:
+        assert metrics["n_shards"] == shards
+        assert metrics["live_shards"] == shards, "a worker shard died"
+        assert metrics["worker_deaths"] == 0 and metrics["shed"] == 0
+        # Routing actually spread the load: every worker served something.
+        assert all(s["completed"] > 0 for s in metrics["shards"]), (
+            "a shard served nothing — routing is not spreading sessions"
+        )
     return metrics
 
 
@@ -132,11 +144,16 @@ def main(argv: list[str] | None = None) -> int:
         "--capacity", type=int, default=16,
         help="scheduler max_active (smaller than --sessions exercises queueing)",
     )
+    parser.add_argument(
+        "--shards", type=int, default=0,
+        help="worker shards (0 = single in-process scheduler)",
+    )
     args = parser.parse_args(argv)
-    metrics = run_smoke(args.sessions, args.capacity)
+    metrics = run_smoke(args.sessions, args.capacity, args.shards)
     print(
-        f"service smoke ok: {metrics['completed']} sessions, "
-        f"{metrics['steps']} micro-batch steps, "
+        f"service smoke ok: {metrics['completed']} sessions"
+        + (f" across {args.shards} worker shards" if args.shards else "")
+        + f", {metrics['steps']} micro-batch steps, "
         f"mean batch {metrics['mean_batch_sessions']:.1f} sessions, "
         f"round-latency p50 {metrics['round_latency_s']['p50'] * 1e6:.0f}us, "
         f"clean shutdown"

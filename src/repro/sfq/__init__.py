@@ -3,7 +3,8 @@
 - :mod:`repro.sfq.cells` — the RSFQ cell library of Table I (JJ counts,
   bias currents, areas, latencies),
 - :mod:`repro.sfq.netlist` — event-driven pulse-level netlist simulator
-  (our substitute for JSIM SPICE runs; see DESIGN.md section 5),
+  (our substitute for JSIM SPICE runs; its docstring records the
+  substitution rationale),
 - :mod:`repro.sfq.components` — behavioural models of each cell
   (splitter, merger, 1:2 switch, DRO, NDRO, RD, D2, JTL wire),
 - :mod:`repro.sfq.circuits` — composite circuits used inside a Unit:

@@ -4,7 +4,7 @@ The paper verifies its Unit design with JSIM, a SPICE-level Josephson
 circuit simulator.  What the evaluation consumes from those runs is
 functional correctness and latency — both of which a discrete pulse
 model reproduces once each cell's behaviour and Table I latency are
-encoded (DESIGN.md section 5 documents this substitution).
+encoded; this docstring is the record of that substitution.
 
 Model: an SFQ signal is a *pulse* (one flux quantum) arriving at a
 component port at a picosecond timestamp.  Components react to a pulse
