@@ -74,6 +74,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from repro.core.kernels import Geometry, resolve_kernel_backend
 from repro.core.spike import (
     PRIORITY_EAST,
     PRIORITY_NORTH,
@@ -186,6 +187,26 @@ def _pair_base_table(lattice: PlanarLattice) -> np.ndarray:
     return base
 
 
+@lru_cache(maxsize=None)
+def _kernel_geometry(lattice: PlanarLattice) -> Geometry:
+    """The race-geometry bundle every kernel-backend call receives.
+
+    Cached per lattice (the tables themselves already are); shared by
+    the scalar and batch engines.
+    """
+    radix = lattice.n_ancillas + 1
+    return Geometry(
+        pair_base=_pair_base_table(lattice),
+        depth_lut=_depth_key_table(lattice),
+        bpacked=_packed_boundaries_arr(lattice),
+        bpacked_t=_packed_boundaries(lattice),
+        radix=radix,
+        hops_div=1024 * radix,
+        rows=lattice.rows,
+        cols=lattice.cols,
+    )
+
+
 class QecoolEngine:
     """The QECOOL decoding machine for one logical-qubit sector.
 
@@ -207,6 +228,11 @@ class QecoolEngine:
         Maximum hop budget of the Controller's growing timeout; defaults
         to the lattice diameter plus ``Reg`` depth, which guarantees any
         defect can reach a partner or the boundary.
+    kernel_backend:
+        Hot-kernel backend name (see :mod:`repro.core.kernels`), a
+        backend instance, or ``None`` for the process default
+        (``numpy`` unless overridden).  Backends never change
+        observables — matches and cycles are bit-identical.
     """
 
     def __init__(
@@ -215,6 +241,7 @@ class QecoolEngine:
         thv: int = -1,
         reg_size: int | None = None,
         nlimit: int | None = None,
+        kernel_backend=None,
     ):
         if thv < -1:
             raise ValueError(f"thv must be >= -1, got {thv}")
@@ -257,6 +284,8 @@ class QecoolEngine:
         self._pair_base = _pair_base_table(lattice)
         self._depth_lut = _depth_key_table(lattice)
         self._radix = lattice.n_ancillas + 1  # packed-key source digit
+        self._kernel = resolve_kernel_backend(kernel_backend)
+        self._geo = _kernel_geometry(lattice)
         # Accounting.
         self.cycles = 0
         self._cycles_at_last_pop = 0
@@ -745,44 +774,20 @@ class QecoolEngine:
         return self._winner_scalar(idx, b)
 
     def _winners_bulk(self, sinks: list[tuple[int, int]]) -> list[int]:
-        """Packed race winners for many sinks in one broadcast pass per
-        base depth.
+        """Packed race winners for many sinks in one backend pass.
 
-        For every live event the first depth at/above each base is the
-        lowest set bit of the shifted mask; arrival keys against all
-        requested sinks are packed into ``int64`` and reduced with one
-        ``argmin``, then raced against the packed vertical and boundary
-        candidates — bit-equivalent to the scalar ``cand < best`` scan.
-        Winners are stored in the cache and returned in request order.
+        Dispatches the broadcast winner race (kernel-backend method
+        ``winners_bulk``) — bit-equivalent to the scalar ``cand <
+        best`` scan.  Winners are stored in the cache and returned in
+        request order.
         """
-        radix = self._radix
         live = self._live_units()
         cache = self._winner_cache
-        b_arr = np.fromiter((b for b, _ in sinks), np.uint64, len(sinks))
+        b_arr = np.fromiter((b for b, _ in sinks), np.int64, len(sinks))
         sink_arr = np.fromiter((idx for _, idx in sinks), np.int64, len(sinks))
-        # One (sinks x live) pass: shift every live mask by every sink's
-        # base at once, take each pair's first event depth at/above the
-        # base as the lowest set bit.
-        shifted = self._masks[live][None, :] >> b_arr[:, None]
-        lsb = shifted & (np.uint64(0) - shifted)
-        # Lowest-set-bit index; 64 (out of range) where no event sits
-        # at/above the base — which the depth LUT maps straight to the
-        # no-candidate sentinel, so empty Units fall out of the race
-        # (the sink itself always has t_rel == 0 at its own base, so
-        # the sentinel diagonal never compounds with the LUT's).
-        t_rel = np.bitwise_count(lsb - _ONE)
-        depth_key = self._depth_lut.take(t_rel)
-        best_pair = (self._pair_base[sink_arr][:, live] + depth_key).min(axis=1)
-        # Vertical candidates: the sink's own first event above the base
-        # (no travel, internal port, no source digit).
-        own = self._masks[sink_arr] >> (b_arr + _ONE)
-        own_lsb = own & (np.uint64(0) - own)
-        v_t = np.bitwise_count(own_lsb - _ONE).astype(np.int64) + 1
-        vertical = np.where(
-            own != 0, (v_t * 16 * 128 + v_t) * radix, _NO_CANDIDATE
-        )
-        best = np.minimum(best_pair, vertical)
-        best = np.minimum(best, self._bpacked_arr[sink_arr]).tolist()
+        best = self._kernel.winners_bulk(
+            self._masks, live, sink_arr, b_arr, self._geo
+        ).tolist()
         popped = self.popped
         for (b, idx), win in zip(sinks, best):
             cache[(idx, popped + b)] = win

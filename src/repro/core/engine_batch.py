@@ -58,13 +58,14 @@ import numpy as np
 
 from repro.core.engine import (
     MAX_LAYERS,
-    _NO_CANDIDATE,
     _depth_key_table,
     _fast_match,
+    _kernel_geometry,
     _pair_base_table,
     _packed_boundaries_arr,
     QecoolEngine,
 )
+from repro.core.kernels import resolve_kernel_backend
 from repro.core.spike import PRIORITY_WEST, port_table
 from repro.decoders.base import BOUNDARY_EAST, BOUNDARY_WEST
 from repro.surface_code.lattice import PlanarLattice
@@ -102,6 +103,7 @@ class QecoolEngineBatch:
         reg_size: int | None = None,
         nlimit: int | None = None,
         capacity: int = 8,
+        kernel_backend=None,
     ):
         if thv < -1:
             raise ValueError(f"thv must be >= -1, got {thv}")
@@ -130,6 +132,8 @@ class QecoolEngineBatch:
         self._bpacked_list = self._bpacked.tolist()
         self._radix = lattice.n_ancillas + 1
         self._hops_div = 1024 * self._radix
+        self._kernel = resolve_kernel_backend(kernel_backend)
+        self._geo = _kernel_geometry(lattice)
         self.capacity = 0
         self._n_depths = min(MAX_LAYERS, self._depth_hint + 2)
         self._alloc_slabs(capacity)
@@ -399,12 +403,11 @@ class QecoolEngineBatch:
                 "empty_layers_fast requires empty, parked, non-draining lanes"
             )
         cost = 1 + self.lattice.rows
-        self._cycles[lanes] += cost
-        self._popped[lanes] += 1
-        deltas = (self._cycles[lanes] - self._cycles_at_last_pop[lanes]).tolist()
+        deltas = self._kernel.charge_empty(
+            self._cycles, self._popped, self._cycles_at_last_pop, lanes, cost
+        ).tolist()
         for lane, delta in zip(lanes.tolist(), deltas):
             self._layer_cycles[lane].append(delta)
-        self._cycles_at_last_pop[lanes] = self._cycles[lanes]
         dirty = lanes[self._win_dirty[lanes]]
         if dirty.size:
             # Every cached entry is dead (no layers stored); clearing the
@@ -440,10 +443,9 @@ class QecoolEngineBatch:
             check = cand & (exposed >= 0)
             if check.any():
                 sel = lanes[check]
-                hit = (
-                    (self._masks[sel] >> exposed[check].astype(np.uint64)[:, None])
-                    & _ONE
-                ).any(axis=1)
+                hit = self._kernel.exposed_any(
+                    self._masks, sel, exposed[check]
+                )
                 blocked = np.flatnonzero(check)[hit]
                 cand[blocked] = False
                 out[blocked] = -1
@@ -695,81 +697,34 @@ class QecoolEngineBatch:
         pos_of = self._pos_scratch
         pos_of[top] = np.arange(len(top), dtype=np.int64)
         pos = pos_of[s]
-        entries = self._win[s, i, b]
-        fresh = self._valid_entries(entries, s, i, b)
-        hops = entries // self._hops_div >> 1
-        # Valid entries and missing races give a first minimum ...
-        np.minimum.at(need, pos[fresh], hops[fresh])
-        missing = entries < 0
-        if missing.any():
-            raced = self._race(s[missing], i[missing], b[missing])
-            self._win[s[missing], i[missing], b[missing]] = raced
-            self._win_dirty[s[missing]] = True
-            np.minimum.at(need, pos[missing], raced // self._hops_div >> 1)
-        # ... and a stale entry is a lower bound (matches only remove
+        # Valid entries and missing races give a first minimum, and a
+        # stale entry is a lower bound (matches only remove
         # candidates), so only stale entries that could still beat the
-        # running minimum need re-racing — the scalar survey's sorted
-        # early-break, batched: each pass races just the per-lane
-        # minimum bounds, which usually settles `need` in one or two
-        # rounds.  The rest stay stale in the slab; the sweep handles
-        # them (timeout past the budget, validate when matchable).
-        stale = ~fresh & ~missing
-        bound_min = np.empty_like(need)
-        while True:
-            cand = stale & (hops < need[pos])
-            if not cand.any():
-                break
-            bound_min[:] = 1 << 30
-            np.minimum.at(bound_min, pos[cand], hops[cand])
-            sel = cand & (hops == bound_min[pos])
-            raced = self._race(s[sel], i[sel], b[sel])
-            self._win[s[sel], i[sel], b[sel]] = raced
-            np.minimum.at(need, pos[sel], raced // self._hops_div >> 1)
-            stale[sel] = False
+        # running minimum need re-racing — the backend refines them
+        # until the exact minimum settles.  The rest stay stale in the
+        # slab; the sweep handles them (timeout past the budget,
+        # validate when matchable).
+        need = self._kernel.survey_need(
+            self._masks, self._win, self._win_dirty, s, i, b, pos,
+            len(top), self._geo,
+        )
         return b_max, n_sinks, need
 
     def _valid_entries(
         self, entries: np.ndarray, s: np.ndarray, i: np.ndarray, b: np.ndarray
     ) -> np.ndarray:
-        """Which cached winners still race to a live event bit."""
-        radix = self._radix
-        present = entries >= 0
-        src1 = entries % radix
-        t_rel = (entries // radix) % 128
-        target = np.where(src1 > 0, src1 - 1, i)
-        boundary = (src1 == 0) & (t_rel == 0)
-        # Clip the shift for absent entries (whose decoded fields are
-        # garbage); present entries always stay within the 64-bit Reg.
-        shift = np.minimum(b + t_rel, 63).astype(np.uint64)
-        tbit = (self._masks[s, target] >> shift) & _ONE
-        return present & (boundary | (tbit == _ONE))
+        """Which cached winners still race to a live event bit
+        (kernel-backend dispatch)."""
+        return self._kernel.valid_entries(
+            entries, self._masks, s, i, b, self._geo
+        )
 
     def _race(self, s: np.ndarray, i: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Packed race winners for ``(lane, sink, base)`` triples in one
-        broadcast pass — the scalar ``_winners_bulk`` flattened across
-        lanes (every requested sink holds its base bit, so the depth
-        LUT's sentinel never compounds with the pair table's)."""
-        masks = self._masks
-        # Sinks sharing a (lane, base) share the shifted-mask row and
-        # its first-event depths; compute those once per unique pair.
-        ukey, uidx = np.unique(s * np.int64(MAX_LAYERS + 1) + b, return_inverse=True)
-        us = ukey // (MAX_LAYERS + 1)
-        ub = ukey % (MAX_LAYERS + 1)
-        shifted = masks[us] >> ub.astype(np.uint64)[:, None]
-        lsb = shifted & (np.uint64(0) - shifted)
-        t = np.bitwise_count(lsb - _ONE).astype(np.intp)
-        depth_keys = self._depth_lut.take(t)
-        best = (self._pair_base[i] + depth_keys[uidx]).min(axis=1)
-        # Two-step shift: b can reach 63 (a full uint64 Reg), where a
-        # single shift by b + 1 would be undefined.
-        own = (masks[s, i] >> b.astype(np.uint64)) >> _ONE
-        own_lsb = own & (np.uint64(0) - own)
-        vt = (np.bitwise_count(own_lsb - _ONE) + _ONE).astype(np.int64)
-        vertical = np.where(
-            own != 0, (vt * 2048 + vt) * self._radix, _NO_CANDIDATE
-        )
-        best = np.minimum(best, vertical)
-        return np.minimum(best, self._bpacked[i])
+        """Packed race winners for ``(lane, sink, base)`` triples — the
+        scalar broadcast race flattened across lanes, dispatched to the
+        kernel backend (every requested sink holds its base bit, so the
+        depth LUT's sentinel never compounds with the pair table's)."""
+        return self._kernel.race(self._masks, s, i, b, self._geo)
 
     # ------------------------------------------------------------------
     # Phase: analytic budget growth
@@ -1083,203 +1038,65 @@ class QecoolEngineBatch:
         """Resolve one base-depth sub-sweep for every deadline-safe lane
         with matchable hits, without per-action Python.
 
-        The races, validity checks and winner-field decodes arrive
-        pre-vectorized; what remains sequential per lane is only the
-        conflict structure — a hit consumed as an earlier match's source
-        is skipped, a hit whose pre-raced winner lost its target event
-        re-races against the post-commit state — which reduces to set
-        lookups over plain ints.  Bit clears, occupancy updates and
-        charges are then applied to the slabs in bulk.  Decisions and
-        charges are exactly the scalar ``_sweep`` level's: the pre-race
-        is valid while its target survives (candidates are only ever
-        removed), and the charge total is order-independent because
-        deadline-safe lanes have no mid-level observation points.
+        The sequential conflict scan — a hit consumed as an earlier
+        match's source is skipped, a hit whose pre-raced winner lost
+        its target event re-races against the post-commit state — runs
+        in the kernel backend, which returns every observable mutation
+        as flat records; this wrapper materialises the match objects
+        (in scan order, so per-lane match order is the scalar one) and
+        applies charges, occupancy updates and Reg bit clears to the
+        slabs in bulk.  Decisions and charges are exactly the scalar
+        ``_sweep`` level's: the pre-race is valid while its target
+        survives (candidates are only ever removed), and the charge
+        total is order-independent because deadline-safe lanes have no
+        mid-level observation points.
         """
-        lattice = self.lattice
-        cols = lattice.cols
-        radix = self._radix
-        radix128 = 128 * radix
-        hops_div = self._hops_div
-        masks = self._masks
-        # Hits past the budget always time out (stale entries are lower
-        # bounds): their charges are lumped per lane; only the matchable
-        # hits need the sequential conflict scan.  Hit order equals unit
-        # order, so "consumed before the token reached it" is a plain
-        # unit-index comparison when adjusting the timeout lump.
-        n_timeout = np.bincount(rel[~matchable], minlength=len(cur))
-        sel = matchable
-        rel_m, units_m = rel[sel], units[sel]
-        entries_m, hops_m = entries[sel], hops[sel]
-        units_l = units_m.tolist()
-        hops_l = hops_m.tolist()
-        entries_l = entries_m.tolist()
-        rel_l = rel_m.tolist()
-        # Bulk-gather the masks the scan will consult — every matchable
-        # hit's own unit and its pre-raced winner's target unit — when
-        # the hit volume amortises the vector passes; tiny batches read
-        # lazily per commit instead (re-raced targets always do).
-        if rel_m.size >= 32:
-            s_flat = cur[rel_m]
-            src1_v = entries_m % radix
-            tgt_v = np.where(src1_v > 0, src1_v - 1, units_m)
-            mask_hit = masks[s_flat, units_m].tolist()
-            mask_tgt = masks[s_flat, tgt_v].tolist()
-            tgt_l = tgt_v.tolist()
-        else:
-            mask_hit = mask_tgt = tgt_l = None
-        clear_lanes: list[int] = []
-        clear_units: list[int] = []
-        clear_bits: list[int] = []
-        lo = 0
-        n = len(rel_l)
-        while lo < n:
-            pos = rel_l[lo]
-            hi = lo
-            while hi < n and rel_l[hi] == pos:
-                hi += 1
-            lane = int(cur[pos])
-            bgt = int(budget[pos])
-            t_cost = 2 * bgt + 2
-            popped = int(self._popped[lane])
-            append_match = self._matches[lane].append
-            mset = set(units_l[lo:hi])
-            pending: dict[int, int] = {}
-            orig: dict[int, int] = {}
-            # Consumed events as packed ints: unit << 6 | depth (depths
-            # fit MAX_LAYERS = 64).
-            consumed: set[int] = set()
-            cleared_units: set[int] = set()
-            full_clears: list[tuple[int, int]] = []  # (hit row, unit row)
-            cost = 0
-            l0_dec = 0
-            skips = 0  # timeout hits consumed before the token's arrival
-            any_m = False
-            for idx in range(lo, hi):
-                u = units_l[idx]
-                if (u << 6) | b in consumed:
-                    continue  # consumed as a source earlier this level
-                win = entries_l[idx]
-                h = hops_l[idx]
-                s1 = win % radix
-                tr = win // radix % 128
-                if s1:
-                    tu, td, boundary, port = s1 - 1, b + tr, False, 0
-                elif tr:
-                    tu, td, boundary, port = u, b + tr, False, 0
-                else:
-                    tu, td, boundary = -1, -1, True
-                    port = win // radix128 % 8
-                if u not in orig:
-                    orig[u] = (
-                        mask_hit[idx]
-                        if mask_hit is not None
-                        else int(masks[lane, u])
-                    )
-                if not boundary:
-                    if (
-                        mask_tgt is not None
-                        and tu == tgt_l[idx]
-                        and tu not in orig
-                    ):
-                        orig[tu] = mask_tgt[idx]
-                    if (tu << 6) | td in consumed:
-                        # The pre-raced winner's target was consumed by
-                        # an earlier commit: re-race against the true
-                        # post-commit state (what the token would see).
-                        win = self._race_one(lane, u, b, pending)
-                        self._win[lane, u, b] = win
-                        h = win // hops_div >> 1
-                        if h > bgt:
-                            cost += t_cost
-                            continue
-                        s1 = win % radix
-                        tr = win // radix % 128
-                        if s1:
-                            tu, td, boundary = s1 - 1, b + tr, False
-                        elif tr:
-                            tu, td, boundary = u, b + tr, False
-                        else:
-                            boundary = True
-                            port = win // radix128 % 8
-                    if not boundary and tu not in orig:
-                        orig[tu] = int(masks[lane, tu])
-                # Commit: clear the sink bit (and the source event).
-                any_m = True
-                pu = pending.get(u, 0) | (1 << b)
-                pending[u] = pu
-                consumed.add((u << 6) | b)
-                if b == 0:
-                    l0_dec += 1
-                r_hit, c_hit = divmod(u, cols)
-                if orig[u] & ~pu == 0 and u not in cleared_units:
-                    cleared_units.add(u)
-                    full_clears.append((r_hit, r_hit))
-                if boundary:
-                    side = (
-                        BOUNDARY_WEST if port == PRIORITY_WEST
-                        else BOUNDARY_EAST
-                    )
-                    append_match(
-                        _fast_match(
-                            "boundary", (r_hit, c_hit, popped + b), None, side
-                        )
-                    )
-                    cost += t_cost
-                    continue
-                pt = pending.get(tu, 0) | (1 << td)
-                pending[tu] = pt
-                consumed.add((tu << 6) | td)
-                if td == b and tu > u and tu not in mset:
-                    # A later timeout hit just lost its bit: the token
-                    # will skip it, so it leaves the timeout lump.
-                    skips += 1
-                if td == 0:
-                    l0_dec += 1
-                if orig[tu] & ~pt == 0 and tu not in cleared_units:
-                    cleared_units.add(tu)
-                    full_clears.append((r_hit, tu // cols))
-                append_match(
-                    _fast_match(
-                        "pair",
-                        (r_hit, c_hit, popped + b),
-                        (tu // cols, tu % cols, popped + td),
-                        None,
-                    )
+        cols = self.lattice.cols
+        res = self._kernel.commit_scan(
+            self._masks, self._win, self._row_counts, self._popped,
+            cur, b, rel, units, entries, hops, matchable, budget,
+            rowcost, self._geo,
+        )
+        cur_l = cur.tolist()
+        matches = self._matches
+        for pos, u, t1, u2, t2, port in zip(
+            res.rec_pos.tolist(), res.rec_u.tolist(), res.rec_t.tolist(),
+            res.rec_u2.tolist(), res.rec_t2.tolist(),
+            res.rec_port.tolist(),
+        ):
+            lane = cur_l[pos]
+            r, c = divmod(u, cols)
+            if u2 < 0:
+                side = (
+                    BOUNDARY_WEST if port == PRIORITY_WEST else BOUNDARY_EAST
                 )
-                cost += 2 * h + 2
-            cost += (int(n_timeout[pos]) - skips) * t_cost
-            # Row-token charges: the static scan cost unless a commit
-            # emptied a unit's row before the token reached it.
-            late = [rc for rh, rc in full_clears if rc > rh]
-            if late:
-                row_live = self._row_counts[lane].tolist()
-                for rc in late:
-                    row_live[rc] -= 1
-                total = cost + sum(
-                    cols if live > 0 else 1 for live in row_live
+                matches[lane].append(
+                    _fast_match("boundary", (r, c, t1), None, side)
                 )
             else:
-                total = cost + int(rowcost[pos])
+                matches[lane].append(
+                    _fast_match(
+                        "pair", (r, c, t1), (u2 // cols, u2 % cols, t2), None
+                    )
+                )
+        for pos, total, l0_dec, any_m in zip(
+            res.g_pos.tolist(), res.g_total.tolist(), res.g_l0.tolist(),
+            res.g_match.tolist(),
+        ):
+            lane = cur_l[pos]
             self._cycles[lane] += total
             if finite[pos]:
                 wf[lane] += total
             if l0_dec:
                 self._l0[lane] -= l0_dec
-            for _, rc in full_clears:
-                self._row_counts[lane, rc] -= 1
             if any_m:
                 level_match[lane] = True
                 progressed[lane] = True
-            for u, bits in pending.items():
-                clear_lanes.append(lane)
-                clear_units.append(u)
-                clear_bits.append(bits)
-            lo = hi
-        if clear_lanes:
-            la = np.asarray(clear_lanes, dtype=np.int64)
-            ua = np.asarray(clear_units, dtype=np.int64)
-            ma = np.asarray(clear_bits, dtype=np.uint64)
-            self._masks[la, ua] &= ~ma
+        for pos, rc in zip(res.fc_pos.tolist(), res.fc_row.tolist()):
+            self._row_counts[cur_l[pos], rc] -= 1
+        if len(res.clear_pos):
+            la = cur[res.clear_pos]
+            self._masks[la, res.clear_unit] &= ~res.clear_bits
 
     @staticmethod
     def _split_hits(
@@ -1614,5 +1431,5 @@ class QecoolEngineBatch:
         equivalence tests replay each lane's input stream through)."""
         return QecoolEngine(
             self.lattice, thv=self.thv, reg_size=self.reg_size,
-            nlimit=self.nlimit,
+            nlimit=self.nlimit, kernel_backend=self._kernel,
         )

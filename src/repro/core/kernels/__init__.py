@@ -1,0 +1,349 @@
+"""Pluggable kernel backends for the engine hot loops.
+
+The QECOOL engines dispatch their numeric hot kernels — the packed
+winner races, cache-validity scans, the survey's stale-bound
+refinement, the commit-level conflict scan, and the idle-layer charge
+helpers — through a :class:`KernelBackend` selected by name at engine
+construction.  The registry mirrors the noise-model registry
+(:mod:`repro.surface_code.noise`): string-keyed factories, duplicate
+registration rejected, unknown names listed in the error.
+
+Built-in backends:
+
+``numpy`` (default)
+    The vectorized implementations the engines shipped with, moved out
+    of the engine bodies verbatim.  Always available.
+
+``python``
+    The njit-compatible loop kernels of :mod:`.loops` run uncompiled.
+    Slow — it exists so the compiled backend's *logic* is exercised by
+    the bit-identity suites even on hosts without numba.
+
+``numba``
+    The same loop kernels compiled with ``numba.njit(cache=True)``.
+    Import-guarded: when numba is missing the factory warns once per
+    process and returns the numpy backend (sessions decode
+    bit-identically either way — backends never change observables).
+
+The bit-identity contract (tests/README.md) binds every backend: on
+the same input stream, matches (objects and order), per-layer cycles,
+overflow refusals and deadline suspension points are identical across
+backends.  Winner-slab *contents* are a performance detail and may
+differ (e.g. which stale survey entries get re-raced).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass
+from typing import Callable, NamedTuple
+
+import numpy as np
+
+from repro.core.kernels.loops import NO_CANDIDATE  # noqa: F401
+
+__all__ = [
+    "CommitScan",
+    "Geometry",
+    "KernelBackend",
+    "available_kernel_backends",
+    "default_kernel_backend",
+    "get_kernel_backend",
+    "numba_version",
+    "register_kernel_backend",
+    "resolve_kernel_backend",
+    "set_default_kernel_backend",
+    "warm_up",
+]
+
+#: Environment variable naming the process-default backend.  Read once
+#: at import so worker processes spawned by the experiment runner's
+#: ``--jobs`` executor inherit the CLI's ``--kernel-backend`` choice.
+KERNEL_BACKEND_ENV = "REPRO_KERNEL_BACKEND"
+
+
+@dataclass(frozen=True)
+class Geometry:
+    """Per-lattice race-geometry tables handed to every kernel call.
+
+    Built once per lattice by the engines (the tables themselves are
+    lru-cached there); read-only.  ``bpacked_t`` is the boundary-key
+    tuple for scalar lookups, ``bpacked`` the same keys as an int64
+    vector for array passes.
+    """
+
+    pair_base: np.ndarray
+    depth_lut: np.ndarray
+    bpacked: np.ndarray
+    bpacked_t: tuple
+    radix: int
+    hops_div: int
+    rows: int
+    cols: int
+
+
+class CommitScan(NamedTuple):
+    """Result of one commit-level conflict scan (see
+    :meth:`KernelBackend.commit_scan`).  All observable mutations are
+    returned as records for the engine to apply; the kernel itself
+    writes only the winner slab (cache state, never observable).
+    """
+
+    rec_pos: np.ndarray    # position in `cur` of each match record
+    rec_u: np.ndarray      # sink unit (flat index)
+    rec_t: np.ndarray      # sink absolute depth
+    rec_u2: np.ndarray     # source unit, -1 for boundary matches
+    rec_t2: np.ndarray     # source absolute depth (boundary: unused)
+    rec_port: np.ndarray   # boundary port code (pairs: unused)
+    g_pos: np.ndarray      # one entry per scanned lane: position in `cur`
+    g_total: np.ndarray    # ... total cycles charged at this level
+    g_l0: np.ndarray       # ... layer-0 events consumed
+    g_match: np.ndarray    # ... any match committed (bool)
+    fc_pos: np.ndarray     # row-occupancy decrements: position in `cur`
+    fc_row: np.ndarray     # ... emptied row index
+    clear_pos: np.ndarray  # Reg bit clears: position in `cur`
+    clear_unit: np.ndarray
+    clear_bits: np.ndarray  # uint64 bit masks to clear
+
+
+class KernelBackend:
+    """One set of engine hot-kernel implementations.
+
+    Every method is a pure function of the slab state it is handed
+    (plus the winner slab, which backends may mutate freely — cache
+    contents are never observable).  See the numpy backend for the
+    reference semantics; all backends must be bit-identical on the
+    observables.
+    """
+
+    #: Registry name (set per subclass).
+    name: str = "?"
+    #: True when the backend runs machine-compiled kernels.
+    compiled: bool = False
+
+    def race(self, masks, s, i, b, geo: Geometry) -> np.ndarray:
+        """Packed race winners for ``(lane, sink, base)`` triples."""
+        raise NotImplementedError
+
+    def valid_entries(self, entries, masks, s, i, b, geo: Geometry) -> np.ndarray:
+        """Which cached winners still race to a live event bit."""
+        raise NotImplementedError
+
+    def survey_need(
+        self, masks, win, win_dirty, s, i, b, pos, n_top, geo: Geometry
+    ) -> np.ndarray:
+        """Exact per-lane minimum winner hops over the flattened sink
+        triples, racing missing entries (marking ``win_dirty``) and
+        refining stale lower bounds only while they could still lower
+        the minimum.  Mutates the winner slab."""
+        raise NotImplementedError
+
+    def commit_scan(
+        self, masks, win, row_counts, popped, cur, b, rel, units,
+        entries, hops, matchable, budget, rowcost, geo: Geometry,
+    ) -> CommitScan:
+        """The commit-level conflict scan: resolve one base-depth
+        sub-sweep's matchable hits per lane (consumed-hit skips,
+        post-commit re-races, timeout-lump adjustment, late row
+        clears), returning all observable mutations as records."""
+        raise NotImplementedError
+
+    def winners_bulk(self, masks, live, sinks, bases, geo: Geometry) -> np.ndarray:
+        """The scalar engine's broadcast winner race: packed winners
+        for many ``(sink, base)`` pairs against one Reg row."""
+        raise NotImplementedError
+
+    def exposed_any(self, masks, sel, exposed) -> np.ndarray:
+        """Per selected lane: does any Reg hold an event at the lane's
+        exposed depth (the ``try_push_empty`` decodability probe)."""
+        raise NotImplementedError
+
+    def charge_empty(self, cycles, popped, cycles_at_last_pop, lanes, cost):
+        """Charge one absorbed empty layer per lane (mutates the three
+        accounting slabs); returns the per-lane layer-cycle deltas."""
+        raise NotImplementedError
+
+
+_KERNEL_REGISTRY: dict[str, Callable[[], KernelBackend]] = {}
+_instances: dict[str, KernelBackend] = {}
+_warned_fallback: set[str] = set()
+
+
+def register_kernel_backend(
+    name: str, factory: Callable[[], KernelBackend]
+) -> None:
+    """Register a backend factory under ``name``.
+
+    Raises ``ValueError`` on duplicate names — same contract as
+    :func:`repro.surface_code.noise.register_noise`.
+    """
+    if name in _KERNEL_REGISTRY:
+        raise ValueError(f"kernel backend {name!r} is already registered")
+    _KERNEL_REGISTRY[name] = factory
+
+
+def available_kernel_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted."""
+    return tuple(sorted(_KERNEL_REGISTRY))
+
+
+def get_kernel_backend(name: str) -> KernelBackend:
+    """Resolve a backend by name (instances are shared per process).
+
+    Unknown names raise ``ValueError`` listing the registered
+    backends.  A registered backend whose imports are unavailable may
+    return a substitute (the numba factory falls back to numpy with a
+    one-time warning) — the returned object's ``name`` tells the truth.
+    """
+    try:
+        factory = _KERNEL_REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown kernel backend {name!r}; available:"
+            f" {list(available_kernel_backends())}"
+        ) from None
+    backend = _instances.get(name)
+    if backend is None:
+        backend = factory()
+        _instances[name] = backend
+    return backend
+
+
+_default_name: str | None = None
+
+
+def default_kernel_backend() -> str:
+    """The process-default backend name (``numpy`` unless overridden by
+    :func:`set_default_kernel_backend` or ``REPRO_KERNEL_BACKEND``)."""
+    if _default_name is not None:
+        return _default_name
+    return os.environ.get(KERNEL_BACKEND_ENV) or "numpy"
+
+
+def set_default_kernel_backend(name: str) -> None:
+    """Set the process-default backend (and export it to
+    ``REPRO_KERNEL_BACKEND`` so forked/spawned worker processes
+    inherit the choice).  The name must be registered."""
+    get_kernel_backend(name)  # validate now, not at first engine
+    global _default_name
+    _default_name = name
+    os.environ[KERNEL_BACKEND_ENV] = name
+
+
+def resolve_kernel_backend(
+    spec: str | KernelBackend | None,
+) -> KernelBackend:
+    """The engines' constructor hook: ``None`` means the process
+    default; a string resolves through the registry; a backend
+    instance passes through."""
+    if spec is None:
+        return get_kernel_backend(default_kernel_backend())
+    if isinstance(spec, KernelBackend):
+        return spec
+    return get_kernel_backend(spec)
+
+
+def numba_version() -> str | None:
+    """The importable numba's version string, or ``None``."""
+    try:
+        import numba
+    except ImportError:
+        return None
+    return numba.__version__
+
+
+def _make_numpy() -> KernelBackend:
+    from repro.core.kernels.numpy_backend import NumpyKernelBackend
+
+    return NumpyKernelBackend()
+
+
+def _make_python() -> KernelBackend:
+    from repro.core.kernels.numba_backend import LoopKernelBackend
+
+    return LoopKernelBackend()
+
+
+def _make_numba() -> KernelBackend:
+    try:
+        from repro.core.kernels.numba_backend import NumbaKernelBackend
+
+        return NumbaKernelBackend()
+    except ImportError:
+        # Once per process, not per engine: engine pools construct
+        # engines continuously and the scheduler must not spam logs.
+        # UserWarning (not RuntimeWarning): services run with
+        # `-W error::RuntimeWarning` and a numba-less host serving a
+        # numba-requesting spec is a degradation, not an error.
+        if "numba" not in _warned_fallback:
+            _warned_fallback.add("numba")
+            warnings.warn(
+                "kernel backend 'numba' requested but numba is not"
+                " importable; falling back to the numpy backend"
+                " (results are bit-identical, only slower)",
+                UserWarning,
+                stacklevel=3,
+            )
+        return get_kernel_backend("numpy")
+
+
+register_kernel_backend("numpy", _make_numpy)
+register_kernel_backend("python", _make_python)
+register_kernel_backend("numba", _make_numba)
+
+
+def warm_up(name: str) -> KernelBackend:
+    """Exercise every dispatched kernel of ``name`` on a tiny decode.
+
+    For the numba backend this triggers (and, with ``cache=True``,
+    persists) the JIT compilation of every kernel, so CI can pay the
+    compile cost once before timing anything.  Returns the backend.
+    """
+    backend = get_kernel_backend(name)
+    from repro.core.engine import QecoolEngine
+    from repro.core.engine_batch import QecoolEngineBatch
+    from repro.surface_code.lattice import PlanarLattice
+
+    lattice = PlanarLattice(3)
+    n = lattice.n_ancillas
+    layers = np.zeros((4, n), dtype=np.uint8)
+    # A pair, a lone defect (boundary match) and an empty tail: drives
+    # the race/survey/commit/timeout paths of both engines.
+    layers[0, 0] = layers[0, 1] = 1
+    layers[1, n - 1] = 1
+    batch = QecoolEngineBatch(
+        lattice, thv=-1, reg_size=7, capacity=2, kernel_backend=backend
+    )
+    lanes = np.asarray([batch.alloc_lane(), batch.alloc_lane()])
+    for row in layers:
+        batch.push_layers(lanes, np.broadcast_to(row, (2, n)))
+    batch.begin_drain(lanes)
+    batch.run_to_idle(lanes)
+    scalar = QecoolEngine(
+        lattice, thv=-1, reg_size=7, kernel_backend=backend
+    )
+    for row in layers:
+        scalar.push_layer(row)
+    scalar.run_to_idle()
+    # The scalar broadcast race only dispatches above its bulk cutoff;
+    # drive it directly so the compile is not workload-dependent.
+    masks1 = np.zeros(n, dtype=np.uint64)
+    masks1[0] = 3
+    masks1[1] = 1
+    backend.winners_bulk(
+        masks1,
+        np.asarray([0, 1], dtype=np.int64),
+        np.asarray([0, 1], dtype=np.int64),
+        np.zeros(2, dtype=np.int64),
+        scalar._geo,
+    )
+    # Idle-layer fast paths (service admission kernels): thv=0 makes
+    # the empty push probe the exposed-depth scan.
+    idle_batch = QecoolEngineBatch(
+        lattice, thv=0, reg_size=7, capacity=1, kernel_backend=backend
+    )
+    idle = np.asarray([idle_batch.alloc_lane()])
+    idle_batch.empty_layers_fast(idle)
+    idle_batch.try_push_empty(idle)
+    return backend

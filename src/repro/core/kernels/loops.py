@@ -1,0 +1,515 @@
+"""Loop-form engine kernels: the numba backend's source of truth.
+
+Every function here is written in the njit-compatible subset —
+numpy scalars and arrays, explicit loops, no Python containers, no
+cross-function calls (each kernel is self-contained so
+``numba.njit`` compiles them independently and the uncompiled module
+remains plain Python).  The ``python`` backend runs these functions
+as-is, which is how their logic is bit-identity-tested on hosts
+without numba; the ``numba`` backend wraps the very same functions in
+``njit(cache=True)``.
+
+Semantics are defined by the numpy backend
+(:mod:`repro.core.kernels.numpy_backend`) and the scalar engine; the
+equivalence suites in ``tests/`` pin all three to each other.
+
+uint64 discipline: Reg masks can have bit 63 set (``MAX_LAYERS`` =
+64), so every mask temporary stays ``np.uint64`` — mixing with int64
+would promote to float64 under NEP 50 (numpy) or truncate (numba).
+Packed race keys fit comfortably in int64 (< 2**62 for real
+candidates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Packed-key sentinel for "no candidate" (mirrors the engine's
+#: ``_NO_CANDIDATE``; real candidate keys are far below it).
+NO_CANDIDATE = 1 << 62
+
+#: Survey minimum's starting value (mirrors the engine's ``1 << 30``).
+NEED_INF = 1 << 30
+
+_ONE = np.uint64(1)
+_ZERO = np.uint64(0)
+
+
+def race_kernel(masks, s, i, b, pair_base, depth_lut, bpacked, radix):
+    """Packed race winners for ``(lane, sink, base)`` triples.
+
+    Per triple: the best pair candidate over every event-holding unit
+    (first event depth at/above the base = trailing zeros of the
+    shifted mask), the sink's own vertical candidate, and its boundary
+    key — minimum wins, identical total order to the broadcast race.
+    """
+    m = s.shape[0]
+    n = masks.shape[1]
+    out = np.empty(m, np.int64)
+    for j in range(m):
+        lane = s[j]
+        sink = i[j]
+        ub = np.uint64(b[j])
+        best = bpacked[sink]
+        for a in range(n):
+            key = pair_base[sink, a]
+            if key >= NO_CANDIDATE:
+                continue
+            w = masks[lane, a] >> ub
+            if w == _ZERO:
+                continue
+            t = 0
+            while w & _ONE == _ZERO:
+                w = w >> _ONE
+                t += 1
+            cand = key + depth_lut[t]
+            if cand < best:
+                best = cand
+        own = (masks[lane, sink] >> ub) >> _ONE
+        if own != _ZERO:
+            t = 1
+            while own & _ONE == _ZERO:
+                own = own >> _ONE
+                t += 1
+            cand = (t * 2048 + t) * radix
+            if cand < best:
+                best = cand
+        out[j] = best
+    return out
+
+
+def valid_entries_kernel(entries, masks, s, i, b, radix):
+    """Which cached winners still race to a live event bit."""
+    m = entries.shape[0]
+    out = np.zeros(m, np.bool_)
+    for j in range(m):
+        e = entries[j]
+        if e < 0:
+            continue
+        src1 = e % radix
+        t_rel = (e // radix) % 128
+        if src1 > 0:
+            tgt = src1 - 1
+        elif t_rel > 0:
+            tgt = i[j]
+        else:
+            out[j] = True  # boundary spikes are always available
+            continue
+        out[j] = (masks[s[j], tgt] >> np.uint64(b[j] + t_rel)) & _ONE != _ZERO
+    return out
+
+
+def survey_need_kernel(
+    masks, win, win_dirty, s, i, b, pos, n_top,
+    pair_base, depth_lut, bpacked, radix, hops_div,
+):
+    """Exact per-lane minimum winner hops over flattened sink triples.
+
+    Valid entries contribute their hop count; missing entries are
+    raced (and mark the lane's slab dirty); a stale entry is a lower
+    bound (matches only remove candidates) and is re-raced only while
+    its bound could still lower the lane's running minimum.  Which
+    stale entries end up re-raced differs from the numpy backend's
+    minimum-bound passes — cache contents are a performance detail —
+    but the returned minimum is exact either way: every skipped stale
+    bound was >= the running minimum, which only ever decreases.
+    """
+    need = np.full(n_top, NEED_INF, np.int64)
+    m = s.shape[0]
+    n = masks.shape[1]
+    for j in range(m):
+        lane = s[j]
+        sink = i[j]
+        base = b[j]
+        p = pos[j]
+        e = win[lane, sink, base]
+        if e >= 0:
+            h = (e // hops_div) >> 1
+            src1 = e % radix
+            t_rel = (e // radix) % 128
+            if src1 > 0:
+                valid = (
+                    masks[lane, src1 - 1] >> np.uint64(base + t_rel)
+                ) & _ONE != _ZERO
+            elif t_rel > 0:
+                valid = (
+                    masks[lane, sink] >> np.uint64(base + t_rel)
+                ) & _ONE != _ZERO
+            else:
+                valid = True
+            if valid:
+                if h < need[p]:
+                    need[p] = h
+                continue
+            if h >= need[p]:
+                continue  # stale lower bound cannot improve the minimum
+        ub = np.uint64(base)
+        best = bpacked[sink]
+        for a in range(n):
+            key = pair_base[sink, a]
+            if key >= NO_CANDIDATE:
+                continue
+            w = masks[lane, a] >> ub
+            if w == _ZERO:
+                continue
+            t = 0
+            while w & _ONE == _ZERO:
+                w = w >> _ONE
+                t += 1
+            cand = key + depth_lut[t]
+            if cand < best:
+                best = cand
+        own = (masks[lane, sink] >> ub) >> _ONE
+        if own != _ZERO:
+            t = 1
+            while own & _ONE == _ZERO:
+                own = own >> _ONE
+                t += 1
+            cand = (t * 2048 + t) * radix
+            if cand < best:
+                best = cand
+        win[lane, sink, base] = best
+        if e < 0:
+            win_dirty[lane] = True
+        h = (best // hops_div) >> 1
+        if h < need[p]:
+            need[p] = h
+    return need
+
+
+def winners_bulk_kernel(masks, sinks, bases, pair_base, depth_lut, bpacked, radix):
+    """The scalar engine's broadcast winner race, loop form.
+
+    ``masks`` is the one Reg row (1-D); empty units fall out via the
+    zero-mask skip, exactly like the sentinel depth key does in the
+    broadcast pass.
+    """
+    m = sinks.shape[0]
+    n = masks.shape[0]
+    out = np.empty(m, np.int64)
+    for j in range(m):
+        sink = sinks[j]
+        ub = np.uint64(bases[j])
+        best = bpacked[sink]
+        for a in range(n):
+            key = pair_base[sink, a]
+            if key >= NO_CANDIDATE:
+                continue
+            w = masks[a] >> ub
+            if w == _ZERO:
+                continue
+            t = 0
+            while w & _ONE == _ZERO:
+                w = w >> _ONE
+                t += 1
+            cand = key + depth_lut[t]
+            if cand < best:
+                best = cand
+        own = (masks[sink] >> ub) >> _ONE
+        if own != _ZERO:
+            t = 1
+            while own & _ONE == _ZERO:
+                own = own >> _ONE
+                t += 1
+            cand = (t * 2048 + t) * radix
+            if cand < best:
+                best = cand
+        out[j] = best
+    return out
+
+
+def commit_scan_kernel(
+    masks, win, row_counts, popped, cur, b, rel, units, entries, hops,
+    matchable, budget, rowcost, pair_base, depth_lut, bpacked,
+    radix, hops_div, rows, cols,
+):
+    """The commit-level conflict scan, loop form.
+
+    Mirrors the numpy backend's sequential scan hit for hit: a hit
+    consumed as an earlier match's source is skipped; a hit whose
+    pre-raced winner lost its target re-races against the post-commit
+    state (``pending`` bits masked out); boundary/pair records, the
+    timeout-lump ``skips`` adjustment, late-row-clear recosting and
+    per-lane charge totals come out as flat record arrays.  The only
+    slab mutated is the winner cache.
+
+    Returns ``(n_rec, n_g, n_fc, n_cl, rec_pos, rec_u, rec_t, rec_u2,
+    rec_t2, rec_port, g_pos, g_total, g_l0, g_match, fc_pos, fc_row,
+    clear_pos, clear_unit, clear_bits)`` — counts first, preallocated
+    arrays trimmed by the caller.
+    """
+    n_all = rel.shape[0]
+    n_units = masks.shape[1]
+    radix128 = 128 * radix
+
+    rec_pos = np.empty(n_all, np.int64)
+    rec_u = np.empty(n_all, np.int64)
+    rec_t = np.empty(n_all, np.int64)
+    rec_u2 = np.empty(n_all, np.int64)
+    rec_t2 = np.empty(n_all, np.int64)
+    rec_port = np.empty(n_all, np.int64)
+    n_groups = cur.shape[0]
+    g_pos = np.empty(n_groups, np.int64)
+    g_total = np.empty(n_groups, np.int64)
+    g_l0 = np.empty(n_groups, np.int64)
+    g_match = np.zeros(n_groups, np.bool_)
+    cap2 = 2 * n_all + 2
+    fc_pos = np.empty(cap2, np.int64)
+    fc_row = np.empty(cap2, np.int64)
+    fc_hit_row = np.empty(cap2, np.int64)
+    clear_pos = np.empty(cap2, np.int64)
+    clear_unit = np.empty(cap2, np.int64)
+    clear_bits = np.empty(cap2, np.uint64)
+
+    pending = np.zeros(n_units, np.uint64)
+    ptouch = np.empty(cap2, np.int64)
+    orig = np.zeros(n_units, np.uint64)
+    orig_set = np.zeros(n_units, np.bool_)
+    otouch = np.empty(cap2, np.int64)
+    consumed = np.zeros(n_units * 64, np.bool_)
+    ctouch = np.empty(cap2, np.int64)
+    mset = np.zeros(n_units, np.bool_)
+    cleared = np.zeros(n_units, np.bool_)
+    row_scratch = np.empty(rows, np.int64)
+
+    n_rec = 0
+    n_g = 0
+    n_fc = 0
+    n_cl = 0
+    lo = 0
+    while lo < n_all:
+        p = rel[lo]
+        hi = lo
+        while hi < n_all and rel[hi] == p:
+            hi += 1
+        lane = cur[p]
+        bgt = budget[p]
+        t_cost = 2 * bgt + 2
+        pop_l = popped[lane]
+        n_t = 0
+        for k in range(lo, hi):
+            if matchable[k]:
+                mset[units[k]] = True
+            else:
+                n_t += 1
+        cost = 0
+        l0_dec = 0
+        skips = 0
+        any_m = False
+        n_pt = 0
+        n_ot = 0
+        n_ct = 0
+        fc_start = n_fc
+        for k in range(lo, hi):
+            if not matchable[k]:
+                continue
+            u = units[k]
+            if consumed[(u << 6) | b]:
+                continue  # consumed as a source earlier this level
+            w = entries[k]
+            h = hops[k]
+            s1 = w % radix
+            tr = (w // radix) % 128
+            port = 0
+            if s1 > 0:
+                tu = s1 - 1
+                td = b + tr
+                bdy = False
+            elif tr > 0:
+                tu = u
+                td = b + tr
+                bdy = False
+            else:
+                tu = -1
+                td = -1
+                bdy = True
+                port = (w // radix128) % 8
+            if not orig_set[u]:
+                orig_set[u] = True
+                orig[u] = masks[lane, u]
+                otouch[n_ot] = u
+                n_ot += 1
+            if not bdy:
+                if consumed[(tu << 6) | td]:
+                    # Pre-raced winner's target was consumed by an
+                    # earlier commit: re-race against the post-commit
+                    # state (pending clears masked out).
+                    ub = np.uint64(b)
+                    best = bpacked[u]
+                    for a in range(n_units):
+                        key = pair_base[u, a]
+                        if key >= NO_CANDIDATE:
+                            continue
+                        wrd = (masks[lane, a] & ~pending[a]) >> ub
+                        if wrd == _ZERO:
+                            continue
+                        t = 0
+                        while wrd & _ONE == _ZERO:
+                            wrd = wrd >> _ONE
+                            t += 1
+                        cand = key + depth_lut[t]
+                        if cand < best:
+                            best = cand
+                    own = ((masks[lane, u] & ~pending[u]) >> ub) >> _ONE
+                    if own != _ZERO:
+                        t = 1
+                        while own & _ONE == _ZERO:
+                            own = own >> _ONE
+                            t += 1
+                        cand = (t * 2048 + t) * radix
+                        if cand < best:
+                            best = cand
+                    w = best
+                    win[lane, u, b] = w
+                    h = (w // hops_div) >> 1
+                    if h > bgt:
+                        cost += t_cost
+                        continue
+                    s1 = w % radix
+                    tr = (w // radix) % 128
+                    if s1 > 0:
+                        tu = s1 - 1
+                        td = b + tr
+                        bdy = False
+                    elif tr > 0:
+                        tu = u
+                        td = b + tr
+                        bdy = False
+                    else:
+                        bdy = True
+                        port = (w // radix128) % 8
+                if not bdy and not orig_set[tu]:
+                    orig_set[tu] = True
+                    orig[tu] = masks[lane, tu]
+                    otouch[n_ot] = tu
+                    n_ot += 1
+            # Commit: clear the sink bit (and the source event).
+            any_m = True
+            if pending[u] == _ZERO:
+                ptouch[n_pt] = u
+                n_pt += 1
+            pu = pending[u] | (_ONE << np.uint64(b))
+            pending[u] = pu
+            consumed[(u << 6) | b] = True
+            ctouch[n_ct] = (u << 6) | b
+            n_ct += 1
+            if b == 0:
+                l0_dec += 1
+            r_hit = u // cols
+            if (orig[u] & ~pu) == _ZERO and not cleared[u]:
+                cleared[u] = True
+                fc_pos[n_fc] = p
+                fc_row[n_fc] = r_hit
+                fc_hit_row[n_fc] = r_hit
+                n_fc += 1
+            if bdy:
+                rec_pos[n_rec] = p
+                rec_u[n_rec] = u
+                rec_t[n_rec] = pop_l + b
+                rec_u2[n_rec] = -1
+                rec_t2[n_rec] = -1
+                rec_port[n_rec] = port
+                n_rec += 1
+                cost += t_cost
+                continue
+            if pending[tu] == _ZERO:
+                ptouch[n_pt] = tu
+                n_pt += 1
+            pt = pending[tu] | (_ONE << np.uint64(td))
+            pending[tu] = pt
+            consumed[(tu << 6) | td] = True
+            ctouch[n_ct] = (tu << 6) | td
+            n_ct += 1
+            if td == b and tu > u and not mset[tu]:
+                # A later timeout hit just lost its bit: the token will
+                # skip it, so it leaves the timeout lump.
+                skips += 1
+            if td == 0:
+                l0_dec += 1
+            if (orig[tu] & ~pt) == _ZERO and not cleared[tu]:
+                cleared[tu] = True
+                fc_pos[n_fc] = p
+                fc_row[n_fc] = tu // cols
+                fc_hit_row[n_fc] = r_hit
+                n_fc += 1
+            rec_pos[n_rec] = p
+            rec_u[n_rec] = u
+            rec_t[n_rec] = pop_l + b
+            rec_u2[n_rec] = tu
+            rec_t2[n_rec] = pop_l + td
+            rec_port[n_rec] = 0
+            n_rec += 1
+            cost += 2 * h + 2
+        cost += (n_t - skips) * t_cost
+        # Row-token charges: the static scan cost unless a commit
+        # emptied a unit's row before the token reached it.
+        n_late = 0
+        for k in range(fc_start, n_fc):
+            if fc_row[k] > fc_hit_row[k]:
+                n_late += 1
+        if n_late > 0:
+            for rr in range(rows):
+                row_scratch[rr] = row_counts[lane, rr]
+            for k in range(fc_start, n_fc):
+                if fc_row[k] > fc_hit_row[k]:
+                    row_scratch[fc_row[k]] -= 1
+            rtotal = 0
+            for rr in range(rows):
+                rtotal += cols if row_scratch[rr] > 0 else 1
+            total = cost + rtotal
+        else:
+            total = cost + rowcost[p]
+        g_pos[n_g] = p
+        g_total[n_g] = total
+        g_l0[n_g] = l0_dec
+        g_match[n_g] = any_m
+        n_g += 1
+        for k in range(n_pt):
+            u = ptouch[k]
+            clear_pos[n_cl] = p
+            clear_unit[n_cl] = u
+            clear_bits[n_cl] = pending[u]
+            n_cl += 1
+            pending[u] = _ZERO
+            cleared[u] = False
+        for k in range(n_ot):
+            orig_set[otouch[k]] = False
+        for k in range(n_ct):
+            consumed[ctouch[k]] = False
+        for k in range(lo, hi):
+            mset[units[k]] = False
+        lo = hi
+    return (
+        n_rec, n_g, n_fc, n_cl,
+        rec_pos, rec_u, rec_t, rec_u2, rec_t2, rec_port,
+        g_pos, g_total, g_l0, g_match,
+        fc_pos, fc_row, clear_pos, clear_unit, clear_bits,
+    )
+
+
+def exposed_any_kernel(masks, sel, exposed):
+    """Per selected lane: any Reg bit set at the lane's exposed depth."""
+    m = sel.shape[0]
+    n = masks.shape[1]
+    out = np.zeros(m, np.bool_)
+    for j in range(m):
+        lane = sel[j]
+        ub = np.uint64(exposed[j])
+        for a in range(n):
+            if (masks[lane, a] >> ub) & _ONE != _ZERO:
+                out[j] = True
+                break
+    return out
+
+
+def charge_empty_kernel(cycles, popped, cycles_at_last_pop, lanes, cost):
+    """Charge one absorbed empty layer per lane; returns deltas."""
+    m = lanes.shape[0]
+    deltas = np.empty(m, np.int64)
+    for j in range(m):
+        lane = lanes[j]
+        cycles[lane] += cost
+        popped[lane] += 1
+        deltas[j] = cycles[lane] - cycles_at_last_pop[lane]
+        cycles_at_last_pop[lane] = cycles[lane]
+    return deltas

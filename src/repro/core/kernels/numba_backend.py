@@ -1,0 +1,124 @@
+"""Loop-kernel backends: interpreted (``python``) and compiled (``numba``).
+
+Both dispatch to the self-contained kernel functions of
+:mod:`repro.core.kernels.loops`; the numba backend swaps in
+``njit(cache=True)``-compiled versions of the very same functions.
+Importing this module does **not** require numba — only constructing
+:class:`NumbaKernelBackend` does (the registry factory import-guards
+it and falls back to numpy with a one-time warning).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kernels import CommitScan, Geometry, KernelBackend
+from repro.core.kernels import loops
+
+__all__ = ["LoopKernelBackend", "NumbaKernelBackend"]
+
+
+class LoopKernelBackend(KernelBackend):
+    """The njit-compatible loop kernels run uncompiled.
+
+    Slow (plain-Python loops over numpy scalars) — registered so the
+    compiled backend's kernel *logic* is exercised by the bit-identity
+    suites on hosts without numba.
+    """
+
+    name = "python"
+    compiled = False
+
+    # Kernel function table; the numba subclass overrides these with
+    # compiled dispatchers of the same functions.
+    _race = staticmethod(loops.race_kernel)
+    _valid = staticmethod(loops.valid_entries_kernel)
+    _survey = staticmethod(loops.survey_need_kernel)
+    _winners = staticmethod(loops.winners_bulk_kernel)
+    _commit = staticmethod(loops.commit_scan_kernel)
+    _exposed = staticmethod(loops.exposed_any_kernel)
+    _charge = staticmethod(loops.charge_empty_kernel)
+
+    def race(self, masks, s, i, b, geo: Geometry) -> np.ndarray:
+        return self._race(
+            masks, s, i, b,
+            geo.pair_base, geo.depth_lut, geo.bpacked, geo.radix,
+        )
+
+    def valid_entries(self, entries, masks, s, i, b, geo: Geometry) -> np.ndarray:
+        return self._valid(entries, masks, s, i, b, geo.radix)
+
+    def survey_need(
+        self, masks, win, win_dirty, s, i, b, pos, n_top, geo: Geometry
+    ) -> np.ndarray:
+        return self._survey(
+            masks, win, win_dirty, s, i, b, pos, n_top,
+            geo.pair_base, geo.depth_lut, geo.bpacked, geo.radix,
+            geo.hops_div,
+        )
+
+    def winners_bulk(self, masks, live, sinks, bases, geo: Geometry) -> np.ndarray:
+        # The loop form skips empty units as it scans, so the live set
+        # needs no materialising.
+        return self._winners(
+            masks, sinks, bases,
+            geo.pair_base, geo.depth_lut, geo.bpacked, geo.radix,
+        )
+
+    def commit_scan(
+        self, masks, win, row_counts, popped, cur, b, rel, units,
+        entries, hops, matchable, budget, rowcost, geo: Geometry,
+    ) -> CommitScan:
+        (
+            n_rec, n_g, n_fc, n_cl,
+            rec_pos, rec_u, rec_t, rec_u2, rec_t2, rec_port,
+            g_pos, g_total, g_l0, g_match,
+            fc_pos, fc_row, clear_pos, clear_unit, clear_bits,
+        ) = self._commit(
+            masks, win, row_counts, popped, cur, b, rel, units, entries,
+            hops, matchable, budget, rowcost,
+            geo.pair_base, geo.depth_lut, geo.bpacked,
+            geo.radix, geo.hops_div, geo.rows, geo.cols,
+        )
+        return CommitScan(
+            rec_pos[:n_rec], rec_u[:n_rec], rec_t[:n_rec],
+            rec_u2[:n_rec], rec_t2[:n_rec], rec_port[:n_rec],
+            g_pos[:n_g], g_total[:n_g], g_l0[:n_g], g_match[:n_g],
+            fc_pos[:n_fc], fc_row[:n_fc],
+            clear_pos[:n_cl], clear_unit[:n_cl], clear_bits[:n_cl],
+        )
+
+    def exposed_any(self, masks, sel, exposed) -> np.ndarray:
+        return self._exposed(masks, sel, exposed)
+
+    def charge_empty(self, cycles, popped, cycles_at_last_pop, lanes, cost):
+        return self._charge(cycles, popped, cycles_at_last_pop, lanes, cost)
+
+
+# Import-time failure here (no numba) is what the registry factory
+# catches to fall back; keep it at module scope via the class body.
+class NumbaKernelBackend(LoopKernelBackend):
+    """The loop kernels compiled with ``numba.njit(cache=True)``.
+
+    Compilation is lazy (first call per signature) and persisted to
+    numba's on-disk cache, so a warmed CI cache pays the compile cost
+    once.  ``nogil`` lets shard workers overlap kernel time.
+    """
+
+    name = "numba"
+    compiled = True
+
+    def __init__(self) -> None:
+        import numba
+
+        jit = numba.njit(cache=True, nogil=True)
+        cls = type(self)
+        if cls._race is loops.race_kernel:
+            # Compile once per process, shared by every instance.
+            cls._race = staticmethod(jit(loops.race_kernel))
+            cls._valid = staticmethod(jit(loops.valid_entries_kernel))
+            cls._survey = staticmethod(jit(loops.survey_need_kernel))
+            cls._winners = staticmethod(jit(loops.winners_bulk_kernel))
+            cls._commit = staticmethod(jit(loops.commit_scan_kernel))
+            cls._exposed = staticmethod(jit(loops.exposed_any_kernel))
+            cls._charge = staticmethod(jit(loops.charge_empty_kernel))

@@ -72,6 +72,9 @@ class OnlineConfig:
     measurement_interval_s: float = 1.0e-6
     thv: int = 3
     reg_size: int = 7
+    kernel_backend: str | None = None
+    """Engine-kernel backend name (:mod:`repro.core.kernels`);
+    ``None`` uses the process default."""
 
     @property
     def cycles_per_interval(self) -> float:
@@ -135,8 +138,17 @@ def run_online_trial(
         raise ValueError(f"n_rounds must be >= 1, got {n_rounds}")
     rng = make_rng(rng)
     noise = _resolve_trial_noise(p, q)
-    factory = QecoolEngine if engine_factory is None else engine_factory
-    engine = factory(lattice, thv=config.thv, reg_size=config.reg_size)
+    if engine_factory is None:
+        engine = QecoolEngine(
+            lattice, thv=config.thv, reg_size=config.reg_size,
+            kernel_backend=config.kernel_backend,
+        )
+    else:
+        # Alternative engines (frozen baselines) predate the kernel
+        # registry; keep their constructor contract untouched.
+        engine = engine_factory(
+            lattice, thv=config.thv, reg_size=config.reg_size
+        )
     budget = config.cycles_per_interval
     # With no cycle deadline the decode between rounds always runs to
     # IDLE, so the engine can advance synchronously (no generator); a
@@ -532,7 +544,10 @@ class OnlineShot(StreamingShotState):
             # ``engine`` lets a caller recycle a reset engine of the
             # same (lattice, thv, reg_size) shape instead of allocating.
             self.engine = (
-                QecoolEngine(lattice, thv=config.thv, reg_size=config.reg_size)
+                QecoolEngine(
+                    lattice, thv=config.thv, reg_size=config.reg_size,
+                    kernel_backend=config.kernel_backend,
+                )
                 if engine is None
                 else engine
             )
@@ -1244,7 +1259,7 @@ def run_online_chunk(
     batch = (
         QecoolEngineBatch(
             lattice, thv=config.thv, reg_size=config.reg_size,
-            capacity=len(rngs),
+            capacity=len(rngs), kernel_backend=config.kernel_backend,
         )
         if len(rngs) >= BATCH_ENGINE_CUTOFF
         else None

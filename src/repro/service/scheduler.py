@@ -48,6 +48,7 @@ from dataclasses import dataclass
 
 from repro.core.engine import QecoolEngine
 from repro.core.engine_batch import QecoolEngineBatch
+from repro.core.kernels import resolve_kernel_backend
 from repro.core.online import (
     OnlineShot,
     StreamingBlock,
@@ -99,10 +100,21 @@ class SchedulerConfig:
     max_queue: int = 1024
     engine_pool_per_shape: int = 256  # initial lanes per batch engine
     max_idle_shapes: int = 8  # drained shape groups kept warm (LRU)
+    kernel_backend: str | None = None
+    """Default engine-kernel backend (:mod:`repro.core.kernels`) for
+    sessions that do not pick one; ``None`` uses the process default."""
 
     def __post_init__(self) -> None:
         if self.max_active < 1:
             raise ValueError(f"max_active must be >= 1, got {self.max_active}")
+        if self.kernel_backend is not None:
+            from repro.core.kernels import available_kernel_backends
+
+            if self.kernel_backend not in available_kernel_backends():
+                raise ValueError(
+                    f"unknown kernel backend {self.kernel_backend!r}; "
+                    f"available: {', '.join(available_kernel_backends())}"
+                )
         if self.max_queue < 0:
             raise ValueError(f"max_queue must be >= 0, got {self.max_queue}")
         if self.engine_pool_per_shape < 0:
@@ -232,10 +244,21 @@ class MicroBatchScheduler:
             lattice = self._lattices[d] = PlanarLattice(d)
         return lattice
 
+    def _kernel_for(self, spec: SessionSpec):
+        """The session's resolved kernel backend (spec overrides the
+        scheduler default).  Resolving here means pool keys use the
+        *effective* backend name — ``numba`` falling back on a host
+        without numba shares the ``numpy`` pools instead of shadowing
+        them."""
+        return resolve_kernel_backend(
+            spec.kernel_backend or self.config.kernel_backend
+        )
+
     def _batch_for(
         self, spec: SessionSpec, lattice: PlanarLattice
     ) -> QecoolEngineBatch:
-        key = (spec.d, spec.thv, spec.reg_size)
+        kernel = self._kernel_for(spec)
+        key = (spec.d, spec.thv, spec.reg_size, kernel.name)
         batch = self._engine_pool.get(key)
         if batch is None:
             capacity = max(
@@ -244,20 +267,24 @@ class MicroBatchScheduler:
             )
             batch = self._engine_pool[key] = QecoolEngineBatch(
                 lattice, thv=spec.thv, reg_size=spec.reg_size,
-                capacity=capacity,
+                capacity=capacity, kernel_backend=kernel,
             )
         return batch
 
     def _scalar_engine_for(
         self, spec: SessionSpec, lattice: PlanarLattice
     ) -> QecoolEngine:
-        pool = self._scalar_pool.get((spec.d, spec.thv, spec.reg_size))
+        kernel = self._kernel_for(spec)
+        pool = self._scalar_pool.get((spec.d, spec.thv, spec.reg_size, kernel.name))
         if pool:
             return pool.pop()
-        return QecoolEngine(lattice, thv=spec.thv, reg_size=spec.reg_size)
+        return QecoolEngine(
+            lattice, thv=spec.thv, reg_size=spec.reg_size,
+            kernel_backend=kernel,
+        )
 
     def _recycle_scalar(self, spec: SessionSpec, engine: QecoolEngine) -> None:
-        key = (spec.d, spec.thv, spec.reg_size)
+        key = (spec.d, spec.thv, spec.reg_size, engine._kernel.name)
         pool = self._scalar_pool.setdefault(key, [])
         if len(pool) < self.config.engine_pool_per_shape:
             pool.append(engine.reset())
@@ -331,7 +358,10 @@ class MicroBatchScheduler:
         else:
             session.shot = WindowShot(
                 lattice, noise, spec.rounds,
-                SlidingWindowDecoder(window=spec.window, commit=spec.commit),
+                SlidingWindowDecoder(
+                    window=spec.window, commit=spec.commit,
+                    kernel_backend=self._kernel_for(spec),
+                ),
                 rng=spec.seed,
                 block=block,
             )

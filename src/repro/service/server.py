@@ -32,6 +32,10 @@ import inspect
 import json
 import sys
 
+from repro.core.kernels import (
+    available_kernel_backends,
+    set_default_kernel_backend,
+)
 from repro.service.api import DecodeService
 from repro.service.scheduler import Backpressure, SchedulerConfig
 from repro.service.session import SessionSpec
@@ -242,8 +246,21 @@ def main(argv: list[str] | None = None) -> int:
         "(0 = single in-process scheduler; --capacity/--max-queue "
         "apply per worker)",
     )
+    parser.add_argument(
+        "--kernel-backend", default=None,
+        choices=available_kernel_backends(),
+        help="default engine-kernel backend for sessions that do not "
+        "pick one ('numba' falls back to numpy with a warning when "
+        "numba is not installed)",
+    )
     args = parser.parse_args(argv)
-    config = SchedulerConfig(max_active=args.capacity, max_queue=args.max_queue)
+    if args.kernel_backend is not None:
+        # Env default too, so shard worker processes inherit it.
+        set_default_kernel_backend(args.kernel_backend)
+    config = SchedulerConfig(
+        max_active=args.capacity, max_queue=args.max_queue,
+        kernel_backend=args.kernel_backend,
+    )
 
     def announce(bound):
         print(

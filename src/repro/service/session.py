@@ -59,11 +59,13 @@ def _online_config(
     measurement_interval_s: float,
     thv: int,
     reg_size: int | None,
+    kernel_backend: str | None = None,
 ) -> OnlineConfig:
     return OnlineConfig(
         frequency_hz=frequency_hz,
         measurement_interval_s=measurement_interval_s,
         thv=thv,
+        kernel_backend=kernel_backend,
         reg_size=reg_size,
     )
 
@@ -94,6 +96,9 @@ class SessionSpec:
     noise_params: dict | None = None
     window: int = 4
     commit: int = 1
+    kernel_backend: str | None = None
+    """Engine-kernel backend name (:mod:`repro.core.kernels`);
+    ``None`` defers to the scheduler's configured default."""
 
     def validate(self) -> None:
         """Raise ``ValueError`` on an unusable spec.
@@ -147,6 +152,16 @@ class SessionSpec:
             )
         if self.q is not None and not 0.0 <= self.q <= 1.0:
             raise ValueError(f"q must be a probability or None, got {self.q}")
+        if self.kernel_backend is not None:
+            # Same shed-at-the-transport rule as noise below: an
+            # unknown backend name must not reach the shared tick.
+            from repro.core.kernels import available_kernel_backends
+
+            if self.kernel_backend not in available_kernel_backends():
+                raise ValueError(
+                    f"unknown kernel backend {self.kernel_backend!r}; "
+                    f"available: {', '.join(available_kernel_backends())}"
+                )
         if self.noise_params is not None and not isinstance(
             self.noise_params, dict
         ):
@@ -197,6 +212,7 @@ class SessionSpec:
             self.measurement_interval_s,
             self.thv,
             self.reg_size,
+            self.kernel_backend,
         )
 
     def to_payload(self) -> dict:

@@ -26,10 +26,16 @@ from repro.core.engine_batch import (
     LANE_PARKED,
     QecoolEngineBatch,
 )
+from repro.core.kernels import available_kernel_backends
 from repro.core.reference import ReferenceEngine
 from repro.surface_code.lattice import PlanarLattice
 
 LATTICES = {d: PlanarLattice(d) for d in (3, 5, 7)}
+
+# The scalar oracle always runs the default backend; the batch engine
+# under test sweeps every registered one, so a kernel-level divergence
+# shows up as a lane/oracle mismatch rather than an agreeing pair.
+BACKENDS = available_kernel_backends()
 
 
 class ScalarStream:
@@ -140,12 +146,17 @@ def assert_lane_matches_scalar(batch_stream, scalar_stream, ctx=""):
     assert batch.cycles_of(lane) == engine.cycles, ctx
 
 
-def run_pair(lattice, thv, reg, budget, streams, admit_rounds, batch=None):
+def run_pair(
+    lattice, thv, reg, budget, streams, admit_rounds, batch=None,
+    kernel_backend=None,
+):
     """Run staggered shots through one batch engine and per-shot scalar
     oracles; compare after every round and at the end."""
     if batch is None:
         batch = QecoolEngineBatch(
-            lattice, thv=thv, reg_size=reg, capacity=max(1, len(streams) // 2)
+            lattice, thv=thv, reg_size=reg,
+            capacity=max(1, len(streams) // 2),
+            kernel_backend=kernel_backend,
         )
     pairs = [None] * len(streams)
     n_rounds = max(
@@ -213,6 +224,17 @@ class TestLaneForLaneIdentity:
         and lane reuse: every lane == its standalone scalar engine."""
         run_pair(*workload)
 
+    @pytest.mark.parametrize("kernel_backend", BACKENDS)
+    @settings(max_examples=10, deadline=None)
+    @given(workloads())
+    def test_ragged_admission_matches_scalar_all_backends(
+        self, kernel_backend, workload
+    ):
+        """The ragged-admission sweep on every registered kernel
+        backend (fewer examples per backend; the default backend keeps
+        the full 40-example sweep above)."""
+        run_pair(*workload, kernel_backend=kernel_backend)
+
     def test_lane_reuse_after_retirement_is_clean(self, d5):
         """Retire + readmit into the same lane: the reused lane must
         show no residue of its previous tenant."""
@@ -232,11 +254,15 @@ class TestLaneForLaneIdentity:
             assert_lane_matches_scalar(bs, ss, ctx=f"wave {wave}")
             bs.release()
 
+    @pytest.mark.parametrize("kernel_backend", BACKENDS)
     @pytest.mark.parametrize("d", [3, 5, 7])
     @pytest.mark.parametrize("thv,reg", [(-1, None), (3, 7), (-1, 7)])
-    def test_dense_drain_matches_scalar_and_reference(self, d, thv, reg):
+    def test_dense_drain_matches_scalar_and_reference(
+        self, d, thv, reg, kernel_backend
+    ):
         """Unconstrained streams across the full shape grid, pinned by
-        both the scalar engine and the literal ReferenceEngine."""
+        both the scalar engine and the literal ReferenceEngine — on
+        every registered kernel backend."""
         lattice = LATTICES[d]
         rng = np.random.default_rng(100 * d + thv + (0 if reg is None else reg))
         n_shots, n_rounds = 4, 5
@@ -244,7 +270,10 @@ class TestLaneForLaneIdentity:
             (rng.random((n_rounds, lattice.n_ancillas)) < 0.15).astype(np.uint8)
             for _ in range(n_shots)
         ]
-        batch = QecoolEngineBatch(lattice, thv=thv, reg_size=reg, capacity=n_shots)
+        batch = QecoolEngineBatch(
+            lattice, thv=thv, reg_size=reg, capacity=n_shots,
+            kernel_backend=kernel_backend,
+        )
         lanes = []
         refs = []
         for stream in streams:

@@ -21,8 +21,14 @@ import numpy as np
 import pytest
 
 from repro.core.engine import IDLE, QecoolEngine
+from repro.core.kernels import available_kernel_backends
 from repro.core.reference import ReferenceEngine
 from repro.surface_code.lattice import PlanarLattice
+
+# Every registered backend must drive the array engine through the
+# same observable stream ("numba" resolves to its numpy fallback when
+# numba is absent, so the list is safe to sweep on any host).
+BACKENDS = available_kernel_backends()
 
 
 def _drive_engine_to_idle(engine, gen):
@@ -41,11 +47,16 @@ def _assert_synced(engine: QecoolEngine, ref: ReferenceEngine) -> None:
     assert engine.defects_remaining == ref.defects_remaining
 
 
-def _random_stream_case(d, reg_size, thv, seed, n_rounds=8, sync_mode="generator"):
+def _random_stream_case(
+    d, reg_size, thv, seed, n_rounds=8, sync_mode="generator",
+    kernel_backend=None,
+):
     """Stream random layers through both machines, syncing at every IDLE."""
     lattice = PlanarLattice(d)
     rng = np.random.default_rng(seed)
-    engine = QecoolEngine(lattice, thv=thv, reg_size=reg_size)
+    engine = QecoolEngine(
+        lattice, thv=thv, reg_size=reg_size, kernel_backend=kernel_backend
+    )
     ref = ReferenceEngine(lattice, thv=thv, reg_size=reg_size)
     gen = engine.run(drain=False) if sync_mode == "generator" else None
 
@@ -81,19 +92,27 @@ def _random_stream_case(d, reg_size, thv, seed, n_rounds=8, sync_mode="generator
     return saw_overflow
 
 
+@pytest.mark.parametrize("kernel_backend", BACKENDS)
 @pytest.mark.parametrize("d", [3, 5, 7])
 @pytest.mark.parametrize("reg_size", [None, 7])
 @pytest.mark.parametrize("thv", [-1, 3])
 @pytest.mark.parametrize("seed", [0, 1])
-def test_streaming_equivalence(d, reg_size, thv, seed):
-    _random_stream_case(d, reg_size, thv, seed=1000 * d + 10 * (seed + 1) + (thv > 0))
+def test_streaming_equivalence(d, reg_size, thv, seed, kernel_backend):
+    _random_stream_case(
+        d, reg_size, thv, seed=1000 * d + 10 * (seed + 1) + (thv > 0),
+        kernel_backend=kernel_backend,
+    )
 
 
+@pytest.mark.parametrize("kernel_backend", BACKENDS)
 @pytest.mark.parametrize("d", [3, 5])
 @pytest.mark.parametrize("reg_size", [None, 7])
-def test_streaming_equivalence_sync_path(d, reg_size):
+def test_streaming_equivalence_sync_path(d, reg_size, kernel_backend):
     """run_to_idle (the deadline-free sync path) is the same machine."""
-    _random_stream_case(d, reg_size, thv=3, seed=97 * d, sync_mode="sync")
+    _random_stream_case(
+        d, reg_size, thv=3, seed=97 * d, sync_mode="sync",
+        kernel_backend=kernel_backend,
+    )
 
 
 def test_overflow_edge_reached_and_identical():

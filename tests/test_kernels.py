@@ -1,0 +1,223 @@
+"""The engine-kernel backend registry and its cross-backend contract.
+
+Registry mechanics (duplicate/unknown names, default resolution, the
+numba fallback path) plus direct kernel-level equivalence checks
+between the numpy backend and the loop backend on random slab states —
+a faster, more targeted complement to the full machine-level
+bit-identity suites (``test_engine_equivalence.py``,
+``test_engine_batch.py``), which also sweep every registered backend.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+
+import numpy as np
+import pytest
+
+import repro.core.kernels as kernels
+from repro.core.kernels import (
+    KernelBackend,
+    available_kernel_backends,
+    default_kernel_backend,
+    get_kernel_backend,
+    numba_version,
+    register_kernel_backend,
+    resolve_kernel_backend,
+    warm_up,
+)
+from repro.service.session import SessionSpec
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        names = available_kernel_backends()
+        assert "numpy" in names
+        assert "python" in names
+        assert "numba" in names
+
+    def test_unknown_name_lists_available(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            get_kernel_backend("no-such-backend")
+        with pytest.raises(ValueError, match="numpy"):
+            get_kernel_backend("no-such-backend")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            register_kernel_backend("numpy", lambda: None)
+
+    def test_instances_are_shared(self):
+        assert get_kernel_backend("numpy") is get_kernel_backend("numpy")
+
+    def test_default_is_numpy(self, monkeypatch):
+        monkeypatch.delenv(kernels.KERNEL_BACKEND_ENV, raising=False)
+        monkeypatch.setattr(kernels, "_default_name", None)
+        assert default_kernel_backend() == "numpy"
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setattr(kernels, "_default_name", None)
+        monkeypatch.setenv(kernels.KERNEL_BACKEND_ENV, "python")
+        assert default_kernel_backend() == "python"
+        assert resolve_kernel_backend(None).name == "python"
+
+    def test_set_default_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            kernels.set_default_kernel_backend("no-such-backend")
+
+    def test_resolve_passthrough_and_name(self):
+        backend = get_kernel_backend("numpy")
+        assert resolve_kernel_backend(backend) is backend
+        assert resolve_kernel_backend("python").name == "python"
+
+    def test_numba_fallback_warns_once_per_process(self, monkeypatch):
+        """Without numba, resolving 'numba' warns exactly once and
+        returns the numpy backend; later resolutions are silent (the
+        scheduler constructs engines continuously)."""
+        if numba_version() is not None:
+            pytest.skip("numba importable: the fallback path is dead here")
+        # Re-arm the once-per-process latch and drop the cached instance
+        # so this test observes a fresh first resolution.
+        monkeypatch.setattr(kernels, "_warned_fallback", set())
+        monkeypatch.setitem(kernels._instances, "numba", None)
+        kernels._instances.pop("numba", None)
+        with pytest.warns(UserWarning, match="falling back"):
+            backend = get_kernel_backend("numba")
+        assert backend.name == "numpy"
+        assert backend is get_kernel_backend("numpy")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            again = get_kernel_backend("numba")
+        assert again is backend
+
+    def test_warm_up_every_backend(self):
+        """warm_up drives every dispatched kernel on a tiny decode —
+        the CI JIT-cache priming entry point must work on all hosts."""
+        for name in ("numpy", "python"):
+            assert isinstance(warm_up(name), KernelBackend)
+
+
+def _slab_state(seed, d=5, n_lanes=3, density=0.2):
+    """A random mid-decode slab state driven through a real batch
+    engine, so kernel inputs (masks, cached winners) are reachable
+    states rather than arbitrary bit soup."""
+    from repro.core.engine_batch import QecoolEngineBatch
+    from repro.surface_code.lattice import PlanarLattice
+
+    lattice = PlanarLattice(d)
+    rng = np.random.default_rng(seed)
+    batch = QecoolEngineBatch(
+        lattice, thv=-1, reg_size=7, capacity=n_lanes,
+        kernel_backend="numpy",
+    )
+    lanes = np.asarray([batch.alloc_lane() for _ in range(n_lanes)])
+    for _ in range(3):
+        rows = (rng.random((n_lanes, lattice.n_ancillas)) < density).astype(
+            np.uint8
+        )
+        batch.push_layers(lanes, rows)
+    return batch, lanes, rng
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2])
+class TestKernelLevelEquivalence:
+    """numpy vs loop kernels on identical reachable slab states."""
+
+    def test_race_and_valid_entries(self, seed):
+        batch, lanes, rng = _slab_state(seed)
+        npb = get_kernel_backend("numpy")
+        pyb = get_kernel_backend("python")
+        n = batch.lattice.n_ancillas
+        masks = batch._masks
+        # The race contract: unique (lane, sink, base) triples whose
+        # sink holds the base bit — exactly the triples the engines'
+        # surveys flatten out of live sink lists.
+        s, i = np.nonzero(masks[: len(lanes)])
+        b_all = []
+        for lane, unit in zip(s, i):
+            bits = int(masks[lane, unit])
+            b_all.append(min(d for d in range(64) if bits >> d & 1))
+        b = np.asarray(b_all, dtype=np.int64)
+        if not len(s):
+            pytest.skip("no events at this seed")
+        got_np = npb.race(masks, s, i, b, batch._geo)
+        got_py = pyb.race(masks, s, i, b, batch._geo)
+        np.testing.assert_array_equal(got_np, got_py)
+        entries = got_np.copy()
+        # Poison some entries so both validity branches are exercised.
+        entries[::3] = -1
+        v_np = npb.valid_entries(entries, masks, s, i, b, batch._geo)
+        v_py = pyb.valid_entries(entries, masks, s, i, b, batch._geo)
+        np.testing.assert_array_equal(v_np, v_py)
+
+    def test_winners_bulk(self, seed):
+        batch, lanes, rng = _slab_state(seed)
+        npb = get_kernel_backend("numpy")
+        pyb = get_kernel_backend("python")
+        n = batch.lattice.n_ancillas
+        masks1 = batch._masks[0]
+        live = np.flatnonzero(masks1).astype(np.int64)
+        if not live.size:
+            pytest.skip("empty lane 0 at this seed")
+        # Same contract as the scalar engine's missing-winner gather:
+        # unique (sink, base) pairs whose sink holds the base bit.
+        sinks = live
+        bases = np.asarray(
+            [
+                min(d for d in range(64) if int(masks1[u]) >> d & 1)
+                for u in live
+            ],
+            dtype=np.int64,
+        )
+        got_np = npb.winners_bulk(masks1, live, sinks, bases, batch._geo)
+        got_py = pyb.winners_bulk(masks1, live, sinks, bases, batch._geo)
+        np.testing.assert_array_equal(got_np, got_py)
+
+    def test_exposed_any_and_charge_empty(self, seed):
+        batch, lanes, rng = _slab_state(seed)
+        npb = get_kernel_backend("numpy")
+        pyb = get_kernel_backend("python")
+        sel = lanes
+        exposed = rng.integers(0, 4, len(sel))
+        got_np = npb.exposed_any(batch._masks, sel, exposed)
+        got_py = pyb.exposed_any(batch._masks, sel, exposed)
+        np.testing.assert_array_equal(got_np, got_py)
+        cycles = rng.integers(0, 100, 8).astype(np.int64)
+        popped = rng.integers(0, 5, 8).astype(np.int64)
+        calp = np.minimum(cycles, rng.integers(0, 50, 8)).astype(np.int64)
+        lanes_c = np.asarray([1, 4, 6], dtype=np.int64)
+        state_np = (cycles.copy(), popped.copy(), calp.copy())
+        state_py = (cycles.copy(), popped.copy(), calp.copy())
+        d_np = npb.charge_empty(*state_np, lanes_c, 11)
+        d_py = pyb.charge_empty(*state_py, lanes_c, 11)
+        np.testing.assert_array_equal(d_np, d_py)
+        for a, b in zip(state_np, state_py):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestSessionSpecBackend:
+    def test_round_trips_through_json(self):
+        spec = SessionSpec(d=5, p=0.004, seed=11, kernel_backend="python")
+        payload = json.loads(json.dumps(spec.to_payload()))
+        back = SessionSpec.from_payload(payload)
+        assert back == spec
+        assert back.kernel_backend == "python"
+
+    def test_default_is_none(self):
+        spec = SessionSpec(d=5, p=0.004, seed=11)
+        assert spec.kernel_backend is None
+        assert SessionSpec.from_payload(spec.to_payload()) == spec
+
+    def test_unknown_backend_rejected_at_validation(self):
+        spec = SessionSpec(
+            d=5, p=0.004, seed=11, kernel_backend="no-such-backend"
+        )
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            spec.validate()
+
+    def test_known_backend_validates(self):
+        SessionSpec(d=5, p=0.004, seed=11, kernel_backend="numpy").validate()
+
+    def test_online_config_carries_backend(self):
+        spec = SessionSpec(d=5, p=0.004, seed=11, kernel_backend="python")
+        assert spec.online_config().kernel_backend == "python"

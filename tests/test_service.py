@@ -147,6 +147,55 @@ class TestSchedulerBitIdentity:
         for session in (early, late):
             assert_session_matches_trial(session)
 
+    def test_sessions_bit_identical_across_kernel_backends(self):
+        """The same seed decodes to the same matches, cycles and
+        failure verdict whatever kernel backend the session (or the
+        scheduler default) picks — including 'numba', which falls back
+        to numpy on hosts without it."""
+        from repro.core.kernels import available_kernel_backends
+
+        def run(backend):
+            scheduler = MicroBatchScheduler(
+                SchedulerConfig(max_active=8, kernel_backend=backend)
+            )
+            sessions = [
+                scheduler.submit(
+                    SessionSpec(
+                        d=5, p=0.03, seed=300 + i, n_rounds=6,
+                        kernel_backend=backend,
+                    )
+                )
+                for i in range(3)
+            ]
+            # Sparse co-tenant exercising the pooled-scalar path too.
+            sessions.append(
+                scheduler.submit(
+                    SessionSpec(d=5, p=0.0, seed=310, n_rounds=6,
+                                kernel_backend=backend)
+                )
+            )
+            scheduler.run_until_idle()
+            return [
+                (
+                    s.result.failed, s.result.overflow, s.result.matches,
+                    s.result.layer_cycles,
+                )
+                for s in sessions
+            ]
+
+        baseline = run(None)
+        for backend in available_kernel_backends():
+            if backend == "numba":
+                # Resolving 'numba' without numba warns (by design);
+                # keep this test warning-clean on either kind of host.
+                import warnings
+
+                with warnings.catch_warnings():
+                    warnings.simplefilter("ignore", UserWarning)
+                    assert run(backend) == baseline
+            else:
+                assert run(backend) == baseline
+
     def test_recycled_engines_stay_bit_identical(self):
         """Back-to-back dense sessions of one shape reuse batch-engine
         lanes; the second batch must not see any first-batch residue."""
