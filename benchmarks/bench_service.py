@@ -31,6 +31,12 @@ against 1, 2 and 4 worker shards to record the scaling curve; every
 completed session is again asserted bit-identical to single-process
 serving (`run_online_trial`).
 
+A third benchmark pins the **observability overhead** contract: the
+headline wave re-measured on a default (untraced) scheduler must hold
+>= 98% of the headline sessions/s (the off path is one ``is not None``
+test per phase plus histogram bucket increments), and a fully traced
+run of the same wave must retire every session bit-identically.
+
 Every full run rewrites ``BENCH_service.json`` (committed) with the
 throughput numbers and the scheduler's own metrics snapshot, so the
 serving-perf trajectory accumulates next to the code.
@@ -77,7 +83,7 @@ POINTS = [
 ]
 
 _RECORD: dict = {
-    "schema": "bench-service/2",
+    "schema": "bench-service/3",
     "seed0": SEED0,
     "smoke": SMOKE,
     "host": {
@@ -208,6 +214,99 @@ def test_service_throughput_speedup(benchmark, reporter):
             assert speedup >= floor, (
                 f"{name}: expected >= {floor}x sessions/sec, got {speedup:.2f}x"
             )
+
+
+# ----------------------------------------------------------------------
+# Observability overhead: the off path must cost nothing measurable
+# ----------------------------------------------------------------------
+OBS_OVERHEAD_FLOOR = 0.98  # off-path sessions/s vs headline, full mode
+
+
+def test_observability_overhead(benchmark, reporter):
+    """Instrumentation is free when off and bit-identity-neutral when on.
+
+    Re-runs the headline d=9 p=0.05% wave on a fresh default scheduler
+    (tracing off — the ``if tracer is not None`` guards plus histogram
+    recording are the *only* observability cost on this path) and
+    compares its sessions/s against the ``serve_d9_p0.0005`` headline
+    recorded moments earlier in this same benchmark run:
+    ``overhead_ratio`` ~ 1.0, floored at ``OBS_OVERHEAD_FLOOR`` (< 2%
+    off-path overhead, re-checked against the committed record by
+    ``check_floors.py``).  A traced run of the same wave is measured
+    informationally (``traced_ratio``) and must retire every session
+    **bit-identically** to the untraced run.
+    """
+    from repro.service.scheduler import MicroBatchScheduler, SchedulerConfig
+
+    name, d, p, rounds, sessions, _ = POINTS[0]
+    specs = _specs(d, p, rounds, sessions)
+
+    def measure(config):
+        scheduler = MicroBatchScheduler(config)
+        best = float("inf")
+        for _ in range(REPS):
+            elapsed, results, snapshot = _run_scheduler(scheduler, specs)
+            best = min(best, elapsed)
+        return best, results, snapshot
+
+    off_s, off_results, _ = measure(
+        SchedulerConfig(max_active=sessions, max_queue=sessions)
+    )
+    traced_s, traced_results, traced_snapshot = measure(
+        SchedulerConfig(
+            max_active=sessions, max_queue=sessions,
+            trace=True, trace_sample=64,
+        )
+    )
+    # Tracing may only cost time, never change a decode.
+    for off, traced in zip(off_results, traced_results):
+        assert off.matches == traced.matches, "tracing changed a match stream"
+        assert off.layer_cycles == traced.layer_cycles, (
+            "tracing changed cycle accounting"
+        )
+        assert (off.failed, off.overflow, off.n_rounds) == (
+            traced.failed, traced.overflow, traced.n_rounds,
+        ), "tracing changed a session outcome"
+    trace = traced_snapshot["trace"]
+    assert trace is not None and trace["seen"] > 0, "tracer saw no spans"
+
+    headline = next(
+        (pt for pt in _RECORD["points"] if pt["name"] == name), None
+    )
+    headline_rate = (
+        headline["scheduler_sessions_per_s"]
+        if headline is not None
+        else sessions / off_s  # standalone run: self-referential ratio
+    )
+    off_rate = sessions / off_s
+    traced_rate = sessions / traced_s
+    overhead_ratio = off_rate / headline_rate
+    traced_ratio = traced_rate / headline_rate
+    lines = [
+        f"obs_overhead_d9: {sessions} sessions x {rounds} rounds  "
+        f"headline {headline_rate:7.1f} sess/s  "
+        f"obs-off {off_rate:7.1f} sess/s (ratio {overhead_ratio:.3f})  "
+        f"traced {traced_rate:7.1f} sess/s (ratio {traced_ratio:.3f}, "
+        f"{trace['seen']} spans)",
+        "bit-identical traced vs untraced: yes (asserted)",
+    ]
+    _record(
+        "obs_overhead_d9",
+        d=d, p=p, rounds=rounds, sessions=sessions,
+        headline_sessions_per_s=headline_rate,
+        off_sessions_per_s=off_rate,
+        traced_sessions_per_s=traced_rate,
+        speedup=overhead_ratio,
+        traced_ratio=traced_ratio,
+        spans_seen=trace["seen"],
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reporter(benchmark, "Observability overhead (off path vs headline)", lines)
+    if not SMOKE:
+        assert overhead_ratio >= OBS_OVERHEAD_FLOOR, (
+            f"obs_overhead_d9: off-path expected >= {OBS_OVERHEAD_FLOOR}x "
+            f"headline sessions/s, got {overhead_ratio:.3f}x"
+        )
 
 
 # ----------------------------------------------------------------------

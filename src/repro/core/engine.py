@@ -292,6 +292,9 @@ class QecoolEngine:
         self.layer_cycles: list[int] = []
         self.matches: list[Match] = []
         self._drain = False
+        # Optional repro.obs.trace.Tracer; None (the default) keeps the
+        # decode loop entirely untimed.
+        self.tracer = None
 
     # ------------------------------------------------------------------
     # Measurement interface
@@ -608,6 +611,20 @@ class QecoolEngine:
         MIRROR: this is :meth:`run`'s Controller loop without the yield
         plumbing — any change to either loop must be applied to both.
         """
+        tracer = self.tracer
+        if tracer is None:
+            self._run_to_idle(drain)
+            return
+        t = tracer.clock()
+        try:
+            self._run_to_idle(drain)
+        finally:
+            tracer.add(
+                "engine.run_to_idle", t, tracer.clock() - t,
+                tag=self._kernel.name,
+            )
+
+    def _run_to_idle(self, drain: bool = False) -> None:
         if drain:
             self._drain = True
         budget = 1

@@ -134,6 +134,9 @@ class QecoolEngineBatch:
         self._hops_div = 1024 * self._radix
         self._kernel = resolve_kernel_backend(kernel_backend)
         self._geo = _kernel_geometry(lattice)
+        # Optional repro.obs.trace.Tracer; None (the default) keeps
+        # decode() entirely untimed.
+        self.tracer = None
         self.capacity = 0
         self._n_depths = min(MAX_LAYERS, self._depth_hint + 2)
         self._alloc_slabs(capacity)
@@ -472,6 +475,24 @@ class QecoolEngineBatch:
         the ``run_to_idle`` path).  Returns :data:`LANE_PARKED` /
         :data:`LANE_SUSPENDED` / :data:`LANE_RETIRED` per lane.
         """
+        tracer = self.tracer
+        if tracer is None:
+            return self._decode(lanes, wall, deadline)
+        t = tracer.clock()
+        try:
+            return self._decode(lanes, wall, deadline)
+        finally:
+            tracer.add(
+                "engine.batch_decode", t, tracer.clock() - t,
+                tag=self._kernel.name,
+            )
+
+    def _decode(
+        self,
+        lanes: np.ndarray,
+        wall: np.ndarray,
+        deadline: np.ndarray,
+    ) -> np.ndarray:
         lanes = np.asarray(lanes, dtype=np.int64)
         wf, df = self._wall_full, self._deadline_full
         wf[lanes] = wall

@@ -1034,6 +1034,7 @@ def advance_streaming_round(
     shots: Sequence["OnlineShot"],
     block: StreamingBlock | None = None,
     roster: StreamingRoster | None = None,
+    tracer=None,
 ) -> tuple[list, list]:
     """Advance every shot one measurement round, batched across shots.
 
@@ -1058,6 +1059,12 @@ def advance_streaming_round(
     instead of per-shot row copies.  Returns ``(running, finished)``;
     ``running`` preserves input order and finished shots have
     ``outcome`` set.
+
+    ``tracer`` (a :class:`repro.obs.trace.Tracer`, or ``None`` — the
+    default) times the round's three sections on the slab path — noise
+    gather, batch-lane advance, scalar advance — as spans.  Tracing
+    only reads a clock; it never touches decode state, so traced and
+    untraced rounds are bit-identical.
     """
     if roster is not None:
         shots = roster.shots
@@ -1068,6 +1075,8 @@ def advance_streaming_round(
         return _advance_round_views(lattice, shots)
     if roster is None:
         roster = StreamingRoster(block, shots)
+    if tracer is not None:
+        t = tracer.clock()
     rows = roster.rows
     kk = block.k[rows]
     n_data = lattice.n_data
@@ -1105,6 +1114,10 @@ def advance_streaming_round(
     block.prev[rows] = raws
     block.comp[rows] = 0
     nonempty = events.any(axis=1)
+    if tracer is not None:
+        now = tracer.clock()
+        tracer.add("round.noise_gather", t, now - t)
+        t = now
 
     done: list = []
     finished: list = []
@@ -1115,6 +1128,11 @@ def advance_streaming_round(
             batch, block, shots, rows, kk, idx, lanes, events, nonempty,
             done, finished, corrected_rows, corrections,
         )
+    if tracer is not None:
+        now = tracer.clock()
+        if roster.parts:
+            tracer.add("round.batch_advance", t, now - t)
+        t = now
     for i in roster.object_idx:
         shot = shots[i]
         status, correction = shot.step(events[i], not nonempty[i])
@@ -1126,6 +1144,8 @@ def advance_streaming_round(
             corrections.append(correction)
         if status == "done":
             done.append(shot)
+    if tracer is not None and len(roster.object_idx):
+        tracer.add("round.scalar_advance", t, tracer.clock() - t)
     if corrections:
         comp_rows = lattice.syndrome_of_batch(np.stack(corrections))
         block.comp[np.asarray(corrected_rows, dtype=np.intp)] = comp_rows

@@ -15,6 +15,13 @@ noise-model key the run used — so a stored file is traceable to the
 software that produced it.  v1 files (no ``meta``) still load; readers
 get ``{}`` from :func:`load_meta` for them.
 
+Schema v3 extends the ``meta`` block of *service-metrics* files with an
+``obs`` sub-block describing the observability payload the snapshot
+carries — the histogram bucketing scheme (so a reader can reconstruct
+:class:`repro.obs.hist.LogHistogram` objects without guessing the
+layout) and, when tracing was on, the tracer's sampling configuration.
+v1/v2 files (no histograms, no trace) still load unchanged.
+
 The streaming decode service's metrics snapshots
 (:meth:`repro.service.metrics.ServiceMetrics.snapshot`) persist through
 the same envelope via :func:`save_service_metrics` /
@@ -41,8 +48,8 @@ __all__ = [
     "save_service_metrics",
 ]
 
-_SCHEMA_VERSION = 2
-_ACCEPTED_SCHEMAS = (1, 2)
+_SCHEMA_VERSION = 3
+_ACCEPTED_SCHEMAS = (1, 2, 3)
 
 
 def _git_describe() -> str | None:
@@ -130,8 +137,33 @@ def save_service_metrics(
     path: str | Path, snapshot: dict, noise: str | None = None
 ) -> None:
     """Persist one decode-service metrics snapshot (see
-    :meth:`repro.service.metrics.ServiceMetrics.snapshot`)."""
+    :meth:`repro.service.metrics.ServiceMetrics.snapshot`).
+
+    The snapshot travels verbatim (histogram buckets and trace summary
+    included); the v3 ``meta.obs`` block additionally records the
+    bucketing scheme and trace sampling so readers can interpret those
+    payloads without importing the producing code's defaults.
+    """
     payload = _envelope("service_metrics", noise, metrics=dict(snapshot))
+    hists = snapshot.get("hist") or {}
+    obs: dict = {}
+    if hists:
+        sample = next(iter(hists.values()))
+        obs["hist"] = {
+            "fields": sorted(hists),
+            "scheme": sample.get("scheme"),
+            "buckets_per_decade": sample.get("buckets_per_decade"),
+            "min_exp": sample.get("min_exp"),
+            "max_exp": sample.get("max_exp"),
+        }
+    trace = snapshot.get("trace")
+    if trace is not None:
+        obs["trace"] = {
+            "sample_every": trace.get("sample_every"),
+            "capacity": trace.get("capacity"),
+        }
+    if obs:
+        payload["meta"]["obs"] = obs
     Path(path).write_text(json.dumps(payload, indent=2))
 
 

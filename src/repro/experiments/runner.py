@@ -192,8 +192,11 @@ def main(argv: list[str] | None = None) -> int:
 
     Besides the experiment flags below, ``repro-runner serve [...]``
     starts the streaming decode service's TCP front end (see
-    :mod:`repro.service.server` for its flags) — kept as a subcommand
-    so the experiment CLI's flag surface stays unchanged.
+    :mod:`repro.service.server` for its flags) and ``repro-runner
+    stats <host> <port> [--watch N]`` prints a running service's
+    metrics snapshot as a terminal table (:mod:`repro.service.stats`)
+    — kept as subcommands so the experiment CLI's flag surface stays
+    unchanged.
     """
     if argv is None:
         argv = sys.argv[1:]
@@ -201,6 +204,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.server import main as serve_main
 
         return serve_main(argv[1:])
+    if argv and argv[0] == "stats":
+        from repro.service.stats import main as stats_main
+
+        return stats_main(argv[1:])
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter,
     )

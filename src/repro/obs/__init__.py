@@ -1,0 +1,33 @@
+"""Observability primitives for the decode service: zero overhead off.
+
+The serving stack's real-time premise (the paper's online decoder must
+keep up with the measurement cycle) makes *where the time goes* a
+first-class question.  This package answers it without taxing the hot
+paths when nobody is looking:
+
+- :class:`~repro.obs.hist.LogHistogram` — fixed-log-bucket latency
+  histograms whose merge is **exact** (bucket counts add), replacing
+  lossy cross-shard percentile aggregation with bucket-identical
+  merges;
+- :class:`~repro.obs.trace.Tracer` — a phase timer / span tracer: a
+  bounded ring of monotonic-clocked span records (configurable
+  sampling) plus always-exact per-span aggregates, threaded through
+  scheduler tick phases, engine decodes, the shard router and the TCP
+  front end.  Every instrumentation site is guarded by
+  ``if tracer is not None`` and the default is ``None``, so the
+  off-path costs one attribute test (asserted <2% on the committed
+  service benchmark by ``benchmarks/bench_service.py``);
+- :mod:`~repro.obs.expo` — Prometheus-style text exposition
+  (render + validate, stdlib only) of a metrics snapshot;
+- :mod:`~repro.obs.http` — a background-thread HTTP endpoint serving
+  ``/metrics`` (``repro-runner serve --metrics-port``).
+
+Instrumentation is **bit-identity-neutral** by construction: tracers
+only read clocks and append to Python lists; no decode state is
+touched.  ``docs/OBSERVABILITY.md`` is the operator reference.
+"""
+
+from repro.obs.hist import LogHistogram
+from repro.obs.trace import Tracer, merge_summaries
+
+__all__ = ["LogHistogram", "Tracer", "merge_summaries"]

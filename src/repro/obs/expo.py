@@ -1,0 +1,315 @@
+"""Prometheus-style text exposition of a metrics snapshot (stdlib only).
+
+:func:`render_exposition` turns a decode-service metrics snapshot
+(:meth:`repro.service.metrics.ServiceMetrics.snapshot`, or the shard
+router's aggregate) into the Prometheus text format (version 0.0.4):
+counters as ``*_total``, gauges as-is, :class:`~repro.obs.hist.LogHistogram`
+blocks as cumulative ``_bucket{le=...}`` series with ``_sum`` /
+``_count``, and tracer aggregates as labelled span totals.
+
+:func:`validate_exposition` is the matching strict checker — line
+grammar, metric-name and label-escaping rules, per-series TYPE
+declarations, histogram bucket monotonicity and the ``+Inf`` ==
+``_count`` invariant.  The service smoke (``repro.service.smoke``)
+scrapes the live ``/metrics`` endpoint through it, and CI runs it as a
+standalone checker over the captured scrape::
+
+    python -m repro.obs.expo expo.txt
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import sys
+
+from repro.obs.hist import LogHistogram
+
+__all__ = ["render_exposition", "validate_exposition", "main"]
+
+_PREFIX = "repro_service"
+
+# Snapshot fields that are monotonic counts -> <prefix>_<name>_total.
+_COUNTERS = (
+    "submitted", "rejected", "admitted", "completed", "failed",
+    "overflowed", "steps", "rounds_advanced",
+    "shed", "requeued", "worker_deaths",
+)
+
+# Snapshot fields exposed as gauges (value used verbatim; None skipped).
+_GAUGES = {
+    "elapsed_s": "uptime_seconds",
+    "throughput_sessions_per_s": "throughput_sessions_per_second",
+    "throughput_rounds_per_s": "throughput_rounds_per_second",
+    "drop_rate": "drop_rate",
+    "mean_batch_sessions": "mean_batch_sessions",
+    "mean_queue_depth": "mean_queue_depth",
+    "mean_active_sessions": "mean_active_sessions",
+    "mean_wait_s": "mean_wait_seconds",
+    "mean_service_s": "mean_service_seconds",
+    "n_shards": "shards",
+    "live_shards": "live_shards",
+}
+
+# Histogram block name -> exposed metric name (seconds unless stated).
+_HISTOGRAMS = {
+    "round_latency_s": "round_latency_seconds",
+    "wait_s": "session_wait_seconds",
+    "service_s": "session_service_seconds",
+    "decode_cycles": "decode_cycles",
+    "session_latency_s": "session_latency_seconds",
+}
+
+
+def _escape(value: str) -> str:
+    """Label-value escaping per the text-format spec."""
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _num(value) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return format(float(value), ".10g")
+
+
+def _render_histogram(lines: list[str], name: str, payload: dict) -> None:
+    hist = LogHistogram.from_dict(payload)
+    metric = f"{_PREFIX}_{name}"
+    lines.append(f"# HELP {metric} Log-bucket histogram ({payload['scheme']}).")
+    lines.append(f"# TYPE {metric} histogram")
+    cum = 0
+    for _, edge, count in hist.items():
+        cum += count
+        lines.append(
+            f'{metric}_bucket{{le="{format(edge, ".6g")}"}} {cum}'
+        )
+    lines.append(f'{metric}_bucket{{le="+Inf"}} {hist.n}')
+    lines.append(f"{metric}_sum {_num(hist.total)}")
+    lines.append(f"{metric}_count {hist.n}")
+
+
+def render_exposition(snapshot: dict) -> str:
+    """The snapshot as Prometheus text exposition (format 0.0.4)."""
+    lines: list[str] = []
+    for field in _COUNTERS:
+        value = snapshot.get(field)
+        if value is None:
+            continue
+        metric = f"{_PREFIX}_{field}_total"
+        lines.append(f"# HELP {metric} Service counter '{field}'.")
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {int(value)}")
+    for field, name in _GAUGES.items():
+        value = snapshot.get(field)
+        if value is None:
+            continue
+        metric = f"{_PREFIX}_{name}"
+        lines.append(f"# HELP {metric} Service gauge '{field}'.")
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_num(value)}")
+    for field, name in _HISTOGRAMS.items():
+        payload = (snapshot.get("hist") or {}).get(field)
+        if payload is not None:
+            _render_histogram(lines, name, payload)
+    trace = snapshot.get("trace")
+    if trace:
+        spans = trace.get("spans") or {}
+        if spans:
+            for metric, help_text, kind in (
+                (f"{_PREFIX}_span_count_total", "Spans seen per phase.", "counter"),
+                (f"{_PREFIX}_span_seconds_total", "Total seconds per phase.", "counter"),
+                (f"{_PREFIX}_span_max_seconds", "Slowest span per phase.", "gauge"),
+            ):
+                lines.append(f"# HELP {metric} {help_text}")
+                lines.append(f"# TYPE {metric} {kind}")
+            for key, agg in spans.items():
+                name, _, tag = key.partition("@")
+                labels = f'span="{_escape(name)}"'
+                if tag:
+                    labels += f',tag="{_escape(tag)}"'
+                lines.append(
+                    f"{_PREFIX}_span_count_total{{{labels}}} {int(agg['count'])}"
+                )
+                lines.append(
+                    f"{_PREFIX}_span_seconds_total{{{labels}}} {_num(agg['total_s'])}"
+                )
+                lines.append(
+                    f"{_PREFIX}_span_max_seconds{{{labels}}} {_num(agg['max_s'])}"
+                )
+        events = trace.get("events") or {}
+        if events:
+            metric = f"{_PREFIX}_trace_events_total"
+            lines.append(f"# HELP {metric} Traced events (deaths, requeues, sheds).")
+            lines.append(f"# TYPE {metric} counter")
+            for name, count in events.items():
+                lines.append(f'{metric}{{event="{_escape(name)}"}} {int(count)}')
+    return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+_NAME_RE = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+_LABEL_RE = re.compile(
+    r"([a-zA-Z_][a-zA-Z0-9_]*)=\"((?:[^\"\\\n]|\\\\|\\\"|\\n)*)\"(,|$)"
+)
+_SAMPLE_RE = re.compile(
+    rf"^({_NAME_RE})(?:\{{(.*)\}})?\s+(-?[0-9.eE+\-]+|NaN|\+Inf|-Inf)"
+    r"(?:\s+-?[0-9]+)?$"
+)
+_HELP_RE = re.compile(rf"^# HELP ({_NAME_RE}) .*$")
+_TYPE_RE = re.compile(
+    rf"^# TYPE ({_NAME_RE}) (counter|gauge|histogram|summary|untyped)$"
+)
+
+
+def _parse_labels(raw: str, errors: list[str], where: str) -> dict | None:
+    """Parse a ``k="v",...`` body, enforcing escaping; ``None`` on error."""
+    labels: dict[str, str] = {}
+    rest = raw
+    while rest:
+        match = _LABEL_RE.match(rest)
+        if match is None:
+            errors.append(f"{where}: malformed or badly-escaped labels {raw!r}")
+            return None
+        key, value, sep = match.groups()
+        if key in labels:
+            errors.append(f"{where}: duplicate label {key!r}")
+            return None
+        labels[key] = value
+        rest = rest[match.end():]
+        if sep == "," and not rest:
+            errors.append(f"{where}: trailing comma in labels {raw!r}")
+            return None
+    return labels
+
+
+def validate_exposition(text: str) -> list[str]:
+    """Strict structural check of a text exposition; returns errors.
+
+    Beyond line grammar and label escaping it enforces, per histogram
+    metric: a declared ``# TYPE .. histogram``, non-decreasing
+    cumulative ``_bucket`` counts as ``le`` grows, a ``+Inf`` bucket,
+    and ``+Inf`` count equal to the ``_count`` sample — the invariants
+    a scraping Prometheus relies on for quantile math.
+    """
+    errors: list[str] = []
+    types: dict[str, str] = {}
+    seen_samples: set[tuple] = set()
+    # histogram base name -> labelset (minus le) -> {le_value: count}
+    buckets: dict[str, dict[tuple, dict[float, float]]] = {}
+    counts: dict[str, dict[tuple, float]] = {}
+    sums: dict[str, set[tuple]] = {}
+
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        if not line:
+            continue
+        where = f"line {lineno}"
+        if line.startswith("#"):
+            if line.startswith("# HELP "):
+                if not _HELP_RE.match(line):
+                    errors.append(f"{where}: malformed HELP line {line!r}")
+            elif line.startswith("# TYPE "):
+                match = _TYPE_RE.match(line)
+                if not match:
+                    errors.append(f"{where}: malformed TYPE line {line!r}")
+                else:
+                    types[match.group(1)] = match.group(2)
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            errors.append(f"{where}: unparseable sample {line!r}")
+            continue
+        name, raw_labels, raw_value = match.groups()
+        labels = _parse_labels(raw_labels or "", errors, where)
+        if labels is None:
+            continue
+        try:
+            value = float(raw_value.replace("+Inf", "inf").replace("-Inf", "-inf"))
+        except ValueError:
+            errors.append(f"{where}: bad sample value {raw_value!r}")
+            continue
+        key = (name, tuple(sorted(labels.items())))
+        if key in seen_samples:
+            errors.append(f"{where}: duplicate sample {name}{labels}")
+        seen_samples.add(key)
+
+        base = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and types.get(name[: -len(suffix)]) == "histogram":
+                base = name[: -len(suffix)]
+                break
+        declared = types.get(base)
+        if declared is None:
+            errors.append(f"{where}: sample {name!r} has no preceding TYPE")
+            continue
+        if declared == "counter":
+            if not (value >= 0) or math.isinf(value):
+                errors.append(
+                    f"{where}: counter {name} must be finite and >= 0, got {raw_value}"
+                )
+        if declared == "histogram" and base != name:
+            group = tuple(sorted(
+                (k, v) for k, v in labels.items() if k != "le"
+            ))
+            if name.endswith("_bucket"):
+                if "le" not in labels:
+                    errors.append(f"{where}: histogram bucket missing le label")
+                    continue
+                le = float(labels["le"].replace("+Inf", "inf"))
+                buckets.setdefault(base, {}).setdefault(group, {})[le] = value
+            elif name.endswith("_count"):
+                counts.setdefault(base, {})[group] = value
+            else:
+                sums.setdefault(base, set()).add(group)
+
+    for base, groups in buckets.items():
+        for group, series in groups.items():
+            ordered = sorted(series.items())
+            cum = [count for _, count in ordered]
+            if any(b < a for a, b in zip(cum, cum[1:])):
+                errors.append(
+                    f"histogram {base}{dict(group)}: bucket counts decrease "
+                    f"with le ({cum})"
+                )
+            if not ordered or not math.isinf(ordered[-1][0]):
+                errors.append(f"histogram {base}{dict(group)}: no +Inf bucket")
+                continue
+            total = counts.get(base, {}).get(group)
+            if total is None:
+                errors.append(f"histogram {base}{dict(group)}: missing _count")
+            elif total != ordered[-1][1]:
+                errors.append(
+                    f"histogram {base}{dict(group)}: +Inf bucket "
+                    f"{ordered[-1][1]} != _count {total}"
+                )
+            if group not in sums.get(base, set()):
+                errors.append(f"histogram {base}{dict(group)}: missing _sum")
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``python -m repro.obs.expo FILE`` — the CI exposition checker."""
+    argv = sys.argv[1:] if argv is None else argv
+    if len(argv) != 1:
+        print("usage: python -m repro.obs.expo FILE", file=sys.stderr)
+        return 2
+    text = open(argv[0]).read()
+    errors = validate_exposition(text)
+    for error in errors:
+        print(f"EXPOSITION ERROR: {error}", file=sys.stderr)
+    if errors:
+        return 1
+    samples = sum(
+        1 for line in text.splitlines() if line and not line.startswith("#")
+    )
+    print(f"exposition ok: {samples} samples")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

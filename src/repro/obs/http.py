@@ -1,0 +1,104 @@
+"""Background-thread HTTP endpoint serving Prometheus text exposition.
+
+Stdlib only (:mod:`http.server`): a :class:`MetricsHTTPServer` wraps a
+snapshot callable and serves
+
+- ``GET /metrics`` — the snapshot rendered by
+  :func:`repro.obs.expo.render_exposition` (text format 0.0.4),
+- ``GET /healthz`` — ``ok`` (liveness),
+
+on a daemon thread, so the asyncio service loop never blocks on a
+scrape.  The snapshot callable runs on the HTTP thread — the TCP front
+end passes one that marshals onto the event loop
+(:func:`asyncio.run_coroutine_threadsafe`), keeping scheduler state
+single-threaded.
+
+``repro-runner serve --metrics-port N`` owns the lifecycle; tests and
+the service smoke drive :meth:`start` / :meth:`stop` directly.
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.expo import render_exposition
+
+__all__ = ["MetricsHTTPServer"]
+
+_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsHTTPServer:
+    """Serve ``/metrics`` from a snapshot callable on a daemon thread."""
+
+    def __init__(self, snapshot_fn, host: str = "127.0.0.1", port: int = 0):
+        self._snapshot_fn = snapshot_fn
+        self._host = host
+        self._port = port
+        self._httpd: ThreadingHTTPServer | None = None
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The actually-bound ``(host, port)`` (after :meth:`start`)."""
+        if self._httpd is None:
+            raise RuntimeError("metrics server not started")
+        return self._httpd.server_address[:2]
+
+    def start(self) -> "MetricsHTTPServer":
+        if self._httpd is not None:
+            return self
+        snapshot_fn = self._snapshot_fn
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib casing)
+                if self.path.split("?", 1)[0] == "/metrics":
+                    try:
+                        body = render_exposition(snapshot_fn()).encode()
+                    except Exception as exc:  # snapshot failed: say so
+                        self.send_error(500, explain=repr(exc))
+                        return
+                    self.send_response(200)
+                    self.send_header("Content-Type", _CONTENT_TYPE)
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                elif self.path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain")
+                    self.send_header("Content-Length", str(len(body)))
+                    self.end_headers()
+                    self.wfile.write(body)
+                else:
+                    self.send_error(404)
+
+            def log_message(self, *args) -> None:
+                pass  # scrapes must not spam the service's stdout
+
+        self._httpd = ThreadingHTTPServer((self._host, self._port), _Handler)
+        self._httpd.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="metrics-http",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+        self._httpd = None
+        self._thread = None
+
+    def __enter__(self) -> "MetricsHTTPServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -115,6 +115,11 @@ class DecodeService:
         """Live metrics snapshot (see :class:`ServiceMetrics`)."""
         return self.scheduler.metrics.snapshot()
 
+    @property
+    def tracer(self):
+        """The scheduler's :class:`~repro.obs.trace.Tracer` (or None)."""
+        return self.scheduler.tracer
+
     async def _pump(self) -> None:
         while True:
             if self._abort:

@@ -1,16 +1,24 @@
-"""Service metrics: latency percentiles, throughput, drops, queue depth.
+"""Service metrics: latency histograms, throughput, drops, queue depth.
 
 The scheduler feeds two streams: one :meth:`ServiceMetrics.record_step`
 per micro-batch advance (step duration + how many sessions moved one
 round — each active session experiences the whole step as its round
 latency) and one :meth:`ServiceMetrics.record_finish` per retired
-session.  Counters are exact; time-series samples go through a
-stride decimator so month-long services keep bounded, uniformly-thinned
-histories without randomness (snapshots stay reproducible in tests).
+session.  Counters are exact; latency/cycle distributions go into
+fixed-log-bucket histograms (:class:`repro.obs.hist.LogHistogram`)
+whose **merges are exact** — the shard router pools per-worker
+histograms bucket-for-bucket instead of approximating percentiles —
+and whose means are computed over *every* observation, not a sample.
+Occupancy series (queue depth, batch size) keep the deterministic
+stride decimator, which suits bounded small-integer series whose only
+report is a mean.
 
 ``snapshot()`` returns the JSON-safe form persisted through
 :func:`repro.experiments.results.save_service_metrics` and served by
-the TCP front end's ``metrics`` op.
+the TCP front end's ``metrics`` op and HTTP ``/metrics`` exposition.
+When the scheduler carries a :class:`repro.obs.trace.Tracer`, its
+aggregate summary rides the snapshot under ``"trace"`` (``None`` when
+tracing is off — the default, costing nothing).
 """
 
 from __future__ import annotations
@@ -19,7 +27,16 @@ import time
 
 import numpy as np
 
+from repro.obs.hist import LogHistogram
+
 __all__ = ["ServiceMetrics"]
+
+# The histogram fields every snapshot carries (and the shard router
+# merges).  ``decode_cycles`` is the paper's own latency unit: total
+# decoder cycles per session, a pure function of the session spec —
+# which is what makes its cross-shard merge *bit-identical* for a fixed
+# population, however the sessions were placed.
+HIST_FIELDS = ("round_latency_s", "wait_s", "service_s", "decode_cycles")
 
 
 class _Decimated:
@@ -80,10 +97,11 @@ class _Decimated:
 
 
 class ServiceMetrics:
-    """Counters and bounded time series for one scheduler."""
+    """Counters, histograms and bounded series for one scheduler."""
 
-    def __init__(self, clock=time.monotonic, cap: int = 4096):
+    def __init__(self, clock=time.monotonic, cap: int = 4096, tracer=None):
         self._clock = clock
+        self.tracer = tracer
         self.started_at = clock()
         # Exact counters.
         self.submitted = 0
@@ -94,13 +112,14 @@ class ServiceMetrics:
         self.overflowed = 0
         self.steps = 0
         self.rounds_advanced = 0
-        # Bounded series.
-        self.round_latency_s = _Decimated(cap)   # weighted by batch size
+        # Exact-merge distributions (see module docstring).
+        self.hists: dict[str, LogHistogram] = {
+            name: LogHistogram() for name in HIST_FIELDS
+        }
+        # Bounded occupancy series (mean-only reporting).
         self.step_batch_sessions = _Decimated(cap)
         self.queue_depth = _Decimated(cap)
         self.active_sessions = _Decimated(cap)
-        self.wait_s = _Decimated(cap)
-        self.service_s = _Decimated(cap)
 
     # ------------------------------------------------------------------
     # Scheduler hooks
@@ -119,11 +138,11 @@ class ServiceMetrics:
     ) -> None:
         """One micro-batch advance: every session in it waited the whole
         step for its round, so the step duration enters the round-latency
-        population once per session (sample weight = batch size)."""
+        population once per session (histogram weight = batch size)."""
         self.steps += 1
         self.rounds_advanced += n_sessions
         if n_sessions:
-            self.round_latency_s.add(duration_s, weight=n_sessions)
+            self.hists["round_latency_s"].record(duration_s, n_sessions)
         self.step_batch_sessions.add(n_sessions)
         self.queue_depth.add(queue_depth)
         self.active_sessions.add(n_active)
@@ -135,8 +154,9 @@ class ServiceMetrics:
             self.failed += 1
         if result.overflow:
             self.overflowed += 1
-        self.wait_s.add(result.wait_s)
-        self.service_s.add(result.service_s)
+        self.hists["wait_s"].record(result.wait_s)
+        self.hists["service_s"].record(result.service_s)
+        self.hists["decode_cycles"].record(result.cycles)
 
     # ------------------------------------------------------------------
     # Reporting
@@ -144,14 +164,21 @@ class ServiceMetrics:
     def snapshot(self) -> dict:
         """JSON-safe summary of everything above.
 
-        Empty series report ``None`` (never NaN, which strict JSON
-        encoders reject).
+        Empty distributions report ``None`` (never NaN, which strict
+        JSON encoders reject), and every ratio is zero-division-guarded:
+        an *empty* service (no submissions, no retirements, zero
+        elapsed under a frozen test clock), an all-shed service
+        (submitted > 0, completed == 0) and a service that only ever
+        rejected must all produce a finite, ``json.dumps``-able
+        snapshot — pinned by ``tests/test_service.py``.
         """
         num = lambda x: None if x != x else x  # NaN -> None
         elapsed = max(self._clock() - self.started_at, 1e-12)
-        lat50, lat90, lat99 = (
-            num(v) for v in self.round_latency_s.percentiles((50.0, 90.0, 99.0))
-        )
+
+        def triple(name: str) -> dict:
+            p50, p90, p99 = self.hists[name].percentiles((50.0, 90.0, 99.0))
+            return {"p50": p50, "p90": p90, "p99": p99}
+
         return {
             "elapsed_s": elapsed,
             "submitted": self.submitted,
@@ -165,10 +192,13 @@ class ServiceMetrics:
             "throughput_sessions_per_s": self.completed / elapsed,
             "throughput_rounds_per_s": self.rounds_advanced / elapsed,
             "drop_rate": self.rejected / self.submitted if self.submitted else 0.0,
-            "round_latency_s": {"p50": lat50, "p90": lat90, "p99": lat99},
+            "round_latency_s": triple("round_latency_s"),
+            "decode_cycles": triple("decode_cycles"),
             "mean_batch_sessions": num(self.step_batch_sessions.mean()),
             "mean_queue_depth": num(self.queue_depth.mean()),
             "mean_active_sessions": num(self.active_sessions.mean()),
-            "mean_wait_s": num(self.wait_s.mean()),
-            "mean_service_s": num(self.service_s.mean()),
+            "mean_wait_s": self.hists["wait_s"].mean(),
+            "mean_service_s": self.hists["service_s"].mean(),
+            "hist": {name: hist.to_dict() for name, hist in self.hists.items()},
+            "trace": None if self.tracer is None else self.tracer.summary(),
         }

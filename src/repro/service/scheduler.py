@@ -57,6 +57,7 @@ from repro.core.online import (
 )
 from repro.core.window import SlidingWindowDecoder
 from repro.experiments.montecarlo import resolve_noise
+from repro.obs.trace import Tracer
 from repro.service.metrics import ServiceMetrics
 from repro.service.session import (
     DecodeSession,
@@ -103,6 +104,19 @@ class SchedulerConfig:
     kernel_backend: str | None = None
     """Default engine-kernel backend (:mod:`repro.core.kernels`) for
     sessions that do not pick one; ``None`` uses the process default."""
+    trace: bool = False
+    """Enable the phase tracer (:class:`repro.obs.trace.Tracer`):
+    scheduler tick phases, engine decodes and streaming-round sections
+    get timed spans whose aggregates ride every metrics snapshot.  Off
+    by default — the hot paths then cost one ``is not None`` test per
+    phase (<2% on the committed service benchmark, asserted by
+    ``benchmarks/bench_service.py``).  Plain dataclass fields, so shard
+    worker processes inherit the setting through the pickled config."""
+    trace_sample: int = 64
+    """Keep one *full* span record per this many spans in the tracer's
+    ring buffer (aggregates always see every span)."""
+    trace_capacity: int = 4096
+    """Ring-buffer bound on retained full span records."""
 
     def __post_init__(self) -> None:
         if self.max_active < 1:
@@ -124,6 +138,14 @@ class SchedulerConfig:
         if self.max_idle_shapes < 0:
             raise ValueError(
                 f"max_idle_shapes must be >= 0, got {self.max_idle_shapes}"
+            )
+        if self.trace_sample < 1:
+            raise ValueError(
+                f"trace_sample must be >= 1, got {self.trace_sample}"
+            )
+        if self.trace_capacity < 1:
+            raise ValueError(
+                f"trace_capacity must be >= 1, got {self.trace_capacity}"
             )
 
 
@@ -160,7 +182,20 @@ class MicroBatchScheduler:
     ):
         self.config = config or SchedulerConfig()
         self._clock = clock
-        self.metrics = ServiceMetrics(clock=clock)
+        # One tracer per scheduler (None when off): every engine and
+        # streaming-round call site shares it, so per-phase aggregates
+        # cover the whole tick.  It shares the scheduler's clock —
+        # injectable fakes drive spans deterministically in tests.
+        self.tracer = (
+            Tracer(
+                capacity=self.config.trace_capacity,
+                sample_every=self.config.trace_sample,
+                clock=clock,
+            )
+            if self.config.trace
+            else None
+        )
+        self.metrics = ServiceMetrics(clock=clock, tracer=self.tracer)
         self._queue: deque[DecodeSession] = deque()
         self._groups: dict[int, _ShapeGroup] = {}
         self._lattices: dict[int, PlanarLattice] = {}
@@ -269,6 +304,7 @@ class MicroBatchScheduler:
                 lattice, thv=spec.thv, reg_size=spec.reg_size,
                 capacity=capacity, kernel_backend=kernel,
             )
+            batch.tracer = self.tracer
         return batch
 
     def _scalar_engine_for(
@@ -278,10 +314,12 @@ class MicroBatchScheduler:
         pool = self._scalar_pool.get((spec.d, spec.thv, spec.reg_size, kernel.name))
         if pool:
             return pool.pop()
-        return QecoolEngine(
+        engine = QecoolEngine(
             lattice, thv=spec.thv, reg_size=spec.reg_size,
             kernel_backend=kernel,
         )
+        engine.tracer = self.tracer
+        return engine
 
     def _recycle_scalar(self, spec: SessionSpec, engine: QecoolEngine) -> None:
         key = (spec.d, spec.thv, spec.reg_size, engine._kernel.name)
@@ -385,8 +423,12 @@ class MicroBatchScheduler:
         """One scheduler tick: admit, advance every group one round,
         retire.  Returns the sessions finished during this tick."""
         started = self._clock()
+        tracer = self.tracer  # None when off: one attribute read per phase
         while self._queue and self._n_active < self.config.max_active:
             self._admit(self._queue.popleft())
+        if tracer is not None:
+            t = self._clock()
+            tracer.add("scheduler.admit", started, t - started)
         finished: list[DecodeSession] = []
         advanced = 0
         for group in self._groups.values():
@@ -396,22 +438,33 @@ class MicroBatchScheduler:
             advanced += len(sessions)
             roster = group.roster
             if roster is None:
+                if tracer is not None:
+                    t = self._clock()
                 roster = group.roster = StreamingRoster(
                     group.block, [s.shot for s in sessions]
                 )
+                if tracer is not None:
+                    tracer.add("scheduler.roster_build", t, self._clock() - t)
             running, done = advance_streaming_round(
-                group.lattice, roster.shots, block=group.block, roster=roster
+                group.lattice, roster.shots, block=group.block, roster=roster,
+                tracer=tracer,
             )
             if done:
+                if tracer is not None:
+                    t = self._clock()
                 group.sessions = [shot.owner for shot in running]
                 group.roster = None  # membership changed
                 for shot in done:
                     session = shot.owner
                     self._retire(session, group)
                     finished.append(session)
+                if tracer is not None:
+                    tracer.add("scheduler.retire", t, self._clock() - t)
         if finished:
             self._prune_idle()
         duration = self._clock() - started
+        if tracer is not None:
+            tracer.add("scheduler.step", started, duration)
         self.metrics.record_step(
             duration, advanced, len(self._queue), self._n_active
         )

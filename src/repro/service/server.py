@@ -22,6 +22,16 @@ one full scheduler per worker process) behind the same protocol —
 ``--capacity``/``--max-queue`` then apply per worker, a dead worker's
 unrescued sessions report an extra ``shard-failure`` error kind, and
 the ``metrics`` op returns the cross-shard aggregate.
+
+Observability (all off by default, costing nothing):
+
+- ``--metrics-port N`` serves Prometheus text exposition over HTTP
+  (``GET /metrics``, :mod:`repro.obs.http`) next to the TCP port;
+- ``--trace FILE`` enables the phase tracer
+  (:class:`repro.obs.trace.Tracer`) and writes its sampled span ring
+  as JSON lines to ``FILE`` on shutdown.  With ``--shards`` the file
+  holds the *router-side* ring (per-request spans, shard lifecycle);
+  worker-side aggregates still ride every metrics snapshot.
 """
 
 from __future__ import annotations
@@ -36,6 +46,7 @@ from repro.core.kernels import (
     available_kernel_backends,
     set_default_kernel_backend,
 )
+from repro.obs.http import MetricsHTTPServer
 from repro.service.api import DecodeService
 from repro.service.scheduler import Backpressure, SchedulerConfig
 from repro.service.session import SessionSpec
@@ -73,19 +84,32 @@ class _Connection:
                 pass
 
     async def _decode(self, payload_id, spec_payload) -> None:
+        tracer = self.service.tracer
+        started = tracer.clock() if tracer is not None else 0.0
+        outcome = "ok"
         try:
             spec = SessionSpec.from_payload(spec_payload)
             result = await self.service.submit(spec)
         except Backpressure as exc:
+            outcome = "backpressure"
             await self.send(_error(payload_id, "backpressure", detail=str(exc)))
         except ShardFailure as exc:
+            outcome = "shard-failure"
             await self.send(_error(payload_id, "shard-failure", detail=str(exc)))
         except (TypeError, ValueError) as exc:
+            outcome = "bad-spec"
             await self.send(_error(payload_id, "bad-spec", detail=str(exc)))
         else:
             await self.send(
                 {"id": payload_id, "ok": True, "result": result.to_payload()}
             )
+        finally:
+            if tracer is not None:
+                # Request receipt to response flushed, queueing included.
+                tracer.add(
+                    "server.request", started, tracer.clock() - started,
+                    tag=outcome,
+                )
 
     async def _readline_or_shutdown(self) -> bytes:
         """Next request line, or ``b""`` once shutdown is signalled.
@@ -178,6 +202,9 @@ async def serve(
     config: SchedulerConfig | None = None,
     ready=None,
     shards: int = 0,
+    metrics_port: int | None = None,
+    metrics_ready=None,
+    trace_path=None,
 ) -> None:
     """Run the TCP service until a client sends ``shutdown``.
 
@@ -188,6 +215,14 @@ async def serve(
     serves from that many worker processes behind a
     :class:`~repro.service.shard.ShardRouter` (``config`` then applies
     per worker).
+
+    ``metrics_port`` (0 = ephemeral) additionally serves Prometheus
+    text exposition on HTTP ``GET /metrics``; ``metrics_ready``
+    receives its bound ``(host, port)``.  The endpoint's snapshot
+    callable runs on the HTTP thread and marshals onto this event loop,
+    so scheduler state stays single-threaded.  ``trace_path`` writes
+    the service tracer's span ring as JSON lines at shutdown (requires
+    ``config.trace``; silently skipped when tracing is off).
     """
     shutdown = asyncio.Event()
     connections: set[asyncio.Task] = set()
@@ -196,6 +231,7 @@ async def serve(
         if shards
         else DecodeService(config=config)
     )
+    loop = asyncio.get_running_loop()
     async with backend as service:
         async def handler(reader, writer):
             task = asyncio.current_task()
@@ -203,20 +239,44 @@ async def serve(
             task.add_done_callback(connections.discard)
             await _Connection(service, reader, writer, shutdown).run()
 
-        server = await asyncio.start_server(handler, host=host, port=port)
-        bound = server.sockets[0].getsockname()[:2]
-        if ready is not None:
-            ready(bound)
-        async with server:
-            await shutdown.wait()
-        # Listener closed.  Explicitly await the connection handlers
-        # (each flushes its in-flight pipelined responses in its
-        # ``finally``) while the service is still pumping — on Python
-        # 3.11 ``Server.wait_closed`` does not cover handler tasks, so
-        # returning here would strand their unsent responses.  The
-        # ``async with`` exit then drains the service itself.
-        if connections:
-            await asyncio.gather(*connections, return_exceptions=True)
+        async def grab_snapshot():
+            snapshot = service.metrics()
+            if inspect.isawaitable(snapshot):
+                snapshot = await snapshot
+            return snapshot
+
+        def snapshot_fn():
+            # Runs on the HTTP thread: marshal onto the loop.
+            future = asyncio.run_coroutine_threadsafe(grab_snapshot(), loop)
+            return future.result(timeout=30)
+
+        metrics_server = None
+        if metrics_port is not None:
+            metrics_server = MetricsHTTPServer(
+                snapshot_fn, host=host, port=metrics_port
+            ).start()
+            if metrics_ready is not None:
+                metrics_ready(metrics_server.address)
+        try:
+            server = await asyncio.start_server(handler, host=host, port=port)
+            bound = server.sockets[0].getsockname()[:2]
+            if ready is not None:
+                ready(bound)
+            async with server:
+                await shutdown.wait()
+            # Listener closed.  Explicitly await the connection handlers
+            # (each flushes its in-flight pipelined responses in its
+            # ``finally``) while the service is still pumping — on Python
+            # 3.11 ``Server.wait_closed`` does not cover handler tasks, so
+            # returning here would strand their unsent responses.  The
+            # ``async with`` exit then drains the service itself.
+            if connections:
+                await asyncio.gather(*connections, return_exceptions=True)
+            if trace_path is not None and service.tracer is not None:
+                service.tracer.export_jsonl(trace_path)
+        finally:
+            if metrics_server is not None:
+                metrics_server.stop()
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -253,6 +313,21 @@ def main(argv: list[str] | None = None) -> int:
         "pick one ('numba' falls back to numpy with a warning when "
         "numba is not installed)",
     )
+    parser.add_argument(
+        "--metrics-port", type=int, default=None, metavar="N",
+        help="also serve Prometheus text exposition on HTTP "
+        "GET /metrics at this port (0 = ephemeral, printed once bound)",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="FILE",
+        help="enable the phase tracer and write its sampled span ring "
+        "to FILE as JSON lines on shutdown",
+    )
+    parser.add_argument(
+        "--trace-sample", type=int, default=64, metavar="N",
+        help="with --trace: keep one full span record per N spans "
+        "(aggregates always see every span)",
+    )
     args = parser.parse_args(argv)
     if args.kernel_backend is not None:
         # Env default too, so shard worker processes inherit it.
@@ -260,6 +335,8 @@ def main(argv: list[str] | None = None) -> int:
     config = SchedulerConfig(
         max_active=args.capacity, max_queue=args.max_queue,
         kernel_backend=args.kernel_backend,
+        trace=args.trace is not None,
+        trace_sample=args.trace_sample,
     )
 
     def announce(bound):
@@ -269,12 +346,26 @@ def main(argv: list[str] | None = None) -> int:
             flush=True,
         )
 
+    def announce_metrics(bound):
+        print(
+            f"metrics exposition on http://{bound[0]}:{bound[1]}/metrics",
+            flush=True,
+        )
+
     try:
         asyncio.run(
-            serve(args.host, args.port, config, ready=announce, shards=args.shards)
+            serve(
+                args.host, args.port, config,
+                ready=announce, shards=args.shards,
+                metrics_port=args.metrics_port,
+                metrics_ready=announce_metrics,
+                trace_path=args.trace,
+            )
         )
     except KeyboardInterrupt:
         return 130
+    if args.trace is not None:
+        print(f"trace written to {args.trace}", flush=True)
     print("decode service stopped", flush=True)
     return 0
 

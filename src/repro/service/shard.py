@@ -20,6 +20,10 @@ async/TCP front end:
 - :meth:`ShardRouter.metrics` aggregates per-worker
   :class:`~repro.service.metrics.ServiceMetrics` snapshots under
   router-exact top-level counters (which survive worker death);
+  latency/cycle distributions merge **exactly** — per-worker
+  :class:`~repro.obs.hist.LogHistogram` buckets add integer-for-integer,
+  so cross-shard percentiles equal a single scheduler having seen every
+  observation (no max-of-maxes approximation);
 - a worker that **dies mid-stream** (crash, kill -9) is detected by its
   reader thread seeing EOF: the shard leaves the ring, its in-flight
   sessions are **requeued once** onto surviving shards (decode state is
@@ -54,7 +58,9 @@ import threading
 import time
 from dataclasses import dataclass, replace
 
-from repro.service.metrics import _Decimated
+from repro.obs.hist import LogHistogram
+from repro.obs.trace import Tracer, merge_summaries
+from repro.service.metrics import HIST_FIELDS
 from repro.service.scheduler import (
     Backpressure,
     MicroBatchScheduler,
@@ -290,7 +296,21 @@ class ShardRouter:
         self._next_token = 1
         self._metric_waiters: dict[int, tuple[int, asyncio.Future]] = {}
         self._started_at = time.monotonic()
-        self._latency = _Decimated()  # submit -> result, router-observed
+        # submit -> result as the router observes it, pipe transit
+        # included; a histogram so it merges into the exposition like
+        # every other latency field.
+        self._latency = LogHistogram()
+        # Router-side tracer (per-request spans via the TCP front end,
+        # shard lifecycle events); workers build their own from the
+        # same config and ship aggregates back inside snapshots.
+        self.tracer = (
+            Tracer(
+                capacity=self.config.trace_capacity,
+                sample_every=self.config.trace_sample,
+            )
+            if self.config.trace
+            else None
+        )
         self.counters = {
             "submitted": 0, "rejected": 0, "completed": 0,
             "failed": 0, "overflowed": 0,
@@ -471,7 +491,7 @@ class ShardRouter:
                 self.counters["failed"] += 1
             if result.overflow:
                 self.counters["overflowed"] += 1
-            self._latency.add(time.monotonic() - entry.submitted_at)
+            self._latency.record(time.monotonic() - entry.submitted_at)
             if not entry.future.done():
                 # Workers number sessions locally; the router's ticket
                 # is the service-wide session id clients saw.
@@ -501,9 +521,12 @@ class ShardRouter:
         shard.alive = False
         self._ring.remove(shard.index)
         shard.exited.set()
+        tracer = self.tracer
         if not shard.stopping:
             # Neither a drain nor a deliberate terminate: the worker died.
             self.counters["worker_deaths"] += 1
+            if tracer is not None:
+                tracer.event("worker_death")
         # Shed or requeue the shard's in-flight sessions, oldest first.
         entries = [shard.inflight.pop(t) for t in sorted(shard.inflight)]
         for entry in entries:
@@ -513,10 +536,14 @@ class ShardRouter:
             if target is not None:
                 entry.requeues += 1
                 self.counters["requeued"] += 1
+                if tracer is not None:
+                    tracer.event("requeue")
                 target.inflight[entry.ticket] = entry
                 target.outbox.put(("submit", entry.ticket, entry.spec.to_payload()))
             else:
                 self.counters["shed"] += 1
+                if tracer is not None:
+                    tracer.event("shed")
                 if not entry.future.done():
                     entry.future.set_exception(ShardFailure(
                         f"worker shard {shard.index} died mid-stream; "
@@ -540,12 +567,14 @@ class ShardRouter:
         """Cross-shard snapshot (coroutine — asks every live worker).
 
         Top-level counters are **router-exact** (they count at the
-        router and survive worker death); worker-side series (steps,
-        batch sizes, round latency) are aggregated over the live
-        shards' snapshots, which ride along under ``"shards"``.
-        Percentiles cannot be merged exactly without raw samples, so
-        cross-shard ``round_latency_s`` reports the per-percentile
-        **max** — a conservative bound.
+        router and survive worker death); worker-side distributions
+        merge **exactly**: every latency/cycle field is a fixed-bucket
+        :class:`~repro.obs.hist.LogHistogram` whose integer bucket
+        counts add, so the merged percentiles are identical to what one
+        scheduler reporting every observation would have said.  The
+        per-worker snapshots still ride along under ``"shards"``, and
+        worker tracer aggregates (when tracing is on) merge under
+        ``"trace"`` alongside the router's own spans.
         """
         if self._loop is None:
             raise RuntimeError("router not started (use 'async with' or start())")
@@ -576,11 +605,28 @@ class ShardRouter:
             total = sum(w for _, w in pairs)
             return sum(v * w for v, w in pairs) / total if total else None
 
+        def triple(hist: LogHistogram) -> dict:
+            p50, p90, p99 = hist.percentiles((50.0, 90.0, 99.0))
+            return {"p50": p50, "p90": p90, "p99": p99}
+
         elapsed = max(time.monotonic() - self._started_at, 1e-12)
         live = list(snapshots.values())
-        latency = self._latency.percentiles((50.0, 90.0, 99.0))
-        num = lambda x: None if x != x else x  # NaN -> None
         counters = dict(self.counters)
+        # Bucket-exact cross-shard merge: summed integer counts, so the
+        # merged percentiles equal the single-scheduler answer.
+        merged = {
+            field: LogHistogram.merged(
+                (s.get("hist") or {}).get(field) for s in live
+            )
+            or LogHistogram()
+            for field in HIST_FIELDS
+        }
+        hist_block = {f: h.to_dict() for f, h in merged.items()}
+        hist_block["session_latency_s"] = self._latency.to_dict()
+        trace = merge_summaries(
+            [s.get("trace") for s in live]
+            + [None if self.tracer is None else self.tracer.summary()]
+        )
         return {
             **counters,
             "admitted": sum(s["admitted"] for s in live),
@@ -597,23 +643,15 @@ class ShardRouter:
             "mean_batch_sessions": wmean(
                 (s["mean_batch_sessions"], s["steps"]) for s in live
             ),
-            "mean_wait_s": wmean((s["mean_wait_s"], s["completed"]) for s in live),
-            "mean_service_s": wmean(
-                (s["mean_service_s"], s["completed"]) for s in live
-            ),
-            "round_latency_s": {
-                p: max(
-                    (s["round_latency_s"][p] for s in live
-                     if s["round_latency_s"][p] is not None),
-                    default=None,
-                )
-                for p in ("p50", "p90", "p99")
-            },
+            "mean_wait_s": merged["wait_s"].mean(),
+            "mean_service_s": merged["service_s"].mean(),
+            "round_latency_s": triple(merged["round_latency_s"]),
+            "decode_cycles": triple(merged["decode_cycles"]),
             # Admission-to-retire as the router observes it: submit()
             # to result, pipe transit included.
-            "session_latency_s": dict(
-                zip(("p50", "p90", "p99"), (num(v) for v in latency))
-            ),
+            "session_latency_s": triple(self._latency),
+            "hist": hist_block,
+            "trace": trace,
             "shards": [
                 {"shard": index, **snapshot}
                 for index, snapshot in sorted(snapshots.items())

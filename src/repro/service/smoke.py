@@ -6,9 +6,18 @@ process), drives a mixed load of online and window sessions through
 :class:`~repro.service.client.ServiceClient` pipelining, verifies every
 online session's match stream and cycle accounting **bit-identically**
 against a standalone :func:`~repro.core.online.run_online_trial`, asks
-the server to shut down, and asserts the clean exit.  Exit code 0 means
-the whole loop — transport, scheduler, engine recycling, drain,
-shutdown — held together::
+the server to shut down, and asserts the clean exit.
+
+The smoke also exercises the observability surface end-to-end: the
+server runs with the phase tracer on and an HTTP ``/metrics`` endpoint
+up; both the ``metrics``-op snapshot and a live HTTP scrape are pushed
+through the strict exposition checker
+(:func:`repro.obs.expo.validate_exposition`) and **any** malformed line
+— bad label escaping, non-monotonic histogram bucket counts, a missing
+``+Inf`` bucket — fails the smoke.  ``--expo-out``/``--trace-out``
+capture the scrape and the span ring for CI artifacts.  Exit code 0
+means the whole loop — transport, scheduler, engine recycling, tracer,
+exposition, drain, shutdown — held together::
 
     python -m repro.service.smoke --sessions 50
 """
@@ -22,8 +31,11 @@ import logging
 import queue
 import sys
 import threading
+import urllib.request
+from pathlib import Path
 
 from repro.core.online import run_online_trial
+from repro.obs.expo import render_exposition, validate_exposition
 from repro.service.client import ServiceClient
 from repro.service.scheduler import SchedulerConfig
 from repro.service.server import serve
@@ -53,17 +65,37 @@ def _mixed_specs(n_sessions: int, seed0: int = 4000) -> list[SessionSpec]:
     return specs
 
 
-def run_smoke(n_sessions: int = 50, capacity: int = 16, shards: int = 0) -> dict:
+def _assert_valid_exposition(text: str, source: str) -> None:
+    errors = validate_exposition(text)
+    assert not errors, (
+        f"malformed {source} exposition: " + "; ".join(errors)
+    )
+
+
+def run_smoke(
+    n_sessions: int = 50,
+    capacity: int = 16,
+    shards: int = 0,
+    expo_out: str | None = None,
+    trace_out: str | None = None,
+) -> dict:
     """Drive the full TCP loop; returns the final metrics snapshot.
 
     ``shards > 0`` serves from that many worker processes behind the
     :class:`~repro.service.shard.ShardRouter` (``capacity`` applies per
     worker) — same protocol, same bit-identity assertions, so the exact
-    same checks cover the shard boundary.  Raises ``AssertionError`` on
-    any bit-identity or lifecycle failure.
+    same checks cover the shard boundary.  The server always runs with
+    tracing on and the ``/metrics`` HTTP endpoint up; ``expo_out`` /
+    ``trace_out`` write the validated scrape and the span ring to disk.
+    Raises ``AssertionError`` on any bit-identity, exposition or
+    lifecycle failure.
     """
     bound: queue.Queue = queue.Queue()
-    config = SchedulerConfig(max_active=capacity, max_queue=4 * n_sessions)
+    metrics_bound: queue.Queue = queue.Queue()
+    config = SchedulerConfig(
+        max_active=capacity, max_queue=4 * n_sessions,
+        trace=True, trace_sample=16,
+    )
 
     # A healthy run is *silent*: no unretrieved task exceptions, no
     # event-loop error reports.  asyncio funnels both through the
@@ -78,11 +110,16 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16, shards: int = 0) -> dict
     logging.getLogger("asyncio").addHandler(capture)
 
     def server_thread():
-        asyncio.run(serve("127.0.0.1", 0, config, ready=bound.put, shards=shards))
+        asyncio.run(serve(
+            "127.0.0.1", 0, config, ready=bound.put, shards=shards,
+            metrics_port=0, metrics_ready=metrics_bound.put,
+            trace_path=trace_out,
+        ))
 
     thread = threading.Thread(target=server_thread, name="smoke-server", daemon=True)
     thread.start()
     host, port = bound.get(timeout=30)
+    metrics_host, metrics_port = metrics_bound.get(timeout=30)
 
     specs = _mixed_specs(n_sessions)
     try:
@@ -90,6 +127,13 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16, shards: int = 0) -> dict
             assert client.ping(), "server did not answer ping"
             results = client.decode_many(specs)
             metrics = client.metrics()
+            # Live HTTP scrape while the service is still up, through
+            # the same renderer a Prometheus would hit.
+            with urllib.request.urlopen(
+                f"http://{metrics_host}:{metrics_port}/metrics", timeout=30
+            ) as response:
+                assert response.status == 200
+                scraped = response.read().decode()
             client.shutdown()
         thread.join(timeout=30)
         assert not thread.is_alive(), "server did not shut down cleanly"
@@ -100,6 +144,23 @@ def run_smoke(n_sessions: int = 50, capacity: int = 16, shards: int = 0) -> dict
         "event loop reported errors: "
         + "; ".join(r.getMessage() for r in loop_errors)
     )
+
+    # Exposition contract, both paths: the HTTP scrape and a render of
+    # the metrics-op snapshot must pass the strict checker.
+    _assert_valid_exposition(scraped, "HTTP /metrics")
+    _assert_valid_exposition(render_exposition(metrics), "metrics-op")
+    assert "repro_service_completed_total" in scraped
+    assert "repro_service_round_latency_seconds_bucket" in scraped
+    trace = metrics.get("trace")
+    assert trace is not None and trace["seen"] > 0, "tracer saw no spans"
+    assert any(
+        key.startswith("scheduler.step") for key in trace["spans"]
+    ), f"no scheduler.step spans in {sorted(trace['spans'])}"
+    if expo_out:
+        Path(expo_out).write_text(scraped)
+    if trace_out:
+        records = Path(trace_out).read_text().splitlines()
+        assert records, "server exported an empty trace ring"
 
     assert len(results) == n_sessions
     checked = 0
@@ -148,15 +209,26 @@ def main(argv: list[str] | None = None) -> int:
         "--shards", type=int, default=0,
         help="worker shards (0 = single in-process scheduler)",
     )
+    parser.add_argument(
+        "--expo-out", default=None, metavar="FILE",
+        help="write the validated /metrics scrape here (CI artifact)",
+    )
+    parser.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the server's span ring here as JSON lines (CI artifact)",
+    )
     args = parser.parse_args(argv)
-    metrics = run_smoke(args.sessions, args.capacity, args.shards)
+    metrics = run_smoke(
+        args.sessions, args.capacity, args.shards,
+        expo_out=args.expo_out, trace_out=args.trace_out,
+    )
     print(
         f"service smoke ok: {metrics['completed']} sessions"
         + (f" across {args.shards} worker shards" if args.shards else "")
         + f", {metrics['steps']} micro-batch steps, "
         f"mean batch {metrics['mean_batch_sessions']:.1f} sessions, "
         f"round-latency p50 {metrics['round_latency_s']['p50'] * 1e6:.0f}us, "
-        f"clean shutdown"
+        f"exposition valid, clean shutdown"
     )
     return 0
 

@@ -1,0 +1,144 @@
+"""One-shot / watch terminal stats client for the decode service.
+
+``repro-runner stats <host> <port>`` connects to a running TCP front
+end, issues one ``metrics`` op and prints the snapshot as an aligned
+terminal table — counters, throughput, the latency/cycle percentile
+triples and (when tracing is on) the per-phase span aggregates.  With
+``--watch N`` it redraws every ``N`` seconds until interrupted.
+
+The rendering is a pure function of the snapshot
+(:func:`render_table`), so tests drive it without a socket; only
+:func:`main` talks to the network via
+:class:`~repro.service.client.ServiceClient`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.service.client import ServiceClient
+
+__all__ = ["main", "render_table"]
+
+# (snapshot key, display label) rows in print order; missing keys skip.
+_COUNTER_ROWS = (
+    ("submitted", "submitted"),
+    ("rejected", "rejected"),
+    ("admitted", "admitted"),
+    ("completed", "completed"),
+    ("failed", "failed"),
+    ("overflowed", "overflowed"),
+    ("shed", "shed"),
+    ("requeued", "requeued"),
+    ("worker_deaths", "worker deaths"),
+    ("steps", "scheduler steps"),
+    ("rounds_advanced", "rounds advanced"),
+)
+_GAUGE_ROWS = (
+    ("elapsed_s", "uptime", "s"),
+    ("throughput_sessions_per_s", "sessions/s", ""),
+    ("throughput_rounds_per_s", "rounds/s", ""),
+    ("drop_rate", "drop rate", ""),
+    ("mean_batch_sessions", "mean batch sessions", ""),
+    ("mean_queue_depth", "mean queue depth", ""),
+    ("mean_active_sessions", "mean active sessions", ""),
+    ("mean_wait_s", "mean wait", "s"),
+    ("mean_service_s", "mean service", "s"),
+    ("n_shards", "shards", ""),
+    ("live_shards", "live shards", ""),
+)
+_TRIPLE_ROWS = (
+    ("round_latency_s", "round latency", "s"),
+    ("session_latency_s", "session latency", "s"),
+    ("decode_cycles", "decode cycles", ""),
+)
+
+
+def _fmt(value, unit: str = "") -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        text = format(value, ".4g")
+    else:
+        text = str(value)
+    return f"{text}{unit}" if unit else text
+
+
+def render_table(snapshot: dict) -> str:
+    """The metrics snapshot as an aligned, plain-text terminal table."""
+    rows: list[tuple[str, str]] = []
+    for key, label in _COUNTER_ROWS:
+        if key in snapshot:
+            rows.append((label, _fmt(snapshot[key])))
+    for key, label, unit in _GAUGE_ROWS:
+        if key in snapshot:
+            rows.append((label, _fmt(snapshot[key], unit)))
+    for key, label, unit in _TRIPLE_ROWS:
+        triple = snapshot.get(key)
+        if isinstance(triple, dict):
+            rows.append((
+                label,
+                "  ".join(
+                    f"{p}={_fmt(triple.get(p), unit)}"
+                    for p in ("p50", "p90", "p99")
+                ),
+            ))
+    width = max((len(label) for label, _ in rows), default=0)
+    lines = [f"{label:<{width}}  {value}" for label, value in rows]
+
+    trace = snapshot.get("trace")
+    if trace and trace.get("spans"):
+        lines.append("")
+        lines.append(
+            f"{'span':<28} {'count':>9} {'total':>11} {'mean':>11} {'max':>11}"
+        )
+        for key, agg in trace["spans"].items():
+            count = agg["count"]
+            mean = agg["total_s"] / count if count else 0.0
+            lines.append(
+                f"{key:<28} {count:>9} {_fmt(agg['total_s'], 's'):>11}"
+                f" {_fmt(mean, 's'):>11} {_fmt(agg['max_s'], 's'):>11}"
+            )
+        events = trace.get("events") or {}
+        for name, count in events.items():
+            lines.append(f"{'event:' + name:<28} {count:>9}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point (``repro-runner stats`` forwards here)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-runner stats",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument("host", help="decode-service host")
+    parser.add_argument("port", type=int, help="decode-service TCP port")
+    parser.add_argument(
+        "--watch", type=float, default=None, metavar="SECONDS",
+        help="redraw every SECONDS until interrupted (one-shot if absent)",
+    )
+    args = parser.parse_args(argv)
+    try:
+        while True:
+            with ServiceClient(host=args.host, port=args.port) as client:
+                snapshot = client.metrics()
+            if args.watch is not None:
+                # Clear + home, like watch(1); falls out harmlessly when
+                # the output is not a terminal.
+                print("\x1b[2J\x1b[H", end="")
+            print(render_table(snapshot), flush=True)
+            if args.watch is None:
+                return 0
+            time.sleep(args.watch)
+    except KeyboardInterrupt:
+        return 130
+    except (ConnectionError, OSError) as exc:
+        print(f"stats: cannot reach {args.host}:{args.port}: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -70,7 +70,7 @@ class TestSchemaV2:
         path = tmp_path / "v2.json"
         save_points(path, [BatchPoint("qecool", 5, 0.01, 10, 1)], noise="ph(p=0.01)")
         payload = json.loads(path.read_text())
-        assert payload["schema"] == 2
+        assert payload["schema"] == 3
         assert payload["meta"]["numpy"] == np.__version__
         assert payload["meta"]["noise"] == "ph(p=0.01)"
         assert "git_describe" in payload["meta"]
@@ -108,3 +108,71 @@ class TestSchemaV2:
         save_points(path, [BatchPoint("qecool", 5, 0.01, 10, 1)])
         with pytest.raises(ValueError, match="service_metrics"):
             load_service_metrics(path)
+
+
+class TestSchemaV3:
+    """v3: service-metrics files carry histogram/trace payloads plus an
+    ``meta.obs`` block describing them; v2 files still load."""
+
+    def _live_snapshot(self, traced: bool = True) -> dict:
+        from repro.service.scheduler import MicroBatchScheduler, SchedulerConfig
+        from repro.service.session import SessionSpec
+
+        config = SchedulerConfig(trace=traced, trace_sample=4)
+        scheduler = MicroBatchScheduler(config)
+        for seed in range(4):
+            scheduler.submit(SessionSpec(d=3, p=0.02, seed=7000 + seed))
+        scheduler.run_until_idle()
+        return scheduler.metrics.snapshot()
+
+    def test_histograms_and_trace_round_trip(self, tmp_path):
+        snapshot = self._live_snapshot()
+        path = tmp_path / "v3.json"
+        save_service_metrics(path, snapshot)
+        loaded = load_service_metrics(path)
+        # Lossless through JSON: integer bucket counts and the trace
+        # aggregates come back exactly (keys restringed by JSON are
+        # already strings in the payloads).
+        assert loaded["hist"] == snapshot["hist"]
+        assert loaded["trace"]["spans"] == snapshot["trace"]["spans"]
+        assert loaded["completed"] == snapshot["completed"]
+        from repro.obs.hist import LogHistogram
+
+        hist = LogHistogram.from_dict(loaded["hist"]["decode_cycles"])
+        assert hist.n == snapshot["completed"]
+
+    def test_obs_meta_block(self, tmp_path):
+        snapshot = self._live_snapshot()
+        path = tmp_path / "v3.json"
+        save_service_metrics(path, snapshot)
+        payload = json.loads(path.read_text())
+        assert payload["schema"] == 3
+        obs = payload["meta"]["obs"]
+        assert obs["hist"]["scheme"] == "log10"
+        assert "decode_cycles" in obs["hist"]["fields"]
+        assert obs["hist"]["buckets_per_decade"] == 10
+        assert obs["trace"] == {"sample_every": 4, "capacity": 4096}
+
+    def test_untraced_snapshot_has_no_trace_meta(self, tmp_path):
+        snapshot = self._live_snapshot(traced=False)
+        path = tmp_path / "v3.json"
+        save_service_metrics(path, snapshot)
+        obs = json.loads(path.read_text())["meta"]["obs"]
+        assert "trace" not in obs
+        assert obs["hist"]["scheme"] == "log10"
+
+    def test_v2_service_files_still_load(self, tmp_path):
+        """Pre-observability files (no hist/trace, schema 2) stay readable."""
+        path = tmp_path / "v2.json"
+        path.write_text(json.dumps({
+            "schema": 2,
+            "kind": "service_metrics",
+            "meta": {"numpy": "1.0"},
+            "metrics": {
+                "completed": 10,
+                "round_latency_s": {"p50": 1e-3, "p90": 2e-3, "p99": 3e-3},
+            },
+        }))
+        loaded = load_service_metrics(path)
+        assert loaded["completed"] == 10
+        assert "hist" not in loaded

@@ -515,3 +515,136 @@ class TestMetrics:
         assert snapshot["rounds_advanced"] >= 5 * 4
         assert snapshot["round_latency_s"]["p50"] is not None
         assert snapshot["throughput_sessions_per_s"] > 0
+
+class TestSnapshotSchema:
+    """The exact snapshot contract behind the `metrics` op, the HTTP
+    exposition and results schema v3 (docs/OBSERVABILITY.md)."""
+
+    KEYS = {
+        "elapsed_s",
+        "submitted", "rejected", "admitted", "completed", "failed",
+        "overflowed", "steps", "rounds_advanced",
+        "throughput_sessions_per_s", "throughput_rounds_per_s", "drop_rate",
+        "round_latency_s", "decode_cycles",
+        "mean_batch_sessions", "mean_queue_depth", "mean_active_sessions",
+        "mean_wait_s", "mean_service_s",
+        "hist", "trace",
+    }
+
+    def test_exact_key_set(self):
+        """Adding or removing a snapshot field is a schema change:
+        update this pin together with docs/SERVING.md section 4 and
+        the exposition tables in repro/obs/expo.py."""
+        snapshot = ServiceMetrics(clock=lambda: 0.0).snapshot()
+        assert set(snapshot) == self.KEYS
+
+    def test_hist_block_covers_hist_fields(self):
+        from repro.service.metrics import HIST_FIELDS
+
+        snapshot = ServiceMetrics(clock=lambda: 0.0).snapshot()
+        assert set(snapshot["hist"]) == set(HIST_FIELDS)
+        for payload in snapshot["hist"].values():
+            assert payload["scheme"] == "log10"
+            assert payload["n"] == 0
+
+    def _assert_finite_json(self, snapshot):
+        import json
+
+        json.dumps(snapshot, allow_nan=False)
+        for field in ("throughput_sessions_per_s", "throughput_rounds_per_s",
+                      "drop_rate", "elapsed_s"):
+            value = snapshot[field]
+            assert value == value and abs(value) != float("inf")
+
+    def test_empty_service_has_no_nans(self):
+        """Zero submissions, zero elapsed (frozen clock): every ratio is
+        zero-division-guarded and every empty distribution is None."""
+        snapshot = ServiceMetrics(clock=lambda: 0.0).snapshot()
+        self._assert_finite_json(snapshot)
+        assert snapshot["drop_rate"] == 0.0
+        assert snapshot["throughput_sessions_per_s"] == 0.0
+        for triple in (snapshot["round_latency_s"], snapshot["decode_cycles"]):
+            assert triple == {"p50": None, "p90": None, "p99": None}
+        assert snapshot["mean_wait_s"] is None
+        assert snapshot["mean_service_s"] is None
+        assert snapshot["mean_batch_sessions"] is None
+        assert snapshot["trace"] is None
+
+    def test_all_shed_service_has_no_nans(self):
+        """Everything rejected: submitted > 0, nothing ever retired."""
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        for _ in range(4):
+            metrics.record_submit()
+            metrics.record_reject()
+        snapshot = metrics.snapshot()
+        self._assert_finite_json(snapshot)
+        assert snapshot["drop_rate"] == 1.0
+        assert snapshot["completed"] == 0
+        assert snapshot["mean_wait_s"] is None
+
+    def test_steps_without_retirements_has_no_nans(self):
+        """Ticks happened but no session finished (mid-flight scrape)."""
+        metrics = ServiceMetrics(clock=lambda: 0.0)
+        metrics.record_step(1e-3, 0, queue_depth=0, n_active=0)
+        snapshot = metrics.snapshot()
+        self._assert_finite_json(snapshot)
+        assert snapshot["steps"] == 1
+        assert snapshot["round_latency_s"]["p50"] is None  # weight-0 step
+        assert snapshot["mean_batch_sessions"] == 0.0
+
+    def test_live_snapshot_is_json_safe(self):
+        import json
+
+        scheduler = MicroBatchScheduler(SchedulerConfig(max_active=4, trace=True))
+        for i in range(3):
+            scheduler.submit(SessionSpec(d=3, p=0.02, seed=400 + i))
+        scheduler.run_until_idle()
+        snapshot = scheduler.metrics.snapshot()
+        json.dumps(snapshot, allow_nan=False)
+        assert set(snapshot) == self.KEYS
+        assert snapshot["trace"]["seen"] > 0
+        assert snapshot["round_latency_s"]["p50"] is not None
+        assert snapshot["decode_cycles"]["p50"] is not None
+
+
+class TestTraceNeutrality:
+    """Instrumentation must never change an answer (design rule 2 in
+    docs/OBSERVABILITY.md) — and must cost nothing when off."""
+
+    SPECS = [
+        SessionSpec(d=3, p=0.03, seed=501, n_rounds=6),
+        SessionSpec(d=5, p=0.02, seed=502, n_rounds=5),
+        SessionSpec(d=5, p=0.0, seed=503, n_rounds=4),
+        SessionSpec(d=7, p=0.05, seed=504, n_rounds=3, thv=3, reg_size=7),
+    ]
+
+    def _run(self, **config_kwargs):
+        scheduler = MicroBatchScheduler(
+            SchedulerConfig(max_active=4, **config_kwargs)
+        )
+        sessions = [scheduler.submit(spec) for spec in self.SPECS]
+        scheduler.run_until_idle()
+        return scheduler, [s.result for s in sessions]
+
+    def test_traced_run_bit_identical_to_untraced(self):
+        _, plain = self._run()
+        traced_scheduler, traced = self._run(trace=True, trace_sample=1)
+        for a, b in zip(plain, traced):
+            assert a.failed == b.failed
+            assert a.overflow == b.overflow
+            assert a.n_rounds == b.n_rounds
+            assert a.matches == b.matches
+            assert a.layer_cycles == b.layer_cycles
+        summary = traced_scheduler.tracer.summary()
+        assert summary["seen"] > 0
+        assert "scheduler.step" in summary["spans"]
+
+    def test_tracing_off_leaves_no_tracer_anywhere(self):
+        scheduler, _ = self._run()
+        assert scheduler.tracer is None
+        assert scheduler.metrics.tracer is None
+        for batch in scheduler._engine_pool.values():
+            assert batch.tracer is None
+        for pool in scheduler._scalar_pool.values():
+            for engine in pool:
+                assert engine.tracer is None

@@ -286,3 +286,65 @@ class TestShardedTcp:
         assert metrics["n_shards"] == 2
         assert metrics["completed"] == len(specs)
         assert metrics["rejected"] == 0
+
+
+class TestExactHistogramMerge:
+    """Cross-shard distributions are pooled bucket-for-bucket, so the
+    merged histogram is the one a single observer would have built —
+    pinned here on integer bucket counts (float totals are exact per
+    observation but sum in shard order; counts are the merge contract).
+    """
+
+    SPECS = [
+        SessionSpec(d=(3, 5, 7)[i % 3], p=0.02, seed=8800 + i,
+                    n_rounds=(4, 6, 9)[i % 3])
+        for i in range(24)
+    ]
+
+    def _snapshot(self, n_shards: int) -> dict:
+        async def run():
+            config = SchedulerConfig(max_active=16, max_queue=64)
+            async with ShardRouter(n_shards=n_shards, config=config) as router:
+                await asyncio.gather(*(router.submit(s) for s in self.SPECS))
+                return await router.metrics()
+
+        return asyncio.run(run())
+
+    def test_decode_cycles_identical_one_vs_four_shards(self):
+        """decode_cycles is a pure function of the spec, so for a fixed
+        seeded population the merged histogram must be *bit-identical*
+        however the hash ring placed the sessions."""
+        one = self._snapshot(1)
+        four = self._snapshot(4)
+        assert sum(1 for s in four["shards"] if s["completed"]) >= 2
+        a = one["hist"]["decode_cycles"]
+        b = four["hist"]["decode_cycles"]
+        assert a["counts"] == b["counts"]
+        assert a["n"] == b["n"] == len(self.SPECS)
+        assert a["total"] == b["total"]  # integer-valued cycles: exact
+        assert one["decode_cycles"] == four["decode_cycles"]
+
+    def test_merged_counts_equal_bucketwise_shard_sum(self):
+        """For every histogram field the router reports, the merged
+        bucket counts equal the integer sum over per-shard snapshots —
+        wall-clock values differ run to run, the merge algebra never."""
+        from repro.service.metrics import HIST_FIELDS
+
+        snapshot = self._snapshot(4)
+        for field in HIST_FIELDS:
+            merged = snapshot["hist"][field]["counts"]
+            summed: dict[str, int] = {}
+            for shard in snapshot["shards"]:
+                for index, count in shard["hist"][field]["counts"].items():
+                    summed[index] = summed.get(index, 0) + count
+            assert merged == summed, field
+            assert snapshot["hist"][field]["n"] == sum(
+                s["hist"][field]["n"] for s in snapshot["shards"]
+            )
+
+    def test_router_adds_session_latency_histogram(self):
+        snapshot = self._snapshot(2)
+        latency = snapshot["hist"]["session_latency_s"]
+        assert latency["n"] == len(self.SPECS)
+        triple = snapshot["session_latency_s"]
+        assert triple["p50"] is not None and triple["p99"] >= triple["p50"]
