@@ -37,6 +37,12 @@ headline wave re-measured on a default (untraced) scheduler must hold
 test per phase plus histogram bucket increments), and a fully traced
 run of the same wave must retire every session bit-identically.
 
+A fourth benchmark pins the **fault-injection overhead** contract the
+same way: the supervision/chaos hooks (``faults`` threaded through the
+scheduler hot loop for deterministic fault injection) must hold >= 98%
+of the headline sessions/s when no plan is armed — the production
+path — and an armed-but-inert plan must stay bit-identical.
+
 Every full run rewrites ``BENCH_service.json`` (committed) with the
 throughput numbers and the scheduler's own metrics snapshot, so the
 serving-perf trajectory accumulates next to the code.
@@ -306,6 +312,97 @@ def test_observability_overhead(benchmark, reporter):
         assert overhead_ratio >= OBS_OVERHEAD_FLOOR, (
             f"obs_overhead_d9: off-path expected >= {OBS_OVERHEAD_FLOOR}x "
             f"headline sessions/s, got {overhead_ratio:.3f}x"
+        )
+
+
+# ----------------------------------------------------------------------
+# Fault-injection overhead: the chaos hooks must be free when disarmed
+# ----------------------------------------------------------------------
+FAULTS_OFF_FLOOR = 0.98  # no-fault sessions/s vs headline, full mode
+
+
+def test_fault_injection_overhead(benchmark, reporter):
+    """The supervision/chaos hooks cost nothing when no plan is armed.
+
+    PR 10 threads ``faults`` through the scheduler hot loop behind the
+    same ``is None`` guard pattern as the tracer: with no
+    :class:`~repro.service.faults.FaultPlan` (the default, production
+    path) the only cost is one attribute test per step.  Re-measures
+    the headline d=9 p=0.05% wave on a default scheduler and floors its
+    sessions/s at ``FAULTS_OFF_FLOOR`` of the ``serve_d9_p0.0005``
+    headline recorded earlier in this run (re-checked against the
+    committed record by ``check_floors.py``).  An *armed* scheduler
+    whose plan injects only zero-length delays is measured
+    informationally (``armed_ratio``) and must retire every session
+    **bit-identically** — fault plumbing may cost time, never change a
+    decode.
+    """
+    from repro.service.faults import Fault, FaultPlan
+    from repro.service.scheduler import MicroBatchScheduler, SchedulerConfig
+
+    name, d, p, rounds, sessions, _ = POINTS[0]
+    specs = _specs(d, p, rounds, sessions)
+
+    def measure(faults=None):
+        scheduler = MicroBatchScheduler(
+            SchedulerConfig(max_active=sessions, max_queue=sessions),
+            faults=faults,
+        )
+        best = float("inf")
+        for _ in range(REPS):
+            elapsed, results, _snapshot = _run_scheduler(scheduler, specs)
+            best = min(best, elapsed)
+        return best, results
+
+    off_s, off_results = measure()
+    # Armed but inert: the lookup runs every step, the delay is zero.
+    armed = FaultPlan(
+        faults=(Fault("slow", 0, 0, duration_s=0.0, ticks=1),)
+    ).for_shard(0)
+    armed_s, armed_results = measure(armed)
+    for off, hot in zip(off_results, armed_results):
+        assert off.matches == hot.matches, "fault plumbing changed a match stream"
+        assert off.layer_cycles == hot.layer_cycles, (
+            "fault plumbing changed cycle accounting"
+        )
+        assert (off.failed, off.overflow, off.n_rounds) == (
+            hot.failed, hot.overflow, hot.n_rounds,
+        ), "fault plumbing changed a session outcome"
+
+    headline = next(
+        (pt for pt in _RECORD["points"] if pt["name"] == name), None
+    )
+    headline_rate = (
+        headline["scheduler_sessions_per_s"]
+        if headline is not None
+        else sessions / off_s  # standalone run: self-referential ratio
+    )
+    off_rate = sessions / off_s
+    armed_rate = sessions / armed_s
+    off_ratio = off_rate / headline_rate
+    armed_ratio = armed_rate / headline_rate
+    lines = [
+        f"faults_off_overhead: {sessions} sessions x {rounds} rounds  "
+        f"headline {headline_rate:7.1f} sess/s  "
+        f"faults-off {off_rate:7.1f} sess/s (ratio {off_ratio:.3f})  "
+        f"armed-inert {armed_rate:7.1f} sess/s (ratio {armed_ratio:.3f})",
+        "bit-identical armed vs unarmed: yes (asserted)",
+    ]
+    _record(
+        "faults_off_overhead",
+        d=d, p=p, rounds=rounds, sessions=sessions,
+        headline_sessions_per_s=headline_rate,
+        off_sessions_per_s=off_rate,
+        armed_sessions_per_s=armed_rate,
+        speedup=off_ratio,
+        armed_ratio=armed_ratio,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    reporter(benchmark, "Fault-injection overhead (off path vs headline)", lines)
+    if not SMOKE:
+        assert off_ratio >= FAULTS_OFF_FLOOR, (
+            f"faults_off_overhead: no-fault path expected >= "
+            f"{FAULTS_OFF_FLOOR}x headline sessions/s, got {off_ratio:.3f}x"
         )
 
 

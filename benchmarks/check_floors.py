@@ -54,6 +54,11 @@ SERVICE_FLOORS = {
     # the headline sessions/s — instrumentation may not tax the off
     # path beyond noise.  Its "speedup" is that ratio, ~1.0.
     "obs_overhead_d9": 0.98,
+    # Fault-injection off-path (PR 10): the headline wave on a default
+    # scheduler — chaos hooks present but no FaultPlan armed — must
+    # likewise hold >= 98% of the headline sessions/s.  Its "speedup"
+    # is that ratio, ~1.0.
+    "faults_off_overhead": 0.98,
 }
 
 FLOORS_BY_SCHEMA = {

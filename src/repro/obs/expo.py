@@ -32,8 +32,8 @@ _PREFIX = "repro_service"
 # Snapshot fields that are monotonic counts -> <prefix>_<name>_total.
 _COUNTERS = (
     "submitted", "rejected", "admitted", "completed", "failed",
-    "overflowed", "steps", "rounds_advanced",
-    "shed", "requeued", "worker_deaths",
+    "overflowed", "steps", "rounds_advanced", "retries",
+    "shed", "requeued", "worker_deaths", "respawns", "heartbeat_timeouts",
 )
 
 # Snapshot fields exposed as gauges (value used verbatim; None skipped).

@@ -3,8 +3,10 @@
 A :class:`Tracer` records **spans** — named, tagged, monotonic-clocked
 timings of one phase of work (an admission wave, a roster build, a
 noise gather, a batch-lane advance, one engine decode, one TCP
-request) — and **events** (a worker death, a requeue).  Two retention
-tiers keep it cheap at service rates:
+request) — and **events** (supervision lifecycle marks: a worker
+death, a requeue, a shed, a respawn, a heartbeat timeout or deadline
+kill, a dropped malformed frame).  Two retention tiers keep it cheap
+at service rates:
 
 - *aggregates* are always exact: per ``(name, tag)`` the tracer keeps
   count / total seconds / max seconds, integers and float adds only —

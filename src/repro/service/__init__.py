@@ -12,7 +12,10 @@ async API plus a JSON-lines TCP front end (``repro-runner serve`` /
 (:mod:`repro.service.shard`, ``repro-runner serve --shards N``) scales
 sessions/s with cores by consistent-hashing sessions across worker
 processes that each own a full scheduler, requeueing or shedding a dead
-worker's in-flight sessions; the **metrics core** tracks per-round
+worker's in-flight sessions; the **supervision layer** (heartbeat
+liveness, exponential-backoff respawn, deterministic fault injection
+via :class:`FaultPlan` — see :mod:`repro.service.faults`) heals the
+ring after worker crashes and hangs; the **metrics core** tracks per-round
 latency percentiles, throughput, drop rate and queue depth, persisted
 through :mod:`repro.experiments.results`.
 
@@ -23,6 +26,7 @@ traffic it shared micro-batches with (``tests/test_service.py``,
 """
 
 from repro.service.api import DecodeService
+from repro.service.faults import Fault, FaultPlan
 from repro.service.metrics import ServiceMetrics
 from repro.service.scheduler import Backpressure, MicroBatchScheduler, SchedulerConfig
 from repro.service.session import (
@@ -39,6 +43,8 @@ __all__ = [
     "Backpressure",
     "DecodeService",
     "DecodeSession",
+    "Fault",
+    "FaultPlan",
     "HashRing",
     "MicroBatchScheduler",
     "SchedulerConfig",

@@ -115,6 +115,13 @@ class DecodeService:
         """Live metrics snapshot (see :class:`ServiceMetrics`)."""
         return self.scheduler.metrics.snapshot()
 
+    def record_client_retry(self) -> None:
+        """Count one client-visible resubmission (``retry`` field on
+        the wire) — same surface as
+        :meth:`~repro.service.shard.ShardRouter.record_client_retry`,
+        so the TCP front end is backend-agnostic."""
+        self.scheduler.metrics.record_retry()
+
     @property
     def tracer(self):
         """The scheduler's :class:`~repro.obs.trace.Tracer` (or None)."""

@@ -15,41 +15,134 @@ matched back by request id)::
         )
         print(client.metrics()["throughput_sessions_per_s"])
         client.shutdown()
+
+Resilience (``retries``, default 2): transport faults (timeout,
+connection reset) and retryable service errors (``shard-failure``)
+are retried with jittered exponential backoff.  Resubmission is
+**idempotent and keyed by ticket**: a decode is a pure function of its
+spec, and a resubmitted request reuses its original request id, so a
+retry can never be double-counted against a different response.
+Resubmitted requests carry a ``retry`` field the server counts as the
+client-visible ``retries`` metric.  Terminal errors (``bad-spec``,
+``backpressure``, ``bad-json``) raise immediately — retrying a
+rejected spec cannot succeed, and retrying into backpressure only
+amplifies the overload (shed-and-retry-later is the open-loop
+client's job, not this transport's).
+
+After any timeout or connection error the client **reconnects before
+doing anything else**: a timed-out ``readline`` may have consumed a
+partial frame, leaving the old stream undefined — the classic
+mis-matched-response bug — so the old socket is never reused.  On the
+new connection, frames for abandoned request ids cannot arrive at all;
+on an intact connection, stale or unparseable frames (e.g. a
+chaos-garbled line) are counted and skipped rather than trusted.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
 
 from repro.service.session import SessionSpec
 
 __all__ = ["ServiceClient", "ServiceError"]
 
+# Consecutive junk frames tolerated before declaring the stream broken.
+_MAX_CONSECUTIVE_JUNK = 64
+
 
 class ServiceError(RuntimeError):
-    """A response with ``ok: false`` (e.g. backpressure, bad spec)."""
+    """A failed request: a response with ``ok: false``, or a transport
+    fault mapped to the ``timeout`` / ``connection`` kinds.
+
+    ``error`` is the kind; :attr:`retryable` says whether resubmitting
+    the same request can succeed (`shard-failure`, timeout, connection
+    — transient serving-side conditions) or not (`bad-spec` is wrong
+    forever, `backpressure` means *back off*, not *try again now*).
+    """
+
+    RETRYABLE = frozenset({"shard-failure", "timeout", "connection"})
 
     def __init__(self, error: str, detail: str = ""):
         super().__init__(f"{error}: {detail}" if detail else error)
         self.error = error
         self.detail = detail
 
+    @property
+    def retryable(self) -> bool:
+        return self.error in self.RETRYABLE
+
 
 class ServiceClient:
-    """One TCP connection to a running decode service."""
+    """One TCP connection to a running decode service.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 7421, timeout: float = 120.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rwb")
+    ``retries`` bounds resubmissions per request (0 disables);
+    ``backoff_s`` seeds the jittered exponential backoff between
+    attempts.  :attr:`retries_performed`, :attr:`reconnects`,
+    :attr:`stale_frames` and :attr:`malformed_frames` count what the
+    resilience layer actually did.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout: float = 120.0,
+        retries: int = 2,
+        backoff_s: float = 0.05,
+    ):
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if backoff_s <= 0:
+            raise ValueError(f"backoff_s must be > 0, got {backoff_s}")
+        self._host = host
+        self._port = port
+        self._timeout = timeout
+        self.max_retries = retries
+        self.backoff_s = backoff_s
+        # Deterministic jitter: seeded by the endpoint, so two clients
+        # hammering the same server still decorrelate their retries.
+        self._rng = random.Random(f"{host}:{port}")
         self._next_id = 1
+        self.retries_performed = 0
+        self.reconnects = 0
+        self.stale_frames = 0
+        self.malformed_frames = 0
+        self._connect()
 
     # ------------------------------------------------------------------
     # Wire helpers
     # ------------------------------------------------------------------
-    def _send(self, payload: dict) -> int:
-        request_id = self._next_id
-        self._next_id += 1
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        """Drop the (possibly desynced) connection and open a fresh one.
+
+        Request ids keep incrementing across reconnects, so a response
+        matched on the new stream can never belong to an abandoned
+        request from the old one.
+        """
+        self.reconnects += 1
+        self.close()
+        self._connect()
+
+    def _backoff(self, attempt: int) -> None:
+        """Jittered exponential backoff before resubmission ``attempt``."""
+        delay = self.backoff_s * (2 ** attempt) * (0.5 + self._rng.random())
+        time.sleep(delay)
+
+    def _send(self, payload: dict, request_id: int | None = None) -> int:
+        """Write one frame; ``request_id`` pins the id on resubmission
+        (idempotent retry keyed by ticket), else a fresh id is issued."""
+        if request_id is None:
+            request_id = self._next_id
+            self._next_id += 1
         payload = {"id": request_id, **payload}
         self._file.write(json.dumps(payload, separators=(",", ":")).encode() + b"\n")
         self._file.flush()
@@ -61,57 +154,158 @@ class ServiceClient:
             raise ConnectionError("server closed the connection")
         return json.loads(line)
 
-    def _request(self, payload: dict) -> dict:
-        """Send one request and wait for *its* response (no pipelining)."""
-        request_id = self._send(payload)
+    def _read_frame(self, expected_ids) -> dict:
+        """The next response belonging to ``expected_ids``.
+
+        Unparseable lines (a garbled frame) and responses for unknown
+        ids (stale — e.g. the server answering a request this client
+        already gave up on) are counted and skipped, bounded so a
+        babbling stream still fails loudly instead of spinning.
+        """
+        junk = 0
         while True:
-            response = self._read()
-            if response.get("id") == request_id:
-                if not response.get("ok"):
-                    raise ServiceError(
-                        response.get("error", "unknown"), response.get("detail", "")
-                    )
-                return response
-            raise ServiceError(
-                "protocol", f"unexpected response id {response.get('id')}"
-            )
+            line = self._file.readline()
+            if not line:
+                raise ConnectionError("server closed the connection")
+            try:
+                response = json.loads(line)
+            except json.JSONDecodeError:
+                self.malformed_frames += 1
+                junk += 1
+            else:
+                if response.get("id") in expected_ids:
+                    return response
+                self.stale_frames += 1
+                junk += 1
+            if junk >= _MAX_CONSECUTIVE_JUNK:
+                raise ServiceError(
+                    "protocol",
+                    f"{junk} consecutive frames with no expected response",
+                )
+
+    def _request(self, payload: dict, reconnect: bool = True) -> dict:
+        """Send one request and wait for *its* response (no pipelining).
+
+        On a transport fault the connection is resynced (reconnect) and
+        — for the idempotent control ops this serves — the request is
+        resubmitted under the retry budget.
+        """
+        attempt = 0
+        while True:
+            try:
+                request_id = self._send(payload)
+                response = self._read_frame({request_id})
+            except (TimeoutError, ConnectionError, OSError) as exc:
+                kind = "timeout" if isinstance(exc, TimeoutError) else "connection"
+                if not reconnect:
+                    raise
+                self._reconnect()
+                if attempt >= self.max_retries:
+                    raise ServiceError(kind, str(exc)) from exc
+                self._backoff(attempt)
+                attempt += 1
+                self.retries_performed += 1
+                continue
+            if not response.get("ok"):
+                raise ServiceError(
+                    response.get("error", "unknown"), response.get("detail", "")
+                )
+            return response
 
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
     def decode(self, spec: SessionSpec | dict) -> dict:
-        """Decode one session; returns the result payload."""
-        payload = spec.to_payload() if isinstance(spec, SessionSpec) else dict(spec)
-        return self._request({"op": "decode", "spec": payload})["result"]
+        """Decode one session; returns the result payload.
 
-    def decode_many(self, specs) -> list[dict]:
+        Retryable failures (shard death mid-decode, transport faults)
+        are resubmitted up to ``retries`` times; terminal errors raise
+        :class:`ServiceError` immediately.
+        """
+        outcome = self.decode_many([spec], return_errors=True)[0]
+        if isinstance(outcome, ServiceError):
+            raise outcome
+        return outcome
+
+    def decode_many(self, specs, return_errors: bool = False) -> list:
         """Pipeline many decodes on this connection.
 
         All requests are written up front, so the sessions share the
         service's micro-batches; responses (which arrive in completion
-        order) are returned in request order.  A rejected or invalid
-        session raises :class:`ServiceError` after all responses are in.
+        order) are returned in request order.  Retryable failures are
+        resubmitted (same request id, ``retry`` field set) under the
+        per-request retry budget; a mid-pipeline transport fault
+        reconnects first — the old stream is undefined after a timeout
+        — then resubmits every unanswered request.
+
+        With ``return_errors`` the outcome list holds a result payload
+        *or* a :class:`ServiceError` per spec (chaos harnesses want
+        every session's attributed outcome); without it (default) the
+        first failure in request order raises after all outcomes are
+        in, matching the original semantics.
         """
-        ids = [
-            self._send({
-                "op": "decode",
-                "spec": s.to_payload() if isinstance(s, SessionSpec) else dict(s),
-            })
+        payloads = [
+            s.to_payload() if isinstance(s, SessionSpec) else dict(s)
             for s in specs
         ]
-        by_id: dict[int, dict] = {}
-        while len(by_id) < len(ids):
-            response = self._read()
-            by_id[response.get("id")] = response
-        results = []
-        for request_id in ids:
-            response = by_id[request_id]
-            if not response.get("ok"):
-                raise ServiceError(
-                    response.get("error", "unknown"), response.get("detail", "")
-                )
-            results.append(response["result"])
-        return results
+        outcomes: list = [None] * len(payloads)
+        attempts = [0] * len(payloads)
+        ids: list[int | None] = [None] * len(payloads)
+        pending: dict[int, int] = {}  # request id -> spec index
+
+        def submit(index: int) -> None:
+            request = {"op": "decode", "spec": payloads[index]}
+            if attempts[index]:
+                request["retry"] = attempts[index]
+            ids[index] = self._send(request, request_id=ids[index])
+            pending[ids[index]] = index
+
+        for index in range(len(payloads)):
+            submit(index)
+        while pending:
+            try:
+                response = self._read_frame(pending)
+            except (TimeoutError, ConnectionError, OSError) as exc:
+                kind = "timeout" if isinstance(exc, TimeoutError) else "connection"
+                # The stream is undefined from here (a partial frame may
+                # have been consumed): resync on a fresh connection
+                # before anything else touches the socket.
+                self._reconnect()
+                unanswered = sorted(pending.values())
+                pending.clear()
+                retriable = [
+                    i for i in unanswered if attempts[i] < self.max_retries
+                ]
+                for i in unanswered:
+                    if i not in retriable:
+                        outcomes[i] = ServiceError(kind, str(exc))
+                if retriable:
+                    self._backoff(min(attempts[i] for i in retriable))
+                    for i in retriable:
+                        attempts[i] += 1
+                        self.retries_performed += 1
+                        submit(i)
+                continue
+            index = pending.pop(response["id"])
+            if response.get("ok"):
+                outcomes[index] = response["result"]
+                continue
+            error = ServiceError(
+                response.get("error", "unknown"), response.get("detail", "")
+            )
+            if error.retryable and attempts[index] < self.max_retries:
+                self._backoff(attempts[index])
+                attempts[index] += 1
+                self.retries_performed += 1
+                submit(index)
+            else:
+                outcomes[index] = error
+        if return_errors:
+            return outcomes
+        for outcome in outcomes:
+            if isinstance(outcome, ServiceError):
+                raise outcome
+        return outcomes
 
     def metrics(self) -> dict:
         """The service's live metrics snapshot."""
@@ -122,15 +316,25 @@ class ServiceClient:
         return bool(self._request({"op": "ping"}).get("pong"))
 
     def shutdown(self) -> None:
-        """Ask the server to drain and exit."""
-        self._request({"op": "shutdown"})
+        """Ask the server to drain and exit.
+
+        Never resubmitted through a reconnect: racing a second shutdown
+        against a server that is already tearing down only manufactures
+        connection noise.
+        """
+        self._request({"op": "shutdown"}, reconnect=False)
 
     def close(self) -> None:
         """Close the connection (idempotent)."""
         try:
             self._file.close()
+        except OSError:
+            pass
         finally:
-            self._sock.close()
+            try:
+                self._sock.close()
+            except OSError:
+                pass
 
     def __enter__(self) -> "ServiceClient":
         return self

@@ -112,6 +112,7 @@ class ServiceMetrics:
         self.overflowed = 0
         self.steps = 0
         self.rounds_advanced = 0
+        self.retries = 0
         # Exact-merge distributions (see module docstring).
         self.hists: dict[str, LogHistogram] = {
             name: LogHistogram() for name in HIST_FIELDS
@@ -132,6 +133,14 @@ class ServiceMetrics:
 
     def record_admit(self) -> None:
         self.admitted += 1
+
+    def record_retry(self) -> None:
+        """A client resubmitted a request it had already sent (marked
+        by the ``retry`` field on the wire): the server-side count of
+        client-visible retries.  Resubmission is idempotent — a decode
+        is a pure function of its spec — so this is an observability
+        counter, not a dedup mechanism."""
+        self.retries += 1
 
     def record_step(
         self, duration_s: float, n_sessions: int, queue_depth: int, n_active: int
@@ -189,6 +198,7 @@ class ServiceMetrics:
             "overflowed": self.overflowed,
             "steps": self.steps,
             "rounds_advanced": self.rounds_advanced,
+            "retries": self.retries,
             "throughput_sessions_per_s": self.completed / elapsed,
             "throughput_rounds_per_s": self.rounds_advanced / elapsed,
             "drop_rate": self.rejected / self.submitted if self.submitted else 0.0,

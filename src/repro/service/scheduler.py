@@ -179,9 +179,16 @@ class MicroBatchScheduler:
         self,
         config: SchedulerConfig | None = None,
         clock=time.monotonic,
+        faults=None,
     ):
         self.config = config or SchedulerConfig()
         self._clock = clock
+        # Deterministic chaos only (:mod:`repro.service.faults`): a
+        # worker-scoped fault view whose "slow" windows stretch steps.
+        # ``None`` in production — the step hook is one `is None` test,
+        # same zero-overhead pattern as the tracer below (pinned by the
+        # ``faults_off_overhead`` bench point).
+        self.faults = faults
         # One tracer per scheduler (None when off): every engine and
         # streaming-round call site shares it, so per-phase aggregates
         # cover the whole tick.  It shares the scheduler's clock —
@@ -422,6 +429,13 @@ class MicroBatchScheduler:
     def step(self) -> list[DecodeSession]:
         """One scheduler tick: admit, advance every group one round,
         retire.  Returns the sessions finished during this tick."""
+        if self.faults is not None:
+            # Injected slow-worker delay: degraded but live.  Sleeping
+            # inside the step means the slowdown shows up in the round
+            # latency histogram, exactly like a genuinely slow worker.
+            delay = self.faults.step_delay(self.metrics.steps)
+            if delay:
+                time.sleep(delay)
         started = self._clock()
         tracer = self.tracer  # None when off: one attribute read per phase
         while self._queue and self._n_active < self.config.max_active:

@@ -21,7 +21,11 @@ sharded multi-process back end (:class:`repro.service.shard.ShardRouter`,
 one full scheduler per worker process) behind the same protocol —
 ``--capacity``/``--max-queue`` then apply per worker, a dead worker's
 unrescued sessions report an extra ``shard-failure`` error kind, and
-the ``metrics`` op returns the cross-shard aggregate.
+the ``metrics`` op returns the cross-shard aggregate.  Dead workers
+are respawned with exponential backoff (``--no-respawn`` disables);
+``--heartbeat-interval`` / ``--session-deadline`` bound how long a
+hung-but-alive worker survives before it is killed and respawned (see
+``docs/SERVING.md`` for the full failure-semantics matrix).
 
 Observability (all off by default, costing nothing):
 
@@ -62,11 +66,19 @@ def _error(payload_id, error: str, **extra) -> dict:
 class _Connection:
     """One client connection: a read loop plus write-serialised responses."""
 
-    def __init__(self, service: DecodeService, reader, writer, shutdown: asyncio.Event):
+    def __init__(
+        self,
+        service: DecodeService,
+        reader,
+        writer,
+        shutdown: asyncio.Event,
+        faults=None,
+    ):
         self.service = service
         self.reader = reader
         self.writer = writer
         self.shutdown = shutdown
+        self.faults = faults
         self.write_lock = asyncio.Lock()
         self.decodes: set[asyncio.Task] = set()
 
@@ -100,6 +112,15 @@ class _Connection:
             outcome = "bad-spec"
             await self.send(_error(payload_id, "bad-spec", detail=str(exc)))
         else:
+            if self.faults is not None and self.faults.garble_next():
+                # Chaos: a corrupted frame ahead of the real response —
+                # the client must skip it and still match the result.
+                async with self.write_lock:
+                    try:
+                        self.writer.write(b'{"garbled frame\n')
+                        await self.writer.drain()
+                    except (ConnectionError, OSError):
+                        pass
             await self.send(
                 {"id": payload_id, "ok": True, "result": result.to_payload()}
             )
@@ -171,6 +192,10 @@ class _Connection:
             payload_id = request.get("id")
             op = request.get("op", "decode")
             if op == "decode":
+                if request.get("retry"):
+                    # Client-visible resubmission (idempotent; see
+                    # ServiceClient) — count it server-side.
+                    self.service.record_client_retry()
                 # Spawn so the read loop keeps accepting pipelined
                 # requests while this session decodes.
                 task = asyncio.create_task(
@@ -205,6 +230,12 @@ async def serve(
     metrics_port: int | None = None,
     metrics_ready=None,
     trace_path=None,
+    respawn: bool = True,
+    respawn_backoff: float = 0.5,
+    heartbeat_interval: float = 1.0,
+    heartbeat_timeout: float | None = None,
+    session_deadline: float | None = None,
+    faults=None,
 ) -> None:
     """Run the TCP service until a client sends ``shutdown``.
 
@@ -215,6 +246,16 @@ async def serve(
     serves from that many worker processes behind a
     :class:`~repro.service.shard.ShardRouter` (``config`` then applies
     per worker).
+
+    Supervision (sharded back end only): ``respawn`` re-forks dead
+    workers with exponential backoff starting at ``respawn_backoff``
+    seconds; ``heartbeat_interval`` (0 disables the liveness layer)
+    and ``heartbeat_timeout`` (default 5x the interval) bound how long
+    a silent worker lives; ``session_deadline`` seconds *per session
+    round* bounds how long one session may sit on a worker before the
+    worker is declared hung.  ``faults`` takes a
+    :class:`~repro.service.faults.FaultPlan` for deterministic chaos
+    injection (``None`` — the default — costs nothing).
 
     ``metrics_port`` (0 = ephemeral) additionally serves Prometheus
     text exposition on HTTP ``GET /metrics``; ``metrics_ready``
@@ -227,17 +268,29 @@ async def serve(
     shutdown = asyncio.Event()
     connections: set[asyncio.Task] = set()
     backend = (
-        ShardRouter(n_shards=shards, config=config)
+        ShardRouter(
+            n_shards=shards,
+            config=config,
+            respawn=respawn,
+            respawn_backoff_s=respawn_backoff,
+            heartbeat_interval_s=heartbeat_interval,
+            heartbeat_timeout_s=heartbeat_timeout,
+            session_deadline_s=session_deadline,
+            faults=faults,
+        )
         if shards
         else DecodeService(config=config)
     )
+    server_faults = faults.for_server() if faults is not None else None
     loop = asyncio.get_running_loop()
     async with backend as service:
         async def handler(reader, writer):
             task = asyncio.current_task()
             connections.add(task)
             task.add_done_callback(connections.discard)
-            await _Connection(service, reader, writer, shutdown).run()
+            await _Connection(
+                service, reader, writer, shutdown, faults=server_faults
+            ).run()
 
         async def grab_snapshot():
             snapshot = service.metrics()
@@ -307,6 +360,29 @@ def main(argv: list[str] | None = None) -> int:
         "apply per worker)",
     )
     parser.add_argument(
+        "--respawn", action=argparse.BooleanOptionalAction, default=True,
+        help="with --shards: respawn dead worker processes with "
+        "exponential backoff and replay their rescued sessions "
+        "(--no-respawn restores shed-only recovery)",
+    )
+    parser.add_argument(
+        "--respawn-backoff", type=float, default=0.5, metavar="S",
+        help="with --respawn: initial respawn delay in seconds, "
+        "doubling per consecutive death of the same shard",
+    )
+    parser.add_argument(
+        "--heartbeat-interval", type=float, default=1.0, metavar="S",
+        help="with --shards: worker heartbeat period; a worker silent "
+        "for 5x this (see --shards docs for the timeout) is declared "
+        "hung, killed and respawned (0 disables liveness checking)",
+    )
+    parser.add_argument(
+        "--session-deadline", type=float, default=None, metavar="S",
+        help="with --shards: per-round session deadline — a session "
+        "held longer than S * (rounds + 1) seconds marks its worker "
+        "hung (default: no deadline)",
+    )
+    parser.add_argument(
         "--kernel-backend", default=None,
         choices=available_kernel_backends(),
         help="default engine-kernel backend for sessions that do not "
@@ -360,6 +436,10 @@ def main(argv: list[str] | None = None) -> int:
                 metrics_port=args.metrics_port,
                 metrics_ready=announce_metrics,
                 trace_path=args.trace,
+                respawn=args.respawn,
+                respawn_backoff=args.respawn_backoff,
+                heartbeat_interval=args.heartbeat_interval,
+                session_deadline=args.session_deadline,
             )
         )
     except KeyboardInterrupt:

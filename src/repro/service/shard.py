@@ -29,7 +29,28 @@ async/TCP front end:
   sessions are **requeued once** onto surviving shards (decode state is
   a pure function of the spec, so a replayed session is bit-identical)
   or — when requeueing is disabled, exhausted, or no shard survives —
-  **shed** with :class:`ShardFailure`.  Co-tenant shards are unaffected.
+  **shed** with :class:`ShardFailure`.  Co-tenant shards are unaffected;
+- a worker that is **alive but hung** is caught by the liveness layer:
+  workers heartbeat over their pipe every ``heartbeat_interval_s`` (any
+  frame counts as liveness — results included) and the router's monitor
+  task kills a worker whose silence exceeds ``heartbeat_timeout_s`` or
+  that holds a session past its size-derived deadline
+  (``session_deadline_s * (rounds + 1)``), funnelling it into the same
+  EOF death path — one recovery path, not two;
+- a dead worker is **respawned** (``respawn``, default on) with
+  exponential backoff under a per-shard restart budget.  Re-adding its
+  index to the :class:`HashRing` re-inserts the *identical* vnode
+  points (they hash from the index alone), so the respawned worker
+  reclaims exactly the ranges it held — in-flight sessions on
+  survivors are never remapped.  Sessions that could not be requeued
+  because no shard survived are parked and replayed on the respawned
+  worker, bit-identically (the spec carries the whole decode);
+- deterministic chaos testing threads a seeded
+  :class:`~repro.service.faults.FaultPlan` through the spawn arguments:
+  each worker injects its own crashes / stalls / slow steps / malformed
+  frames / heartbeat drops, behind ``faults is None`` guards that cost
+  nothing when off (the default).  See ``docs/DESIGN.md`` section 12
+  for the supervision state machine.
 
 Routing is a pure *placement* decision: every session decodes
 bit-identically to single-process serving (and hence to a standalone
@@ -53,6 +74,7 @@ import asyncio
 import bisect
 import hashlib
 import multiprocessing
+import os
 import queue
 import threading
 import time
@@ -127,7 +149,14 @@ class HashRing:
 _COALESCE_S = 0.005  # admission-coalescing grace after an idle wakeup
 
 
-def _shard_worker(conn, config: SchedulerConfig | None) -> None:
+def _shard_worker(
+    conn,
+    config: SchedulerConfig | None,
+    index: int = 0,
+    faults=None,
+    heartbeat_s: float | None = None,
+    generation: int = 0,
+) -> None:
     """One worker: a full scheduler pumped by messages on ``conn``.
 
     Protocol (tuples over the pipe, pickled):
@@ -136,8 +165,8 @@ def _shard_worker(conn, config: SchedulerConfig | None) -> None:
       / ``("stop",)``
     - out: ``("result", ticket, SessionResult)`` /
       ``("reject", ticket, kind, detail)`` /
-      ``("metrics", token, snapshot)`` / ``("crashed", repr)`` /
-      ``("stopped",)``
+      ``("metrics", token, snapshot)`` / ``("hb", tick)`` /
+      ``("crashed", repr)`` / ``("stopped",)``
 
     The loop blocks on the pipe while idle, drains every buffered
     message before each step (so a pipelined burst lands in one
@@ -145,10 +174,31 @@ def _shard_worker(conn, config: SchedulerConfig | None) -> None:
     coalescing), and steps the scheduler while any session is pending.
     On ``stop`` it finishes the backlog, reports ``stopped`` and exits;
     a vanished router (EOF on the pipe) exits quietly.
+
+    Liveness: with ``heartbeat_s`` set the idle wait is bounded by it
+    and an ``("hb", tick)`` frame goes out whenever the interval
+    elapses — between steps too, so a busy worker stays visibly alive.
+    The router treats *any* frame as liveness; the explicit heartbeat
+    only matters when the worker has nothing else to say.
+
+    ``faults`` (a :class:`~repro.service.faults.FaultPlan`, ``None`` in
+    production) injects this worker's scheduled misbehaviour: a crash
+    is ``os._exit`` (no goodbye frame — the router sees raw EOF, as
+    with kill -9), a stall sleeps without reading the pipe or
+    heartbeating, a malformed fault sends a frame the router's protocol
+    does not know.  ``generation`` scopes the plan to this life of the
+    shard: respawned workers (generation >= 1) re-run none of
+    generation 0's faults, so a crash schedule cannot become a crash
+    loop.
     """
-    scheduler = MicroBatchScheduler(config)
+    worker_faults = (
+        None if faults is None else faults.for_shard(index, generation)
+    )
+    scheduler = MicroBatchScheduler(config, faults=worker_faults)
     tickets: dict[int, int] = {}  # scheduler session id -> router ticket
     stop = False
+    tick = 0
+    last_hb = time.monotonic()
 
     def handle(message) -> None:
         nonlocal stop
@@ -172,12 +222,35 @@ def _shard_worker(conn, config: SchedulerConfig | None) -> None:
         while conn.poll(0.0):
             handle(conn.recv())
 
+    def heartbeat() -> None:
+        nonlocal last_hb
+        if heartbeat_s is None:
+            return
+        now = time.monotonic()
+        if now - last_hb < heartbeat_s:
+            return
+        last_hb = now
+        if worker_faults is not None and worker_faults.drops_heartbeat(tick):
+            return  # injected silence: the router's monitor sees a gap
+        conn.send(("hb", tick))
+
     try:
         while True:
             if stop and not scheduler.pending:
                 break
+            if worker_faults is not None:
+                for fault in worker_faults.at(tick):
+                    if fault.kind == "crash":
+                        os._exit(70 + index)  # simulated kill -9
+                    elif fault.kind == "stall":
+                        # Alive but hung: pipe unread, heartbeats silent.
+                        time.sleep(fault.duration_s)
+                    elif fault.kind == "malformed":
+                        conn.send(("bogus", "injected-malformed-frame", tick))
             idle = not scheduler.pending
-            if conn.poll(None if idle else 0.0):
+            # Idle wait is bounded by the heartbeat interval (None =
+            # block forever, the heartbeats-off legacy behaviour).
+            if conn.poll(heartbeat_s if idle else 0.0):
                 handle(conn.recv())
                 drain_pipe()
                 if idle and scheduler.pending and not stop:
@@ -189,9 +262,11 @@ def _shard_worker(conn, config: SchedulerConfig | None) -> None:
                         if conn.poll(0.001):
                             handle(conn.recv())
                             drain_pipe()
+            heartbeat()
             if scheduler.pending:
                 for session in scheduler.step():
                     conn.send(("result", tickets.pop(session.id), session.result))
+            tick += 1
         conn.send(("stopped",))
     except (EOFError, ConnectionError, OSError):
         return  # the router vanished; nothing left to report to
@@ -233,9 +308,10 @@ class _Shard:
     __slots__ = (
         "index", "process", "conn", "outbox", "inflight",
         "alive", "stopping", "done", "exited", "reader", "writer",
+        "last_seen", "killing", "generation",
     )
 
-    def __init__(self, index: int, process, conn):
+    def __init__(self, index: int, process, conn, generation: int = 0):
         self.index = index
         self.process = process
         self.conn = conn
@@ -247,6 +323,12 @@ class _Shard:
         self.exited: asyncio.Event | None = None  # set on the loop thread
         self.reader: threading.Thread | None = None
         self.writer: threading.Thread | None = None
+        # Liveness: stamped by the reader thread on every frame (a
+        # GIL-atomic float store; the monitor on the loop thread only
+        # reads it).  Any frame counts — results are heartbeats too.
+        self.last_seen = time.monotonic()
+        self.killing = False    # liveness kill already issued
+        self.generation = generation  # 0 = first spawn, +1 per respawn
 
 
 class ShardRouter:
@@ -262,6 +344,25 @@ class ShardRouter:
     replays a dead worker's in-flight sessions once on survivors;
     replays are exact because a session's decode depends only on its
     spec (seeded noise stream included).
+
+    Supervision knobs (see ``docs/DESIGN.md`` section 12):
+
+    - ``respawn`` (default on): a dead worker is respawned after
+      ``respawn_backoff_s * 2**n`` (n = prior respawns of that index,
+      capped at 30 s) up to ``respawn_budget`` times per shard, and
+      rejoins the ring reclaiming exactly its old vnode ranges.
+    - ``heartbeat_interval_s`` (default 1.0, ``None``/0 disables):
+      workers heartbeat at this cadence; the monitor task kills a
+      worker silent for ``heartbeat_timeout_s`` (default 5x the
+      interval) — the alive-but-hung case EOF detection cannot see.
+    - ``session_deadline_s`` (default off): additionally kill a worker
+      holding a session in flight longer than
+      ``session_deadline_s * (spec.rounds + 1)`` — the deadline scales
+      with spec size because rounds dominate decode time.
+    - ``faults`` (default ``None``): a deterministic
+      :class:`~repro.service.faults.FaultPlan` forwarded to every
+      worker spawn — chaos testing only, costing one ``is None`` test
+      when off.
     """
 
     def __init__(
@@ -270,6 +371,13 @@ class ShardRouter:
         config: SchedulerConfig | None = None,
         routing: str = "hash",
         requeue: bool = True,
+        respawn: bool = True,
+        respawn_backoff_s: float = 0.5,
+        respawn_budget: int = 5,
+        heartbeat_interval_s: float | None = 1.0,
+        heartbeat_timeout_s: float | None = None,
+        session_deadline_s: float | None = None,
+        faults=None,
         start_method: str | None = None,
         replicas: int = 64,
     ):
@@ -277,10 +385,37 @@ class ShardRouter:
             raise ValueError(f"n_shards must be >= 1, got {n_shards}")
         if routing not in ("hash", "shape"):
             raise ValueError(f"routing must be 'hash' or 'shape', got {routing!r}")
+        if respawn_backoff_s <= 0:
+            raise ValueError(
+                f"respawn_backoff_s must be > 0, got {respawn_backoff_s}"
+            )
+        if respawn_budget < 0:
+            raise ValueError(f"respawn_budget must be >= 0, got {respawn_budget}")
         self.n_shards = n_shards
         self.config = config or SchedulerConfig()
         self.routing = routing
         self.requeue = requeue
+        self.respawn = respawn
+        self.respawn_backoff_s = respawn_backoff_s
+        self.respawn_budget = respawn_budget
+        # Falsy (None/0) disables the heartbeat layer entirely: workers
+        # block forever when idle and the monitor never arms.
+        self.heartbeat_interval_s = heartbeat_interval_s or None
+        if self.heartbeat_interval_s is not None:
+            self.heartbeat_timeout_s = (
+                heartbeat_timeout_s
+                if heartbeat_timeout_s is not None
+                else 5.0 * self.heartbeat_interval_s
+            )
+            if self.heartbeat_timeout_s <= self.heartbeat_interval_s:
+                raise ValueError(
+                    "heartbeat_timeout_s must exceed heartbeat_interval_s "
+                    f"({self.heartbeat_timeout_s} <= {self.heartbeat_interval_s})"
+                )
+        else:
+            self.heartbeat_timeout_s = None
+        self.session_deadline_s = session_deadline_s
+        self.faults = faults
         if start_method is None:
             # fork shares the parent's warm imports (numpy, repro) —
             # orders of magnitude cheaper than spawn; fall back where
@@ -315,8 +450,14 @@ class ShardRouter:
             "submitted": 0, "rejected": 0, "completed": 0,
             "failed": 0, "overflowed": 0,
             "shed": 0, "requeued": 0, "worker_deaths": 0,
+            "respawns": 0, "heartbeat_timeouts": 0, "retries": 0,
         }
         self.last_crash: str | None = None
+        # Supervision state (loop thread only).
+        self._respawns: dict[int, int] = {}  # per-index restart count
+        self._respawn_handles: dict[int, asyncio.TimerHandle] = {}
+        self._parked: list[_Inflight] = []   # awaiting a respawned worker
+        self._monitor_task: asyncio.Task | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -329,19 +470,25 @@ class ShardRouter:
         self._started_at = time.monotonic()
         for index in range(self.n_shards):
             self._spawn(index)
+        if self.heartbeat_timeout_s is not None or self.session_deadline_s is not None:
+            self._monitor_task = self._loop.create_task(self._monitor())
         return self
 
     def _spawn(self, index: int) -> None:
+        generation = self._respawns.get(index, 0)
         parent_conn, child_conn = self._ctx.Pipe()
         process = self._ctx.Process(
             target=_shard_worker,
-            args=(child_conn, self.config),
+            args=(
+                child_conn, self.config, index, self.faults,
+                self.heartbeat_interval_s, generation,
+            ),
             name=f"decode-shard-{index}",
             daemon=True,
         )
         process.start()
         child_conn.close()  # the worker owns its end now
-        shard = _Shard(index, process, parent_conn)
+        shard = _Shard(index, process, parent_conn, generation=generation)
         shard.exited = asyncio.Event()
         shard.reader = threading.Thread(
             target=self._read_loop, args=(shard,),
@@ -367,6 +514,29 @@ class ShardRouter:
             self._closed = True
             return
         self._closed = True
+        # Supervision first: no respawns or liveness kills may race the
+        # teardown below.
+        for handle in self._respawn_handles.values():
+            handle.cancel()
+        self._respawn_handles.clear()
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+            self._monitor_task = None
+        # Sessions parked for a respawn that will now never come.
+        parked, self._parked = self._parked, []
+        for entry in parked:
+            self.counters["shed"] += 1
+            if self.tracer is not None:
+                self.tracer.event("shed")
+            if not entry.future.done():
+                entry.future.set_exception(ShardFailure(
+                    f"router closed before session {entry.ticket} could be "
+                    f"replayed on a respawned worker"
+                ))
         for shard in self._shards.values():
             if not shard.alive:
                 continue
@@ -411,6 +581,7 @@ class ShardRouter:
         try:
             while True:
                 message = shard.conn.recv()
+                shard.last_seen = time.monotonic()  # any frame is liveness
                 self._post(self._on_message, shard, message)
                 if message[0] == "stopped":
                     break
@@ -513,6 +684,14 @@ class ShardRouter:
                 waiter[1].set_result(snapshot)
         elif op == "crashed":
             self.last_crash = message[1]
+        elif op == "hb":
+            pass  # liveness is the reader's last_seen stamp; nothing else
+        else:
+            # A frame the protocol does not know (chaos-injected, or a
+            # version-skewed worker): drop the frame, keep the shard —
+            # one bad frame must not cost a whole worker's sessions.
+            if self.tracer is not None:
+                self.tracer.event("malformed_frame")
 
     def _on_worker_exit(self, shard: _Shard) -> None:
         if shard.done:
@@ -521,17 +700,25 @@ class ShardRouter:
         shard.alive = False
         self._ring.remove(shard.index)
         shard.exited.set()
+        # Release the writer thread now: once this shard is replaced by
+        # a respawn, close() no longer reaches its outbox.
+        shard.outbox.put(_CLOSE)
         tracer = self.tracer
-        if not shard.stopping:
+        died = not shard.stopping
+        if died:
             # Neither a drain nor a deliberate terminate: the worker died.
             self.counters["worker_deaths"] += 1
             if tracer is not None:
                 tracer.event("worker_death")
+        respawning = False
+        if died and self.respawn and not self._closed:
+            respawning = self._schedule_respawn(shard.index)
         # Shed or requeue the shard's in-flight sessions, oldest first.
         entries = [shard.inflight.pop(t) for t in sorted(shard.inflight)]
         for entry in entries:
             target = None
-            if self.requeue and entry.requeues == 0 and not self._closed:
+            requeueable = self.requeue and entry.requeues == 0 and not self._closed
+            if requeueable:
                 target = self._pick(entry.ticket, entry.spec)
             if target is not None:
                 entry.requeues += 1
@@ -540,6 +727,15 @@ class ShardRouter:
                     tracer.event("requeue")
                 target.inflight[entry.ticket] = entry
                 target.outbox.put(("submit", entry.ticket, entry.spec.to_payload()))
+            elif requeueable and respawning:
+                # No survivor to take it, but a respawn is scheduled:
+                # park the session and replay it (bit-identically — the
+                # spec carries the whole decode) on the respawned worker.
+                entry.requeues += 1
+                self.counters["requeued"] += 1
+                if tracer is not None:
+                    tracer.event("requeue")
+                self._parked.append(entry)
             else:
                 self.counters["shed"] += 1
                 if tracer is not None:
@@ -559,6 +755,104 @@ class ShardRouter:
             _, future = self._metric_waiters.pop(token)
             if not future.done():
                 future.set_result(None)
+
+    # ------------------------------------------------------------------
+    # Supervision (loop thread)
+    # ------------------------------------------------------------------
+    def _schedule_respawn(self, index: int) -> bool:
+        """Queue a respawn of ``index`` under backoff; false when the
+        restart budget is spent (the shard stays down)."""
+        if index in self._respawn_handles:
+            return True
+        n = self._respawns.get(index, 0)
+        if n >= self.respawn_budget:
+            if self.tracer is not None:
+                self.tracer.event("respawn_budget_exhausted")
+            return False
+        delay = min(self.respawn_backoff_s * (2 ** n), 30.0)
+        self._respawn_handles[index] = self._loop.call_later(
+            delay, self._respawn, index
+        )
+        return True
+
+    def _respawn(self, index: int) -> None:
+        self._respawn_handles.pop(index, None)
+        if self._closed:
+            return
+        self._respawns[index] = self._respawns.get(index, 0) + 1
+        # _spawn re-adds `index` to the ring; its vnode points hash from
+        # the index alone, so the respawned worker reclaims exactly the
+        # ranges it held before dying — minimal remap, pinned by
+        # tests/test_service_shard.py.
+        self._spawn(index)
+        self.counters["respawns"] += 1
+        if self.tracer is not None:
+            self.tracer.event("respawn")
+        # Replay sessions that had no survivor to requeue onto.
+        parked, self._parked = self._parked, []
+        for entry in parked:
+            target = self._pick(entry.ticket, entry.spec)
+            if target is None:  # respawned worker died already
+                self.counters["shed"] += 1
+                if self.tracer is not None:
+                    self.tracer.event("shed")
+                if not entry.future.done():
+                    entry.future.set_exception(ShardFailure(
+                        f"session {entry.ticket} shed: no worker survived "
+                        f"its respawn replay"
+                    ))
+            else:
+                target.inflight[entry.ticket] = entry
+                target.outbox.put(("submit", entry.ticket, entry.spec.to_payload()))
+
+    def _deadline_for(self, spec: SessionSpec) -> float:
+        """Per-session deadline, scaled with spec size: rounds dominate
+        a session's decode time, so a d=9 full-distance session gets a
+        10x longer leash than a 0-round one.  Queue wait counts — the
+        deadline bounds client-visible latency, not pure service time."""
+        return self.session_deadline_s * (spec.rounds + 1)
+
+    async def _monitor(self) -> None:
+        """Liveness: kill workers that are alive but hung.
+
+        A worker silent past ``heartbeat_timeout_s`` (no frame of any
+        kind) or holding a session past its deadline gets SIGKILL; the
+        reader thread then sees EOF and the ordinary death path runs —
+        requeue/park plus respawn.  One recovery path, not two.
+        """
+        interval = self.heartbeat_interval_s or 1.0
+        while not self._closed:
+            await asyncio.sleep(interval)
+            if self._closed:
+                return
+            now = time.monotonic()
+            for shard in list(self._shards.values()):
+                if not shard.alive or shard.stopping or shard.killing:
+                    continue
+                reason = None
+                if (
+                    self.heartbeat_timeout_s is not None
+                    and now - shard.last_seen > self.heartbeat_timeout_s
+                ):
+                    reason = "heartbeat_timeout"
+                elif self.session_deadline_s is not None:
+                    for entry in shard.inflight.values():
+                        if now - entry.submitted_at > self._deadline_for(entry.spec):
+                            reason = "deadline_kill"
+                            break
+                if reason is None:
+                    continue
+                shard.killing = True
+                self.counters["heartbeat_timeouts"] += 1
+                if self.tracer is not None:
+                    self.tracer.event(reason)
+                shard.process.kill()
+
+    def record_client_retry(self) -> None:
+        """A client resubmitted a request it had already sent (its
+        ``retry`` field was set): the server-side count of
+        client-visible retries, exported as the ``retries`` counter."""
+        self.counters["retries"] += 1
 
     # ------------------------------------------------------------------
     # Metrics

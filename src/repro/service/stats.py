@@ -33,6 +33,9 @@ _COUNTER_ROWS = (
     ("shed", "shed"),
     ("requeued", "requeued"),
     ("worker_deaths", "worker deaths"),
+    ("respawns", "respawns"),
+    ("heartbeat_timeouts", "heartbeat timeouts"),
+    ("retries", "client retries"),
     ("steps", "scheduler steps"),
     ("rounds_advanced", "rounds advanced"),
 )

@@ -523,7 +523,7 @@ class TestSnapshotSchema:
     KEYS = {
         "elapsed_s",
         "submitted", "rejected", "admitted", "completed", "failed",
-        "overflowed", "steps", "rounds_advanced",
+        "overflowed", "steps", "rounds_advanced", "retries",
         "throughput_sessions_per_s", "throughput_rounds_per_s", "drop_rate",
         "round_latency_s", "decode_cycles",
         "mean_batch_sessions", "mean_queue_depth", "mean_active_sessions",

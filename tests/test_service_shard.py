@@ -11,12 +11,15 @@ requeue, never hang, and never disturb co-tenant shards.
 from __future__ import annotations
 
 import asyncio
+import time
 
 import pytest
 
 from repro.core.online import run_online_trial
 from repro.service import (
     Backpressure,
+    Fault,
+    FaultPlan,
     HashRing,
     SchedulerConfig,
     SessionSpec,
@@ -77,6 +80,40 @@ class TestHashRing:
             else:
                 assert after[key] != 2
         assert any(before[k] == 2 for k in keys)  # the test saw movement
+
+    def test_rejoin_reclaims_exact_vnode_ranges(self):
+        """Vnode points hash from the shard index alone, so re-adding an
+        index rebuilds *exactly* its old points: a respawned shard
+        reclaims precisely the key ranges it owned before dying, and
+        every key routes as if the outage never happened — the property
+        that makes respawn-rejoin minimal-remap."""
+        ring = HashRing()
+        for shard in range(4):
+            ring.add(shard)
+        keys = [f"session:{t}" for t in range(1, 257)]
+        points_before = list(ring._points)
+        routes_before = [ring.route(k) for k in keys]
+        ring.remove(2)
+        ring.add(2)
+        assert ring._points == points_before
+        assert [ring.route(k) for k in keys] == routes_before
+
+    def test_outage_routing_only_borrows_the_dead_shards_keys(self):
+        """During the outage, survivors keep every key they already
+        owned (nothing is remapped *off* a healthy shard); after the
+        rejoin, only the dead shard's own keys return to it."""
+        ring = HashRing()
+        for shard in range(4):
+            ring.add(shard)
+        keys = [f"session:{t}" for t in range(1, 257)]
+        before = {k: ring.route(k) for k in keys}
+        ring.remove(2)
+        during = {k: ring.route(k) for k in keys}
+        for key in keys:
+            if before[key] != 2:
+                assert during[key] == before[key], "healthy shard lost a key"
+        ring.add(2)
+        assert {k: ring.route(k) for k in keys} == before
 
     def test_router_placement_accessor(self):
         # The ring normally fills on start(); placement logic itself is
@@ -186,9 +223,11 @@ class TestWorkerFailure:
     ]
 
     async def _run_with_kill(self, requeue: bool):
+        # respawn=False pins the pre-supervision recovery semantics
+        # (dead shard stays dead; see TestSupervision for respawn).
         config = SchedulerConfig(max_active=16, max_queue=64)
         async with ShardRouter(
-            n_shards=2, config=config, requeue=requeue
+            n_shards=2, config=config, requeue=requeue, respawn=False
         ) as router:
             futures = [
                 asyncio.ensure_future(router.submit(spec))
@@ -243,6 +282,294 @@ class TestWorkerFailure:
         assert snapshot["completed"] == len(self.KILL_SPECS)
         for spec, result in zip(self.KILL_SPECS, results):
             _assert_matches_reference(spec, result)
+
+
+async def _await_respawn(router, shards: int, respawns: int, timeout: float = 30.0):
+    """Poll the router until the fleet is back to full strength with at
+    least ``respawns`` respawns counted; returns the snapshot."""
+    deadline = time.monotonic() + timeout
+    while True:
+        snapshot = await router.metrics()
+        if (
+            snapshot["live_shards"] == shards
+            and snapshot["respawns"] >= respawns
+        ):
+            return snapshot
+        assert time.monotonic() < deadline, (
+            f"no respawn: live={snapshot['live_shards']}/{shards}, "
+            f"respawns={snapshot['respawns']}"
+        )
+        await asyncio.sleep(0.05)
+
+
+class TestSupervision:
+    """The self-healing layer: dead workers respawn with backoff, rejoin
+    the ring, and replay their rescued sessions bit-identically."""
+
+    def test_killed_worker_respawns_rejoins_and_serves(self):
+        specs = [
+            SessionSpec(d=3, p=0.02, seed=8400 + i, n_rounds=3000)
+            for i in range(12)
+        ]
+
+        async def run():
+            config = SchedulerConfig(max_active=16, max_queue=64)
+            async with ShardRouter(
+                n_shards=2, config=config, respawn_backoff_s=0.05
+            ) as router:
+                futures = [
+                    asyncio.ensure_future(router.submit(s)) for s in specs
+                ]
+                await asyncio.sleep(0.15)
+                victim = max(
+                    router._shards.values(), key=lambda s: len(s.inflight)
+                )
+                victim_index = victim.index
+                victim.process.kill()
+                # Everything resolves: survivors keep theirs, the
+                # victim's are requeued.
+                results = await asyncio.wait_for(
+                    asyncio.gather(*futures), timeout=60
+                )
+                snapshot = await _await_respawn(router, shards=2, respawns=1)
+                # The healed ring serves fresh traffic — including on
+                # the respawned shard.
+                wave2 = [
+                    SessionSpec(d=3, p=0.02, seed=8700 + i) for i in range(16)
+                ]
+                results2 = await asyncio.gather(
+                    *(router.submit(s) for s in wave2)
+                )
+                final = await router.metrics()
+            for spec, result in zip(specs, results):
+                _assert_matches_reference(spec, result)
+            for spec, result in zip(wave2, results2):
+                _assert_matches_reference(spec, result)
+            assert snapshot["worker_deaths"] == 1
+            assert snapshot["respawns"] == 1
+            assert final["live_shards"] == 2
+            assert final["shed"] == 0
+            assert [s["shard"] for s in final["shards"]] == [0, 1]
+            # The respawned worker (a fresh scheduler, zeroed counters)
+            # actually served wave 2.
+            respawned = next(
+                s for s in final["shards"] if s["shard"] == victim_index
+            )
+            assert respawned["completed"] > 0
+
+        asyncio.run(run())
+
+    def test_single_shard_parked_sessions_replay_bit_identically(self):
+        """With no survivor to requeue to, a dead worker's sessions are
+        *parked* and replayed on the respawn — and a decode is a pure
+        function of its spec, so the replay is exact."""
+        specs = [
+            SessionSpec(d=3, p=0.02, seed=8450 + i, n_rounds=3000)
+            for i in range(8)
+        ]
+
+        async def run():
+            config = SchedulerConfig(max_active=16, max_queue=64)
+            async with ShardRouter(
+                n_shards=1, config=config, respawn_backoff_s=0.05
+            ) as router:
+                futures = [
+                    asyncio.ensure_future(router.submit(s)) for s in specs
+                ]
+                await asyncio.sleep(0.15)
+                next(iter(router._shards.values())).process.kill()
+                results = await asyncio.wait_for(
+                    asyncio.gather(*futures), timeout=60
+                )
+                snapshot = await router.metrics()
+            assert snapshot["worker_deaths"] == 1
+            assert snapshot["respawns"] >= 1
+            assert snapshot["requeued"] == len(specs)
+            assert snapshot["shed"] == 0
+            assert snapshot["completed"] == len(specs)
+            for spec, result in zip(specs, results):
+                _assert_matches_reference(spec, result)
+
+        asyncio.run(run())
+
+    def test_outage_admissions_stay_on_survivors_after_rejoin(self):
+        """Sessions admitted while a shard is down land on survivors and
+        *stay there* through the rejoin: placement is fixed at admission,
+        so the healed ring never yanks an in-flight session."""
+
+        async def run():
+            config = SchedulerConfig(max_active=32, max_queue=128)
+            async with ShardRouter(
+                n_shards=2, config=config, respawn_backoff_s=0.4
+            ) as router:
+                wave1 = [
+                    SessionSpec(d=3, p=0.02, seed=8500 + i, n_rounds=3000)
+                    for i in range(8)
+                ]
+                futures = [
+                    asyncio.ensure_future(router.submit(s)) for s in wave1
+                ]
+                await asyncio.sleep(0.15)
+                victim = max(
+                    router._shards.values(), key=lambda s: len(s.inflight)
+                )
+                victim_inflight = len(victim.inflight)
+                victim.process.kill()
+                await asyncio.sleep(0.1)  # death observed, respawn pending
+                # Admitted during the outage: must route to the survivor.
+                wave2 = [
+                    SessionSpec(d=3, p=0.02, seed=8550 + i, n_rounds=3000)
+                    for i in range(8)
+                ]
+                futures += [
+                    asyncio.ensure_future(router.submit(s)) for s in wave2
+                ]
+                await _await_respawn(router, shards=2, respawns=1)
+                results = await asyncio.wait_for(
+                    asyncio.gather(*futures), timeout=60
+                )
+                snapshot = await router.metrics()
+            assert victim_inflight > 0
+            # Only the victim's own sessions ever moved: the rejoin did
+            # not remap outage admissions off the healthy shard.
+            assert snapshot["requeued"] == victim_inflight
+            assert snapshot["shed"] == 0
+            assert snapshot["completed"] == len(results)
+            for spec, result in zip(wave1 + wave2, results):
+                _assert_matches_reference(spec, result)
+
+        asyncio.run(run())
+
+    def test_hung_worker_is_detected_killed_and_respawned(self):
+        """An alive-but-hung worker (injected stall, longer than the
+        heartbeat timeout) is invisible to EOF detection: the liveness
+        monitor must declare it dead, kill it, and the normal
+        death/respawn path must recover every session."""
+        plan = FaultPlan(faults=(Fault("stall", 0, 3, duration_s=1.5),))
+        specs = [
+            SessionSpec(d=3, p=0.02, seed=8650 + i, n_rounds=500)
+            for i in range(6)
+        ]
+
+        async def run():
+            config = SchedulerConfig(max_active=16, max_queue=64)
+            async with ShardRouter(
+                n_shards=1, config=config, faults=plan,
+                heartbeat_interval_s=0.1, heartbeat_timeout_s=0.5,
+                respawn_backoff_s=0.05,
+            ) as router:
+                results = await asyncio.wait_for(
+                    asyncio.gather(*(router.submit(s) for s in specs)),
+                    timeout=60,
+                )
+                snapshot = await router.metrics()
+            assert snapshot["heartbeat_timeouts"] >= 1
+            assert snapshot["worker_deaths"] == 1
+            assert snapshot["respawns"] >= 1
+            assert snapshot["shed"] == 0
+            assert snapshot["completed"] == len(specs)
+            for spec, result in zip(specs, results):
+                _assert_matches_reference(spec, result)
+
+        asyncio.run(run())
+
+    def test_exhausted_respawn_budget_sheds(self):
+        """respawn_budget=0: the death is terminal — sessions shed with
+        an attributed ShardFailure instead of parking forever."""
+
+        async def run():
+            config = SchedulerConfig(max_active=16, max_queue=64)
+            async with ShardRouter(
+                n_shards=1, config=config, respawn_budget=0,
+                respawn_backoff_s=0.05,
+            ) as router:
+                specs = [
+                    SessionSpec(d=3, p=0.02, seed=8750 + i, n_rounds=3000)
+                    for i in range(4)
+                ]
+                futures = [
+                    asyncio.ensure_future(router.submit(s)) for s in specs
+                ]
+                await asyncio.sleep(0.15)
+                next(iter(router._shards.values())).process.kill()
+                results = await asyncio.wait_for(
+                    asyncio.gather(*futures, return_exceptions=True),
+                    timeout=60,
+                )
+                snapshot = await router.metrics()
+            assert all(isinstance(r, ShardFailure) for r in results), results
+            assert snapshot["respawns"] == 0
+            assert snapshot["worker_deaths"] == 1
+            assert snapshot["live_shards"] == 0
+            assert snapshot["shed"] == len(results)
+
+        asyncio.run(run())
+
+
+class TestFaultPlan:
+    def test_seeded_is_deterministic(self):
+        a = FaultPlan.seeded(17, 4).to_payload()
+        b = FaultPlan.seeded(17, 4).to_payload()
+        assert a == b
+        assert FaultPlan.seeded(18, 4).to_payload() != a
+
+    def test_stall_and_crash_land_on_distinct_shards(self):
+        """An early stall must never pre-empt the scheduled crash on the
+        same process (when the fleet is big enough to separate them)."""
+        for seed in range(20):
+            plan = FaultPlan.seeded(seed, 2)
+            targets = {
+                f.kind: f.shard for f in plan.faults
+                if f.kind in ("stall", "crash")
+            }
+            assert targets["stall"] != targets["crash"], seed
+
+    def test_generation_scoping(self):
+        """A respawned worker (generation >= 1) re-runs none of the
+        initial generation's faults — no crash loops."""
+        plan = FaultPlan.seeded(3, 2)
+        for index in range(2):
+            assert plan.for_shard(index, generation=0) is not None
+            assert plan.for_shard(index, generation=1) is None
+
+    def test_for_server_exposes_garble_only(self):
+        plan = FaultPlan.seeded(3, 2)
+        server = plan.for_server()
+        garble_tick = next(
+            f.tick for f in plan.faults if f.kind == "garble"
+        )
+        assert server is not None
+        hits = [server.garble_next() for _ in range(30)]
+        assert hits == [t + 1 == garble_tick for t in range(30)]
+        # Workers never see the garble fault.
+        for index in range(2):
+            worker = plan.for_shard(index)
+            assert all(f.kind != "garble" for f in worker.faults)
+
+    def test_fault_validation(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            Fault("meteor", 0, 1)
+        with pytest.raises(ValueError, match="tick"):
+            Fault("crash", 0, -1)
+        with pytest.raises(ValueError, match="ticks"):
+            Fault("slow", 0, 1, ticks=0)
+
+    def test_windowed_lookups(self):
+        plan = FaultPlan(faults=(
+            Fault("slow", 0, 5, duration_s=0.25, ticks=3),
+            Fault("heartbeat-drop", 0, 10, ticks=2),
+            Fault("crash", 0, 7),
+        ))
+        worker = plan.for_shard(0)
+        assert worker.step_delay(4) == 0.0
+        assert worker.step_delay(5) == 0.25
+        assert worker.step_delay(7) == 0.25
+        assert worker.step_delay(8) == 0.0
+        assert not worker.drops_heartbeat(9)
+        assert worker.drops_heartbeat(10) and worker.drops_heartbeat(11)
+        assert not worker.drops_heartbeat(12)
+        assert [f.kind for f in worker.at(7)] == ["crash"]
+        assert worker.at(6) == []
 
 
 class TestShardedTcp:

@@ -266,6 +266,20 @@ class TestTcpFrontEnd:
         thread.join(timeout=30)
         assert not thread.is_alive()
 
+    def test_server_counts_client_retries(self, tcp_service):
+        """A resubmitted request (``retry`` field on the wire) shows up
+        in the server's ``retries`` counter — the client-visible retry
+        metric of docs/SERVING.md."""
+        host, port, _ = tcp_service
+        with ServiceClient(host=host, port=port) as client:
+            request_id = client._send({
+                "op": "decode", "retry": 1,
+                "spec": SessionSpec(d=3, p=0.01, seed=42).to_payload(),
+            })
+            response = client._read()
+            assert response["id"] == request_id and response["ok"]
+            assert client.metrics()["retries"] == 1
+
     def test_shutdown_flushes_inflight_pipelined_decodes(self, tcp_service):
         """A shutdown op racing pipelined decodes must not strand their
         responses: the server waits for connection handlers (which
@@ -291,3 +305,228 @@ class TestTcpFrontEnd:
         assert responses[shutdown_id]["ok"]
         thread.join(timeout=30)
         assert not thread.is_alive()
+
+
+class _ScriptedServer:
+    """A hand-rolled JSON-lines endpoint with scripted per-connection
+    behaviour — drives the client's resilience paths (mid-pipeline
+    timeout, garbled frames, stale ids, retryable errors)
+    deterministically, without a real scheduler behind them.
+
+    Connection ``n`` runs ``handlers[n]`` in its own daemon thread (a
+    handler may park forever holding its socket — exactly how a hung
+    server looks to the client).  Every request frame read lands in
+    ``requests``, in arrival order.
+    """
+
+    def __init__(self, *handlers):
+        self.handlers = list(handlers)
+        self.requests: list[dict] = []
+        self.sock = socket.socket()
+        self.sock.bind(("127.0.0.1", 0))
+        self.sock.listen(8)
+        self.host, self.port = self.sock.getsockname()
+        self._accept = threading.Thread(target=self._serve, daemon=True)
+        self._accept.start()
+
+    def _serve(self):
+        for handler in self.handlers:
+            try:
+                conn, _ = self.sock.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._run, args=(handler, conn), daemon=True
+            ).start()
+
+    def _run(self, handler, conn):
+        file = conn.makefile("rwb")
+        try:
+            handler(self, file)
+        except (ConnectionError, OSError, ValueError):
+            pass
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def read(self, file) -> dict:
+        line = file.readline()
+        if not line:
+            raise ConnectionError("client went away")
+        request = json.loads(line)
+        self.requests.append(request)
+        return request
+
+    @staticmethod
+    def write(file, payload: dict) -> None:
+        file.write(json.dumps(payload).encode() + b"\n")
+        file.flush()
+
+    @staticmethod
+    def write_raw(file, data: bytes) -> None:
+        file.write(data)
+        file.flush()
+
+    def close(self):
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "_ScriptedServer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class TestClientResilience:
+    """The client's retry/reconnect layer against scripted misbehaviour.
+
+    The contract under test: resubmission is idempotent and keyed by
+    ticket (same request id, ``retry`` field set), a timed-out stream
+    is *never* reused (reconnect-then-resync — the mid-pipeline desync
+    bug), junk frames are skipped not trusted, and terminal errors are
+    never retried.
+    """
+
+    SPECS = [SessionSpec(d=3, p=0.01, seed=40 + i) for i in range(2)]
+
+    def test_mid_pipeline_timeout_reconnects_and_resubmits_unanswered(self):
+        """The desync scenario: the server answers one of two pipelined
+        decodes, then stalls mid-frame.  The old stream is undefined
+        after the read timeout — the client must reconnect and resubmit
+        the unanswered request (same id) on the fresh connection, and
+        the answered one must not be disturbed."""
+
+        def stalls_mid_frame(server, file):
+            a = server.read(file)
+            server.read(file)
+            server.write(file, {"id": a["id"], "ok": True, "result": {"who": "a"}})
+            server.write_raw(file, b'{"id": ')  # partial frame, then hang
+            time.sleep(30)
+
+        def serves_everything(server, file):
+            while True:
+                r = server.read(file)
+                server.write(
+                    file, {"id": r["id"], "ok": True, "result": {"who": "b"}}
+                )
+
+        with _ScriptedServer(stalls_mid_frame, serves_everything) as server:
+            with ServiceClient(
+                host=server.host, port=server.port,
+                timeout=0.3, retries=2, backoff_s=0.05,
+            ) as client:
+                results = client.decode_many(self.SPECS)
+                assert [r["who"] for r in results] == ["a", "b"]
+                assert client.reconnects == 1
+                assert client.retries_performed == 1
+        first_b, retried_b = server.requests[1], server.requests[2]
+        assert retried_b["id"] == first_b["id"], "retry must reuse its id"
+        assert retried_b["retry"] == 1
+        assert retried_b["spec"] == first_b["spec"]
+
+    def test_garbled_and_stale_frames_are_skipped(self):
+        """Junk on the stream — an unparseable line, a response for an
+        id this client never sent — is counted and skipped, and the
+        real response still matches."""
+
+        def noisy(server, file):
+            r = server.read(file)
+            server.write_raw(file, b"!! not json !!\n")
+            server.write(file, {"id": 999_999, "ok": True, "result": {}})
+            server.write(file, {"id": r["id"], "ok": True, "result": {"who": "real"}})
+
+        with _ScriptedServer(noisy) as server:
+            with ServiceClient(host=server.host, port=server.port) as client:
+                result = client.decode(self.SPECS[0])
+                assert result["who"] == "real"
+                assert client.malformed_frames == 1
+                assert client.stale_frames == 1
+
+    def test_shard_failure_is_resubmitted_with_same_id(self):
+        """A retryable error response (shard-failure) triggers an
+        idempotent resubmission under the same request id; the second
+        answer wins."""
+
+        def fails_once(server, file):
+            r1 = server.read(file)
+            server.write(file, {
+                "id": r1["id"], "ok": False,
+                "error": "shard-failure", "detail": "worker died",
+            })
+            r2 = server.read(file)
+            server.write(file, {"id": r2["id"], "ok": True, "result": {"who": "ok"}})
+
+        with _ScriptedServer(fails_once) as server:
+            with ServiceClient(
+                host=server.host, port=server.port, backoff_s=0.01
+            ) as client:
+                result = client.decode(self.SPECS[0])
+                assert result["who"] == "ok"
+                assert client.retries_performed == 1
+        assert server.requests[1]["id"] == server.requests[0]["id"]
+        assert server.requests[1]["retry"] == 1
+
+    def test_terminal_error_is_not_retried(self):
+        """bad-spec is wrong forever: exactly one request on the wire,
+        the error raised immediately."""
+
+        def rejects(server, file):
+            r = server.read(file)
+            server.write(file, {
+                "id": r["id"], "ok": False,
+                "error": "bad-spec", "detail": "even distance",
+            })
+            server.read(file)  # EOF expected: no resubmission
+
+        with _ScriptedServer(rejects) as server:
+            with ServiceClient(
+                host=server.host, port=server.port, retries=4, backoff_s=0.01
+            ) as client:
+                with pytest.raises(ServiceError, match="bad-spec") as info:
+                    client.decode(self.SPECS[0])
+                assert not info.value.retryable
+                assert client.retries_performed == 0
+        assert len(server.requests) == 1
+
+    def test_retry_budget_exhaustion_surfaces_the_error(self):
+        """Every resubmission of a retryable error consumed: the final
+        failure surfaces with its attributed kind instead of looping."""
+
+        def always_fails(server, file):
+            while True:
+                r = server.read(file)
+                server.write(file, {
+                    "id": r["id"], "ok": False,
+                    "error": "shard-failure", "detail": "still dead",
+                })
+
+        with _ScriptedServer(always_fails) as server:
+            with ServiceClient(
+                host=server.host, port=server.port, retries=2, backoff_s=0.01
+            ) as client:
+                with pytest.raises(ServiceError, match="shard-failure"):
+                    client.decode(self.SPECS[0])
+                assert client.retries_performed == 2
+        assert len(server.requests) == 3  # original + 2 resubmissions
+
+    def test_junk_flood_fails_loudly(self):
+        """A stream that babbles junk without ever answering must raise
+        a protocol error, not spin forever."""
+
+        def babbles(server, file):
+            server.read(file)
+            for _ in range(100):
+                server.write_raw(file, b"???\n")
+            time.sleep(30)
+
+        with _ScriptedServer(babbles) as server:
+            with ServiceClient(
+                host=server.host, port=server.port, retries=0
+            ) as client:
+                with pytest.raises(ServiceError, match="protocol"):
+                    client.decode(self.SPECS[0])
